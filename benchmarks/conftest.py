@@ -1,0 +1,45 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure: it runs the
+experiment driver once inside ``benchmark.pedantic`` (so pytest-benchmark
+reports the wall-clock of the full reproduction), prints the same
+rows/series the paper reports, and archives the formatted table under
+``benchmarks/output/``.
+
+Set ``REPRO_PAPER_SCALE=1`` to run the sweeps at the full published
+parameters (much slower: 100 repetitions, 60 s MIP limit, n up to 500).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.records import ResultTable
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: True when the full published parameters were requested.
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "") not in ("", "0", "false")
+
+
+@pytest.fixture
+def save_table():
+    """Print a ResultTable and archive it under benchmarks/output/."""
+
+    def _save(name: str, table: ResultTable) -> None:
+        text = table.format()
+        print()
+        print(text)
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        table.to_csv(OUTPUT_DIR / f"{name}.csv")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run a full experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

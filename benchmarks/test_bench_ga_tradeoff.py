@@ -1,0 +1,26 @@
+"""GA-vs-APPROX trade-off bench (extension)."""
+
+from conftest import PAPER_SCALE, run_once
+
+from repro.experiments import GATradeoffConfig, run_ga_tradeoff
+
+CONFIG = (
+    GATradeoffConfig(task_counts=(10, 25, 50, 100), repetitions=3)
+    if PAPER_SCALE
+    else GATradeoffConfig(task_counts=(6, 12, 24, 48), repetitions=2)
+)
+
+
+def test_ga_tradeoff(benchmark, save_table):
+    table = run_once(benchmark, lambda: run_ga_tradeoff(CONFIG))
+    save_table("ga_tradeoff", table)
+
+    rows = table.as_dicts()
+    for row in rows:
+        # both methods stay under the fractional upper bound
+        assert row["approx_acc"] <= row["ub_acc"] + 1e-6
+        assert row["ga_acc"] <= row["ub_acc"] + 1e-6
+    # the GA's runtime disadvantage explodes with n (the paper's argument
+    # for an approximation algorithm over metaheuristics)
+    assert rows[-1]["slowdown_x"] > 10.0
+    assert rows[-1]["slowdown_x"] > rows[0]["slowdown_x"]

@@ -1,0 +1,41 @@
+"""Pareto frontier + DVFS ablation benches (extensions)."""
+
+from conftest import PAPER_SCALE, run_once
+
+from repro.experiments import (
+    AblationConfig,
+    ParetoConfig,
+    run_dvfs_ablation,
+    run_pareto,
+)
+
+PARETO_CONFIG = (
+    ParetoConfig(n=100, repetitions=5) if PAPER_SCALE else ParetoConfig(n=40, repetitions=2)
+)
+DVFS_CONFIG = AblationConfig(n=60, repetitions=3) if PAPER_SCALE else AblationConfig(n=30, repetitions=2)
+
+
+def test_pareto_frontiers(benchmark, save_table):
+    table = run_once(benchmark, lambda: run_pareto(PARETO_CONFIG))
+    save_table("pareto_frontiers", table)
+
+    areas = {}
+    for note in table.notes:
+        name, rest = note.split(":", 1)
+        areas[name] = float(rest.rsplit("=", 1)[1])
+    # the continuous-compression frontier dominates both baselines
+    assert areas["approx"] > areas["edf-3levels"]
+    assert areas["approx"] > areas["edf-nocompression"]
+
+
+def test_dvfs_ablation(benchmark, save_table):
+    table = run_once(benchmark, lambda: run_dvfs_ablation(DVFS_CONFIG))
+    save_table("ablation_dvfs", table)
+
+    rows = table.as_dicts()
+    # DVFS never hurts (full speed is a candidate) ...
+    assert all(r["gain_points"] >= -1e-6 for r in rows)
+    # ... and pays under the tightest budget by down-clocking
+    tightest = rows[0]
+    assert tightest["gain_points"] > 0.1
+    assert tightest["mean_speed_scale"] < 1.0

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Carbon-aware scheduling over a solar day — extending the paper's §7.
+
+Combines the two future-work threads: a renewable (solar) harvest powers
+a day of epoch-batched inference, any shortfall is bought from a grid
+whose carbon intensity follows a duck curve (clean at midday, dirty in
+the evening ramp).  Three policies are compared on accuracy and CO₂:
+
+* ``grid-only``    — ignore the solar harvest, buy everything (β fixed);
+* ``harvest-only`` — spend only the solar harvest (no grid, no battery);
+* ``hybrid``       — solar first with a battery, top up from the grid
+                     only up to a per-epoch cap.
+
+Run:  python examples/carbon_aware_day.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms import ApproxScheduler
+from repro.core import ProblemInstance
+from repro.extensions import (
+    RenewablePlanner,
+    duck_curve_grid,
+    report_carbon,
+    solar_curve,
+)
+from repro.extensions.carbon import JOULES_PER_KWH
+from repro.hardware import sample_uniform_cluster
+from repro.workloads import TaskGenConfig, generate_tasks
+
+EPOCHS = 12
+PEAK_BETA = 1.1  # midday harvest slightly exceeds full-throttle demand
+GRID_CAP_BETA = 0.35  # hybrid policy may buy at most this β from the grid
+
+
+def main() -> None:
+    cluster = sample_uniform_cluster(3, seed=21)
+    scheduler = ApproxScheduler()
+    curve = duck_curve_grid()
+    betas = solar_curve(EPOCHS, PEAK_BETA)
+
+    epoch_tasks = [
+        generate_tasks(TaskGenConfig(n=24, theta_range=(0.1, 1.0), rho=0.8), cluster, seed=1000 + e)
+        for e in range(EPOCHS)
+    ]
+    planner = RenewablePlanner(cluster, scheduler, battery_capacity=math.inf)
+    harvests = planner.harvests_from_betas(betas, epoch_tasks)
+
+    results = {}
+
+    # grid-only: constant grid budget, every Joule emits.
+    grid_budgets = [GRID_CAP_BETA * t.d_max * cluster.total_power for t in epoch_tasks]
+    accs, grams = [], 0.0
+    for e, (tasks, budget) in enumerate(zip(epoch_tasks, grid_budgets)):
+        sched = scheduler.solve(ProblemInstance(tasks, cluster, budget))
+        accs.append(sched.mean_accuracy)
+        grams += curve.grams_for_energy(sched.total_energy, 24.0 * e / EPOCHS)
+    results["grid-only"] = (float(np.mean(accs)), grams)
+
+    # harvest-only: zero emissions, but the night starves.
+    harvest_report = RenewablePlanner(cluster, scheduler, battery_capacity=math.inf).run(
+        epoch_tasks, harvests
+    )
+    results["harvest-only"] = (harvest_report.day_mean_accuracy, 0.0)
+
+    # hybrid: harvest + battery, then a capped grid top-up per epoch.
+    battery, accs, grams = 0.0, [], 0.0
+    for e, (tasks, harvest) in enumerate(zip(epoch_tasks, harvests)):
+        grid_cap = GRID_CAP_BETA * tasks.d_max * cluster.total_power
+        budget = harvest + battery + grid_cap
+        sched = scheduler.solve(ProblemInstance(tasks, cluster, budget))
+        used = sched.total_energy
+        solar_used = min(used, harvest + battery)
+        grid_used = used - solar_used
+        battery = max(harvest + battery - solar_used, 0.0)
+        grams += curve.grams_for_energy(grid_used, 24.0 * e / EPOCHS)
+        accs.append(sched.mean_accuracy)
+    results["hybrid"] = (float(np.mean(accs)), grams)
+
+    print(f"Cluster: {cluster}; duck-curve grid (midday {curve.at_hour(12):.0f}, evening "
+          f"{curve.at_hour(19):.0f} gCO2/kWh); solar peak beta {PEAK_BETA}\n")
+    print(f"{'policy':<14s} {'day accuracy':>12s} {'CO2 (g)':>10s} {'kWh-equiv':>10s}")
+    for name, (acc, g) in results.items():
+        kwh = g / max(curve.mean_intensity, 1e-9)
+        print(f"{name:<14s} {acc:>12.4f} {g:>10.1f} {kwh:>10.2f}")
+
+    print(
+        "\nThe hybrid policy nearly matches grid-only accuracy at a fraction of the\n"
+        "emissions: solar covers the day, the battery carries the evening ramp, and\n"
+        "the capped top-up only buys what the deadline structure can actually use."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""DVFS operating points and inverse pricing — operator-facing extensions.
+
+Three questions the paper's forward problem does not answer directly:
+
+1. *Should I down-clock my GPUs?*  The DVFS-aware scheduler picks an
+   operating point per machine on the cubic power law: under tight
+   budgets slower clocks buy more FLOPs per Joule.
+2. *What does a target accuracy cost?*  Φ(B) is concave, so bisection
+   finds the cheapest budget for any accuracy target, priced per kWh.
+3. *Which method dominates across the whole budget range?*  The
+   accuracy-vs-consumed-energy Pareto frontier, rendered as an ASCII
+   chart.
+
+Run:  python examples/dvfs_and_pricing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import ApproxScheduler
+from repro.experiments import ParetoConfig, plot_table, run_pareto
+from repro.extensions import DVFSScheduler, cheapest_cost_for_accuracy, dvfs_curve
+from repro.workloads import budget_sweep_instance
+
+
+def main() -> None:
+    # --- 1. DVFS: does down-clocking pay? ---------------------------------
+    print("1) DVFS operating points (cubic power law, 30% static floor)")
+    print("   ladder:", ", ".join(
+        f"{p.speed_scale:.2f}x speed @ {p.power_scale:.2f}x power" for p in dvfs_curve()
+    ))
+    for beta in (0.15, 0.5):
+        inst = budget_sweep_instance(beta, n=40, seed=3)
+        plain = ApproxScheduler().solve(inst)
+        result = DVFSScheduler().solve_with_info(inst)
+        scales = [p["speed_scale"] for p in result.info.extra["operating_points"]]
+        print(
+            f"   beta={beta:.2f}: plain {plain.mean_accuracy:.4f} -> DVFS "
+            f"{result.schedule.mean_accuracy:.4f} at clocks {scales}"
+        )
+
+    # --- 2. inverse pricing -------------------------------------------------
+    print("\n2) Cheapest budget for an accuracy target (0.25 $/kWh)")
+    inst = budget_sweep_instance(1.0, n=40, seed=3)
+    for target in (0.5, 0.7, 0.8):
+        cost, budget = cheapest_cost_for_accuracy(inst, target, price_per_kwh=0.25)
+        print(f"   mean accuracy {target:.2f}: {budget:9.0f} J  (= {cost * 1000:.3f} m$)")
+
+    # --- 3. Pareto frontier ---------------------------------------------------
+    print("\n3) Accuracy vs consumed energy (Pareto frontier, 3 methods)")
+    table = run_pareto(ParetoConfig(betas=(0.05, 0.1, 0.2, 0.4, 0.7, 1.0), n=40, repetitions=2))
+    for note in table.notes:
+        print("   " + note)
+    # pivot to one column per method for the chart
+    from repro.experiments.records import ResultTable
+
+    methods = sorted({r["method"] for r in table.as_dicts()})
+    betas = sorted({r["beta"] for r in table.as_dicts()})
+    pivot = ResultTable("pareto", ["beta"] + methods)
+    for beta in betas:
+        row = [beta] + [
+            next(r["mean_accuracy"] for r in table.as_dicts() if r["beta"] == beta and r["method"] == m)
+            for m in methods
+        ]
+        pivot.add_row(*row)
+    print(plot_table(pivot, "beta", methods, width=56, height=12))
+
+
+if __name__ == "__main__":
+    main()

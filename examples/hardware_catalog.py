@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Explore the GPU catalog behind Fig. 1 and build clusters from it.
+
+Prints the efficiency-vs-speed scatter with the linear trend the paper
+observes, then shows how catalog entries become scheduler machines.
+
+Run:  python examples/hardware_catalog.py
+"""
+
+from __future__ import annotations
+
+from repro.core import Cluster
+from repro.hardware import (
+    GPU_CATALOG,
+    catalog_cluster,
+    fit_efficiency_trend,
+    sample_catalog_cluster,
+)
+
+
+def main() -> None:
+    slope, intercept = fit_efficiency_trend()
+    print("GPU catalog (Fig. 1 substrate):")
+    print(f"{'model':<18s} {'year':>4s} {'TFLOPS':>7s} {'TDP W':>6s} {'GFLOPS/W':>9s}")
+    for spec in sorted(GPU_CATALOG, key=lambda s: s.year):
+        print(
+            f"{spec.name:<18s} {spec.year:>4d} {spec.tflops_fp32:>7.1f} "
+            f"{spec.tdp_watts:>6.0f} {spec.efficiency_gflops_per_watt:>9.1f}"
+        )
+    print(f"\nlinear trend: efficiency ≈ {slope:.2f}·speed + {intercept:.1f} GFLOPS/W")
+    print("(positive slope — newer/faster devices are also more efficient, Fig. 1's point)\n")
+
+    named = catalog_cluster(["Tesla V100", "Tesla T4", "A100 SXM"])
+    print(f"named cluster:   {named}")
+    for machine in named:
+        print(f"  {machine}  busy power {machine.power:.0f} W")
+
+    sampled = sample_catalog_cluster(4, seed=3)
+    print(f"\nsampled cluster: {sampled}")
+    for machine in sampled:
+        print(f"  {machine}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Online MLaaS serving: rolling-horizon replanning with DSCT-EA-APPROX.
+
+The paper schedules a static batch; a serving front-end sees a *stream*.
+This example shows the intended deployment loop: buffer arrivals for a
+short planning window, then schedule the buffered requests with
+DSCT-EA-APPROX under the window's share of a global energy budget.
+
+Two evaluations are reported for each policy:
+
+* the **planner's view** (`repro.online.RollingHorizonPlanner`) — each
+  window scored algebraically, as the optimizer sees it;
+* the **measured view** (`repro.simulator.OnlineSimulation`) — the same
+  loop executed in the discrete-event simulator, where work queued
+  behind the previous window's backlog burns real SLO time.  The gap
+  between the two is the planning-boundary cost.
+
+Burstiness comes from a 2-state MMPP arrival process; the comparison is
+against planning the same windows with EDF-NoCompression.
+
+Run:  python examples/mlaas_online_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import ApproxScheduler
+from repro.baselines import EDFNoCompressionScheduler
+from repro.hardware import sample_uniform_cluster
+from repro.online import RollingHorizonPlanner
+from repro.simulator import OnlineSimulation
+from repro.workloads import MMPPArrivals
+
+HORIZON = 60.0  # seconds of simulated traffic
+WINDOW = 2.0  # planning window
+POWER_CAP_FRACTION = 0.35  # energy per window: 35 % of full-throttle draw
+
+
+def main() -> None:
+    cluster = sample_uniform_cluster(3, seed=11)
+    arrivals = MMPPArrivals(
+        calm_rate=3.0,
+        burst_rate=12.0,
+        mean_phase_seconds=8.0,
+        slo_range=(0.8, 2.5),
+        theta_range=(0.1, 1.5),
+        seed=5,
+    )
+    requests = arrivals.generate(HORIZON)
+    print(f"Generated {len(requests)} requests over {HORIZON:.0f}s (MMPP bursty traffic)")
+    print(
+        f"Cluster: {cluster}; window {WINDOW:.0f}s at {POWER_CAP_FRACTION:.0%} power cap "
+        f"= {POWER_CAP_FRACTION * WINDOW * cluster.total_power:.0f} J/window\n"
+    )
+
+    header = f"{'policy':<22s} {'view':<9s} {'accuracy':>9s} {'SLO met':>8s} {'energy':>10s}"
+    print(header)
+    print("-" * len(header))
+    for scheduler in (ApproxScheduler(), EDFNoCompressionScheduler()):
+        planner = RollingHorizonPlanner(
+            cluster, scheduler, window_seconds=WINDOW, power_cap_fraction=POWER_CAP_FRACTION
+        )
+        planned = planner.run(requests)
+        print(
+            f"{scheduler.name:<22s} {'planned':<9s} {planned.mean_accuracy:>9.4f} "
+            f"{planned.on_time_fraction:>7.1%} {planned.total_energy:>9.0f}J"
+        )
+        sim = OnlineSimulation(
+            cluster, scheduler, window_seconds=WINDOW, power_cap_fraction=POWER_CAP_FRACTION
+        )
+        measured = sim.run(requests)
+        print(
+            f"{'':<22s} {'measured':<9s} {measured.mean_accuracy:>9.4f} "
+            f"{measured.slo_attainment:>7.1%} {measured.energy:>9.0f}J"
+        )
+
+    print(
+        "\nDSCT-EA-APPROX compresses each request just enough to serve the whole burst\n"
+        "within the power cap; the no-compression planner must drop requests.  The\n"
+        "measured SLO attainment sits below the planned one — that difference is the\n"
+        "queueing delay at window boundaries, which only the simulator can see."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Prints the same rows/series the paper reports.  By default the sweeps
+run at reduced size so the script finishes in a few minutes; pass
+``--paper`` for the full published parameters (n = 100/500, 100
+repetitions, 60 s solver limit — expect a long run), and ``--out DIR``
+to also export each table as CSV.
+
+Run:  python examples/paper_figures.py [--paper] [--fast] [--out results/]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import (
+    EnergyGainConfig,
+    Fig3Config,
+    Fig4Config,
+    Fig5Config,
+    Fig6Config,
+    Table1Config,
+    headline_at_loss,
+    run_energy_gain,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4_machines,
+    run_fig4_tasks,
+    run_fig5,
+    run_fig6,
+    run_table1,
+)
+
+
+def configs(mode: str):
+    """Sweep configurations per mode: fast (CI), default, paper."""
+    if mode == "paper":
+        return {
+            "fig3": Fig3Config(),
+            "fig4": Fig4Config(),
+            "table1": Table1Config(),
+            "fig5": Fig5Config(),
+            "gain": EnergyGainConfig(),
+            "fig6": Fig6Config(),
+        }
+    if mode == "fast":
+        return {
+            "fig3": Fig3Config(mu_values=(5.0, 20.0), repetitions=2, n=20, m=3),
+            "fig4": Fig4Config(task_counts=(10, 20), machine_counts=(2, 3), repetitions=1, time_limit=5.0),
+            "table1": Table1Config(task_counts=(50, 100), repetitions=1),
+            "fig5": Fig5Config(betas=(0.2, 0.6, 1.0), n=30, repetitions=2),
+            "gain": EnergyGainConfig(betas=(0.3, 0.5), n=30, repetitions=2),
+            "fig6": Fig6Config(betas=(0.2, 0.4, 0.8), n=30, repetitions=2),
+        }
+    return {
+        "fig3": Fig3Config(mu_values=(5.0, 10.0, 15.0, 20.0), repetitions=10),
+        "fig4": Fig4Config(task_counts=(10, 30, 50, 100), machine_counts=(2, 4, 6), repetitions=3, time_limit=20.0),
+        "table1": Table1Config(task_counts=(100, 200, 300), repetitions=2),
+        "fig5": Fig5Config(repetitions=3),
+        "gain": EnergyGainConfig(repetitions=3),
+        "fig6": Fig6Config(repetitions=3),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper", action="store_true", help="full published parameters (slow)")
+    parser.add_argument("--fast", action="store_true", help="smoke-sized sweeps (~1 min)")
+    parser.add_argument("--out", type=Path, default=None, help="directory for CSV export")
+    args = parser.parse_args()
+    mode = "paper" if args.paper else ("fast" if args.fast else "default")
+    cfg = configs(mode)
+
+    tables = [
+        ("fig1", run_fig1()),
+        ("fig2", run_fig2()),
+        ("fig3", run_fig3(cfg["fig3"])),
+        ("fig4a", run_fig4_tasks(cfg["fig4"])),
+        ("fig4b", run_fig4_machines(cfg["fig4"])),
+        ("table1", run_table1(cfg["table1"])),
+        ("fig5", run_fig5(cfg["fig5"])),
+        ("energy_gain", run_energy_gain(cfg["gain"])),
+        ("fig6a", run_fig6("uniform", cfg["fig6"])),
+        ("fig6b", run_fig6("earliest", cfg["fig6"])),
+    ]
+
+    for name, table in tables:
+        print(table.format())
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            table.to_csv(args.out / f"{name}.csv")
+
+    gain = headline_at_loss(dict(tables)["energy_gain"], max_loss_points=2.0)
+    if gain is not None:
+        print(f"HEADLINE: {gain:.0f}% energy saved at <=2 accuracy points lost (paper: ~70% at ~2%)")
+    if args.out is not None:
+        print(f"\nCSV written to {args.out}/")
+
+
+if __name__ == "__main__":
+    main()

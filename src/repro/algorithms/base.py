@@ -1,0 +1,58 @@
+"""Scheduler interface shared by algorithms, exact solvers and baselines.
+
+Every scheduling method in the library is a :class:`Scheduler` with a
+``name`` (used in experiment tables) and a ``solve`` method mapping a
+:class:`~repro.core.instance.ProblemInstance` to a
+:class:`~repro.core.schedule.Schedule`.  Methods that produce extra
+artefacts (fractional solutions keep their energy profile, exact solvers
+their solver status) return a :class:`SolveInfo`-carrying schedule via
+``solve_with_info``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+
+__all__ = ["Scheduler", "SolveInfo", "SolveResult"]
+
+
+@dataclass(frozen=True)
+class SolveInfo:
+    """Side-channel metadata from one solve."""
+
+    solver: str
+    optimal: bool = False
+    status: str = "ok"
+    runtime_seconds: Optional[float] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """A schedule together with its :class:`SolveInfo`."""
+
+    schedule: Schedule
+    info: SolveInfo
+
+
+class Scheduler(abc.ABC):
+    """Abstract scheduling method."""
+
+    #: Short identifier used in experiment output (subclasses override).
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def solve(self, instance: ProblemInstance) -> Schedule:
+        """Compute a schedule for ``instance``."""
+
+    def solve_with_info(self, instance: ProblemInstance) -> SolveResult:
+        """Like :meth:`solve` but with metadata; default wraps :meth:`solve`."""
+        return SolveResult(self.solve(instance), SolveInfo(solver=self.name))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,47 @@
+"""Performance guarantee of DSCT-EA-APPROX (paper Eqs. (13)–(14)).
+
+Theorem 3 of [5], adapted to the energy-aware setting: the rounded
+solution satisfies ``OPT − G ≤ SOL ≤ OPT`` where ``OPT`` is the
+fractional optimum and, for piecewise-linear accuracy functions,
+
+``G = m · (a_max − a_min) · (1 + ln(θ_max / θ_min))``.
+
+The paper's notation swaps θ_min/θ_max between definitions; the bound
+comes from integrating the upper envelope of marginal gains, which decays
+from the steepest first-segment slope to the shallowest last-segment
+slope, so we take ``θ_max = max_j`` (first slope of j) and
+``θ_min = min_j`` (last positive slope of j), making the ratio ≥ 1 and
+the bound monotone in task heterogeneity μ (as Fig. 3 assumes).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.instance import ProblemInstance
+from ..core.task import TaskSet
+from ..utils.errors import ValidationError
+
+__all__ = ["performance_guarantee", "slope_extremes"]
+
+
+def slope_extremes(tasks: TaskSet) -> tuple[float, float]:
+    """(θ_min, θ_max): shallowest last positive slope, steepest first slope."""
+    theta_max = max(t.accuracy.first_slope for t in tasks)
+    positive_lasts = []
+    for t in tasks:
+        slopes = [s for s in t.accuracy.slopes if s > 0]
+        if slopes:
+            positive_lasts.append(min(slopes))
+    if not positive_lasts or theta_max <= 0:
+        raise ValidationError("guarantee undefined: all accuracy functions are flat")
+    return min(positive_lasts), theta_max
+
+
+def performance_guarantee(instance: ProblemInstance) -> float:
+    """Absolute accuracy gap ``G`` of Eq. (14) for this instance."""
+    theta_min, theta_max = slope_extremes(instance.tasks)
+    a_max = max(t.a_max for t in instance.tasks)
+    a_min = min(t.a_min for t in instance.tasks)
+    m = instance.n_machines
+    return m * (a_max - a_min) * (1.0 + math.log(theta_max / theta_min))

@@ -1,0 +1,76 @@
+"""Shared helpers for the EDF-family baselines.
+
+All baselines walk tasks in EDF order (the :class:`~repro.core.task.TaskSet`
+index order) and place each task on one machine, so they share the
+bookkeeping of per-machine loads, per-machine deadline slack and the
+energy meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+
+__all__ = ["PlacementState", "least_loaded_machine"]
+
+
+@dataclass
+class PlacementState:
+    """Running state of a greedy EDF placement."""
+
+    instance: ProblemInstance
+    times: np.ndarray = field(init=False)
+    loads: np.ndarray = field(init=False)
+    energy_used: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self.times = np.zeros((self.instance.n_tasks, self.instance.n_machines))
+        self.loads = np.zeros(self.instance.n_machines)
+
+    @property
+    def energy_left(self) -> float:
+        return self.instance.budget - self.energy_used
+
+    def fits(self, j: int, r: int, seconds: float) -> bool:
+        """Whether running task ``j`` for ``seconds`` on ``r`` keeps the
+        task within its deadline and the system within budget.
+
+        Deadline check: the task starts at the machine's current load
+        (earlier-deadline tasks were placed first), so it completes at
+        ``loads[r] + seconds``.
+        """
+        if seconds < 0:
+            return False
+        deadline = self.instance.tasks.deadlines[j]
+        power = self.instance.cluster.powers[r]
+        return (
+            self.loads[r] + seconds <= deadline * (1.0 + 1e-12)
+            and self.energy_used + seconds * power <= self.instance.budget * (1.0 + 1e-12)
+        )
+
+    def place(self, j: int, r: int, seconds: float) -> None:
+        """Commit task ``j`` to machine ``r`` for ``seconds``."""
+        self.times[j, r] = seconds
+        self.loads[r] += seconds
+        self.energy_used += seconds * self.instance.cluster.powers[r]
+
+    def to_schedule(self) -> Schedule:
+        return Schedule(self.instance, self.times)
+
+
+def least_loaded_machine(loads: np.ndarray, *, exclude: Optional[np.ndarray] = None) -> int:
+    """Index of the machine with the least work ([29]'s placement rule).
+
+    ``exclude`` is an optional boolean mask of machines to skip; returns
+    −1 when every machine is excluded.
+    """
+    candidates = np.where(exclude, np.inf, loads) if exclude is not None else loads
+    r = int(np.argmin(candidates))
+    if exclude is not None and exclude[r]:
+        return -1
+    return r

@@ -1,0 +1,51 @@
+"""Greedy energy-aware baseline (extra, not in the paper).
+
+A natural "do the obvious thing" comparator for the ablation study:
+tasks EDF; each task is offered to machines in decreasing energy
+efficiency and granted as much continuous compression time as the
+machine's deadline slack, its own ``f_max`` and the remaining budget
+allow.  Unlike DSCT-EA-APPROX it never reasons about *which* tasks
+deserve the energy, so it overspends on early flat tasks and starves
+late steep ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..algorithms.base import Scheduler
+from .edf import PlacementState
+
+__all__ = ["GreedyEnergyScheduler"]
+
+
+class GreedyEnergyScheduler(Scheduler):
+    """EDF + most-efficient-machine-first, maximal continuous grant."""
+
+    name = "GREEDY-ENERGY"
+
+    def solve(self, instance: ProblemInstance) -> Schedule:
+        state = PlacementState(instance)
+        speeds = instance.cluster.speeds
+        powers = instance.cluster.powers
+        order = instance.cluster.efficiency_order(descending=True)
+        for j, task in enumerate(instance.tasks):
+            best_r, best_seconds = -1, 0.0
+            for r in order:
+                r = int(r)
+                slack = task.deadline - state.loads[r]
+                if slack <= 0:
+                    continue
+                seconds = min(
+                    slack,
+                    task.f_max / speeds[r],
+                    max(state.energy_left, 0.0) / powers[r],
+                )
+                if seconds > best_seconds:
+                    best_r, best_seconds = r, seconds
+                    break  # efficiency order: first machine with room wins
+            if best_r >= 0 and best_seconds > 0:
+                state.place(j, best_r, best_seconds)
+        return state.to_schedule()

@@ -1,0 +1,62 @@
+"""EDF-NoCompression baseline (paper Sec. 6, "Baselines").
+
+No compression is applied: a scheduled task always performs its full
+``f_j^max`` floating-point operations.  Tasks are taken Earliest Deadline
+First and placed on the machine with the least amount of work [29].
+"Scheduling is performed until the energy budget is reached, at which
+point no further tasks are scheduled."
+
+Placement details (the paper leaves them implicit):
+
+* a task whose full execution cannot meet its deadline on the
+  least-loaded machine is tried on the remaining machines in load order
+  and *skipped* if none fits — it still answers with a random guess, so
+  it scores ``a_min`` like every other method's unscheduled tasks;
+* a task whose full execution would exceed the remaining energy budget
+  stops the scheduling loop (per the paper's wording), leaving all later
+  tasks unscheduled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..algorithms.base import Scheduler
+from .edf import PlacementState
+
+__all__ = ["EDFNoCompressionScheduler"]
+
+
+class EDFNoCompressionScheduler(Scheduler):
+    """EDF + least-loaded placement, full processing only."""
+
+    name = "EDF-NOCOMPRESSION"
+
+    def solve(self, instance: ProblemInstance) -> Schedule:
+        state = PlacementState(instance)
+        speeds = instance.cluster.speeds
+        powers = instance.cluster.powers
+        for j, task in enumerate(instance.tasks):
+            budget_blocked = True
+            placed = False
+            for r in np.argsort(state.loads, kind="stable"):
+                seconds = task.f_max / speeds[r]
+                if state.loads[r] + seconds > task.deadline * (1.0 + 1e-12):
+                    budget_blocked = False  # deadline, not energy, is the issue here
+                    continue
+                if state.energy_used + seconds * powers[r] > instance.budget * (1.0 + 1e-12):
+                    continue
+                state.place(j, int(r), seconds)
+                placed = True
+                break
+            if placed:
+                continue
+            if budget_blocked:
+                # Every deadline-feasible machine was blocked by energy:
+                # the budget is reached, stop scheduling entirely.
+                break
+            # Otherwise the task just cannot meet its deadline uncompressed;
+            # skip it and keep going.
+        return state.to_schedule()

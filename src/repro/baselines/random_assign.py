@@ -1,0 +1,43 @@
+"""Random-assignment baseline (extra, not in the paper).
+
+A floor for sanity checks and ablations: each task is assigned to a
+uniformly random machine and granted the largest feasible continuous
+processing time there.  Any serious scheduler must beat it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..algorithms.base import Scheduler
+from ..utils.rng import SeedLike, ensure_rng
+from .edf import PlacementState
+
+__all__ = ["RandomAssignScheduler"]
+
+
+class RandomAssignScheduler(Scheduler):
+    """Uniform random machine per task, maximal feasible grant."""
+
+    name = "RANDOM-ASSIGN"
+
+    def __init__(self, seed: SeedLike = None):
+        self._rng = ensure_rng(seed)
+
+    def solve(self, instance: ProblemInstance) -> Schedule:
+        state = PlacementState(instance)
+        speeds = instance.cluster.speeds
+        powers = instance.cluster.powers
+        machines = self._rng.integers(0, instance.n_machines, size=instance.n_tasks)
+        for j, task in enumerate(instance.tasks):
+            r = int(machines[j])
+            seconds = min(
+                max(task.deadline - state.loads[r], 0.0),
+                task.f_max / speeds[r],
+                max(state.energy_left, 0.0) / powers[r],
+            )
+            if seconds > 0:
+                state.place(j, r, seconds)
+        return state.to_schedule()

@@ -1,0 +1,319 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``solve``
+    Generate a synthetic instance (paper parameterisation: n, m, β, ρ,
+    θ-range) and schedule it with any registered method; prints the
+    schedule summary, the simulator audit and optionally a Gantt chart.
+``compare``
+    Run several methods on the same instance and print one row each.
+``figures``
+    Regenerate paper tables/figures by name (or ``all``).
+``catalog``
+    Print the Fig. 1 GPU catalog and its efficiency/speed trend.
+``schedulers``
+    List registered scheduling methods.
+``validate``
+    Cross-check DSCT-EA-FR-OPT against the exact LP on random instances
+    (the library's own optimality audit; useful after modifications).
+``serve``
+    Run the local JSON-over-HTTP scheduling service (see repro.server).
+``report``
+    Regenerate the full reproduction report into one Markdown file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .algorithms.registry import available_schedulers, make_scheduler
+from .core.instance import ProblemInstance
+from .experiments import (
+    EnergyGainConfig,
+    Fig3Config,
+    Fig4Config,
+    Fig5Config,
+    Fig6Config,
+    Table1Config,
+    run_energy_gain,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4_machines,
+    run_fig4_tasks,
+    run_fig5,
+    run_fig6,
+    run_table1,
+)
+from .experiments.records import ResultTable
+from .hardware import sample_uniform_cluster
+from .simulator import ClusterSimulator, PowerModel
+from .workloads import TaskGenConfig, generate_tasks
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_instance(args: argparse.Namespace) -> ProblemInstance:
+    cluster = sample_uniform_cluster(args.machines, seed=args.seed)
+    config = TaskGenConfig(
+        n=args.tasks,
+        theta_range=(args.theta_min, args.theta_max),
+        rho=args.rho,
+    )
+    tasks = generate_tasks(config, cluster, seed=args.seed + 1 if args.seed is not None else None)
+    return ProblemInstance.with_beta(tasks, cluster, args.beta)
+
+
+def _add_instance_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tasks", "-n", type=int, default=50, help="number of tasks")
+    parser.add_argument("--machines", "-m", type=int, default=3, help="number of machines")
+    parser.add_argument("--beta", type=float, default=0.5, help="energy budget ratio β")
+    parser.add_argument("--rho", type=float, default=0.5, help="deadline tolerance ρ")
+    parser.add_argument("--theta-min", type=float, default=0.1, help="min task efficiency θ")
+    parser.add_argument("--theta-max", type=float, default=1.0, help="max task efficiency θ")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.load is not None:
+        import json
+
+        from .core.serialization import instance_from_dict
+
+        data = json.loads(Path(args.load).read_text())
+        # Accept either an instance document or a schedule document with
+        # an embedded instance (as written by `solve --save`).
+        if data.get("format") == "repro.schedule" and "instance" in data:
+            data = data["instance"]
+        instance = instance_from_dict(data)
+    else:
+        instance = _make_instance(args)
+    scheduler = make_scheduler(args.scheduler)
+    result = scheduler.solve_with_info(instance)
+    schedule = result.schedule
+    report = ClusterSimulator(
+        instance,
+        power_model=PowerModel(instance.cluster, idle_fraction=args.idle_fraction, account_idle=args.idle_fraction > 0),
+    ).run(schedule)
+    print(f"instance: {instance}")
+    print(f"method:   {scheduler.name}" + (f"  ({result.info.runtime_seconds:.4f}s)" if result.info.runtime_seconds else ""))
+    print(report.summary())
+    audit = schedule.feasibility()
+    print(f"model feasibility: {audit.summary()}")
+    if args.gantt:
+        print(report.trace.gantt())
+    if args.analyze:
+        from .core.analysis import format_analysis
+
+        print(format_analysis(schedule))
+    if args.save is not None:
+        from .core.serialization import save_schedule
+
+        save_schedule(schedule, args.save)
+        print(f"schedule saved to {args.save}")
+    return 0 if audit.feasible else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    instance = _make_instance(args)
+    table = ResultTable(
+        title=f"method comparison on {instance}",
+        columns=["method", "mean_accuracy", "energy_J", "budget_used_pct", "runtime_s"],
+    )
+    for name in args.schedulers:
+        scheduler = make_scheduler(name)
+        result = scheduler.solve_with_info(instance)
+        sched = result.schedule
+        table.add_row(
+            scheduler.name,
+            sched.mean_accuracy,
+            sched.total_energy,
+            100.0 * sched.total_energy / instance.budget if instance.budget else 0.0,
+            result.info.runtime_seconds or 0.0,
+        )
+    print(table.format())
+    return 0
+
+
+_FIGURE_RUNNERS = {
+    "fig1": lambda scale: run_fig1(),
+    "fig2": lambda scale: run_fig2(),
+    "fig3": lambda scale: run_fig3(
+        Fig3Config() if scale == "paper" else Fig3Config(mu_values=(5.0, 10.0, 20.0), repetitions=5, n=40, m=3)
+    ),
+    "fig4a": lambda scale: run_fig4_tasks(
+        Fig4Config() if scale == "paper" else Fig4Config(task_counts=(10, 20, 30), repetitions=1, time_limit=10.0, fixed_m=3)
+    ),
+    "fig4b": lambda scale: run_fig4_machines(
+        Fig4Config() if scale == "paper" else Fig4Config(machine_counts=(2, 4), fixed_n=20, repetitions=1, time_limit=10.0)
+    ),
+    "table1": lambda scale: run_table1(
+        Table1Config() if scale == "paper" else Table1Config(task_counts=(100, 200), repetitions=1)
+    ),
+    "fig5": lambda scale: run_fig5(Fig5Config() if scale == "paper" else Fig5Config(n=40, repetitions=2)),
+    "gain": lambda scale: run_energy_gain(
+        EnergyGainConfig() if scale == "paper" else EnergyGainConfig(n=40, repetitions=2)
+    ),
+    "fig6a": lambda scale: run_fig6("uniform", Fig6Config() if scale == "paper" else Fig6Config(n=40, repetitions=2)),
+    "fig6b": lambda scale: run_fig6("earliest", Fig6Config() if scale == "paper" else Fig6Config(n=40, repetitions=2)),
+}
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    names = list(_FIGURE_RUNNERS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in _FIGURE_RUNNERS]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; known: {', '.join(_FIGURE_RUNNERS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        table = _FIGURE_RUNNERS[name](args.scale)
+        print(table.format())
+        print()
+        if args.out:
+            args.out.mkdir(parents=True, exist_ok=True)
+            table.to_csv(args.out / f"{name}.csv")
+    return 0
+
+
+def _cmd_catalog(_args: argparse.Namespace) -> int:
+    print(run_fig1().format())
+    return 0
+
+
+def _cmd_schedulers(_args: argparse.Namespace) -> int:
+    for name in available_schedulers():
+        print(name)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import ReportConfig, write_report
+
+    path = write_report(
+        args.out,
+        ReportConfig(scale=args.scale),
+        progress=lambda label: print(f"  running {label} ..."),
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import serve
+
+    serve(args.host, args.port)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Audit FR-OPT against the exact LP on random instances."""
+    import numpy as np
+
+    from .algorithms.fractional import solve_fractional
+    from .exact.lp import solve_lp_relaxation
+    from .workloads import TaskGenConfig, generate_tasks
+
+    rng = np.random.default_rng(args.seed)
+    worst = 0.0
+    failures = 0
+    for i in range(args.instances):
+        n = int(rng.integers(2, args.max_tasks + 1))
+        m = int(rng.integers(1, args.max_machines + 1))
+        beta = float(rng.uniform(0.05, 1.2))
+        rho = float(rng.uniform(0.1, 1.8))
+        cluster = sample_uniform_cluster(m, seed=int(rng.integers(1 << 31)))
+        tasks = generate_tasks(
+            TaskGenConfig(n=n, theta_range=(0.1, 2.0), rho=rho),
+            cluster,
+            seed=int(rng.integers(1 << 31)),
+        )
+        instance = ProblemInstance.with_beta(tasks, cluster, beta)
+        frac, _ = solve_fractional(instance, thorough=args.thorough)
+        _, lp_obj = solve_lp_relaxation(instance)
+        rel = (lp_obj - frac.total_accuracy) / max(lp_obj, 1e-12)
+        worst = max(worst, rel)
+        if rel > args.tolerance:
+            failures += 1
+            print(f"  instance {i}: n={n} m={m} beta={beta:.2f} rho={rho:.2f} rel gap {rel:.2e}")
+    print(
+        f"validated {args.instances} instances: worst relative gap {worst:.2e}, "
+        f"{failures} beyond tolerance {args.tolerance:.0e}"
+    )
+    return 0 if failures == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DSCT-EA: energy-aware scheduling of compressible ML inference tasks (ICPP'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="schedule one synthetic instance")
+    _add_instance_args(p_solve)
+    p_solve.add_argument("--scheduler", default="approx", help="method name (see `schedulers`)")
+    p_solve.add_argument("--idle-fraction", type=float, default=0.0, help="idle power fraction for the simulator")
+    p_solve.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p_solve.add_argument("--analyze", action="store_true", help="print compression/energy analytics")
+    p_solve.add_argument("--save", type=Path, default=None, help="save the schedule (with instance) as JSON")
+    p_solve.add_argument("--load", type=Path, default=None, help="load the instance from a JSON file instead of generating")
+    p_solve.set_defaults(fn=_cmd_solve)
+
+    p_cmp = sub.add_parser("compare", help="compare methods on one instance")
+    _add_instance_args(p_cmp)
+    p_cmp.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=["fractional", "approx", "edf-3levels", "edf-nocompression"],
+        help="method names to compare",
+    )
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
+    p_fig.add_argument("names", nargs="+", help=f"figure names or 'all' ({', '.join(_FIGURE_RUNNERS)})")
+    p_fig.add_argument("--scale", choices=("default", "paper"), default="default")
+    p_fig.add_argument("--out", type=Path, default=None, help="CSV output directory")
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    p_cat = sub.add_parser("catalog", help="print the GPU catalog (Fig. 1)")
+    p_cat.set_defaults(fn=_cmd_catalog)
+
+    p_sch = sub.add_parser("schedulers", help="list registered methods")
+    p_sch.set_defaults(fn=_cmd_schedulers)
+
+    p_val = sub.add_parser("validate", help="audit FR-OPT vs the exact LP on random instances")
+    p_val.add_argument("--instances", type=int, default=50)
+    p_val.add_argument("--max-tasks", type=int, default=12)
+    p_val.add_argument("--max-machines", type=int, default=5)
+    p_val.add_argument("--tolerance", type=float, default=2e-3)
+    p_val.add_argument("--thorough", action="store_true", help="use the exhaustive profile polish")
+    p_val.add_argument("--seed", type=int, default=0)
+    p_val.set_defaults(fn=_cmd_validate)
+
+    p_rep = sub.add_parser("report", help="write the full reproduction report (Markdown)")
+    p_rep.add_argument("--out", type=Path, default=Path("reproduction_report.md"))
+    p_rep.add_argument("--scale", choices=("smoke", "default", "paper"), default="default")
+    p_rep.set_defaults(fn=_cmd_report)
+
+    p_srv = sub.add_parser("serve", help="run the local HTTP scheduling service")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8080)
+    p_srv.set_defaults(fn=_cmd_serve)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.fn(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

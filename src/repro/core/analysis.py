@@ -1,0 +1,92 @@
+"""Schedule analytics: what did the optimiser actually decide?
+
+:func:`describe` turns a schedule into the quantities an operator asks
+about — per-task compression ratios, accuracy left on the table, the
+energy/work split across machines, and budget utilisation — and renders
+them as text (used by the CLI and the examples).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils import units
+from .schedule import Schedule
+
+__all__ = ["ScheduleAnalysis", "describe"]
+
+
+@dataclass(frozen=True)
+class ScheduleAnalysis:
+    """Derived analytics of one schedule."""
+
+    compression_ratios: np.ndarray  # f_j / f_j^max per task
+    accuracy_headroom: np.ndarray  # a_j^max − a_j(f_j) per task
+    unscheduled_tasks: tuple[int, ...]
+    fully_processed_tasks: tuple[int, ...]
+    machine_work_share: np.ndarray  # fraction of total FLOP per machine
+    machine_energy_share: np.ndarray  # fraction of total J per machine
+    budget_utilisation: float  # energy / budget (nan if unbudgeted)
+
+    @property
+    def mean_compression(self) -> float:
+        """Average fraction of full work granted (1 = no compression)."""
+        return float(self.compression_ratios.mean())
+
+    @property
+    def mean_headroom(self) -> float:
+        return float(self.accuracy_headroom.mean())
+
+
+def describe(schedule: Schedule) -> ScheduleAnalysis:
+    """Compute analytics for a schedule."""
+    inst = schedule.instance
+    flops = schedule.task_flops
+    caps = inst.tasks.f_max
+    ratios = np.clip(flops / caps, 0.0, 1.0)
+    accs = schedule.task_accuracies
+    headroom = np.array([t.a_max for t in inst.tasks]) - accs
+
+    work_per_machine = (schedule.times * inst.cluster.speeds[None, :]).sum(axis=0)
+    total_work = float(work_per_machine.sum())
+    energy_per_machine = schedule.machine_energy
+    total_energy = float(energy_per_machine.sum())
+
+    return ScheduleAnalysis(
+        compression_ratios=ratios,
+        accuracy_headroom=headroom,
+        unscheduled_tasks=tuple(int(j) for j in np.nonzero(flops <= 0.0)[0]),
+        fully_processed_tasks=tuple(int(j) for j in np.nonzero(ratios >= 1.0 - 1e-9)[0]),
+        machine_work_share=work_per_machine / total_work if total_work > 0 else np.zeros_like(work_per_machine),
+        machine_energy_share=energy_per_machine / total_energy if total_energy > 0 else np.zeros_like(energy_per_machine),
+        budget_utilisation=(
+            schedule.total_energy / inst.budget
+            if math.isfinite(inst.budget) and inst.budget > 0
+            else float("nan")
+        ),
+    )
+
+
+def format_analysis(schedule: Schedule) -> str:
+    """Human-readable analytics block (used by ``repro solve --analyze``)."""
+    a = describe(schedule)
+    inst = schedule.instance
+    lines = [
+        "schedule analysis",
+        "-----------------",
+        f"mean compression:   {a.mean_compression:.1%} of full work "
+        f"({len(a.fully_processed_tasks)} task(s) uncompressed, "
+        f"{len(a.unscheduled_tasks)} unscheduled)",
+        f"accuracy headroom:  {a.mean_headroom:.4f} below a_max on average",
+        f"work share:         {np.array2string(a.machine_work_share, precision=2)}",
+        f"energy share:       {np.array2string(a.machine_energy_share, precision=2)}",
+    ]
+    if not math.isnan(a.budget_utilisation):
+        lines.append(f"budget utilisation: {a.budget_utilisation:.1%}")
+    worst = np.argsort(-a.accuracy_headroom)[:3]
+    parts = [f"task {int(j)} (−{a.accuracy_headroom[int(j)]:.3f})" for j in worst]
+    lines.append(f"most compressed:    {', '.join(parts)}")
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Machines: heterogeneous servers characterised by speed and efficiency.
+
+Paper Sec. 3: each machine ``r`` has a speed ``s_r`` (FLOP/s), a power
+consumption ``P_r`` (W) and an energy efficiency ``E_r = s_r / P_r``
+(FLOP/J).  Machines are conventionally indexed by *non-decreasing energy
+efficiency* (``r < r'`` iff ``E_r < E_r'``); :class:`Cluster` exposes both
+the user order and the canonical efficiency order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..utils import units
+from ..utils.errors import ValidationError
+from ..utils.validation import check_positive, require
+
+__all__ = ["Machine", "Cluster"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One server.
+
+    Attributes
+    ----------
+    speed:
+        Processing speed ``s_r`` in FLOP/s.
+    efficiency:
+        Energy efficiency ``E_r`` in FLOP/J.
+    name:
+        Optional human-readable label (e.g. a GPU model).
+    idle_power:
+        Power drawn while idle (W).  The paper's model only charges busy
+        time (Eq. 1f); the simulator can additionally account for idle
+        power in its energy audit.  Defaults to 0 (paper model).
+    """
+
+    speed: float
+    efficiency: float
+    name: Optional[str] = None
+    idle_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.speed, "speed")
+        check_positive(self.efficiency, "efficiency")
+        if self.idle_power < 0:
+            raise ValidationError(f"idle_power must be >= 0, got {self.idle_power}")
+
+    @classmethod
+    def from_tflops(
+        cls,
+        speed_tflops: float,
+        efficiency_gflops_per_watt: float,
+        name: Optional[str] = None,
+        idle_power: float = 0.0,
+    ) -> "Machine":
+        """Build from the paper's units (TFLOPS, GFLOPS/W)."""
+        return cls(
+            speed=units.tflops(speed_tflops),
+            efficiency=units.gflops_per_watt(efficiency_gflops_per_watt),
+            name=name,
+            idle_power=idle_power,
+        )
+
+    @property
+    def power(self) -> float:
+        """Busy power draw ``P_r = s_r / E_r`` in Watts."""
+        return self.speed / self.efficiency
+
+    def energy_for_time(self, seconds: float) -> float:
+        """Energy (J) consumed by ``seconds`` of busy time."""
+        return seconds * self.power
+
+    def energy_for_work(self, flops: float) -> float:
+        """Energy (J) consumed to execute ``flops`` FLOP."""
+        return flops / self.efficiency
+
+    def time_for_work(self, flops: float) -> float:
+        """Seconds needed to execute ``flops`` FLOP."""
+        return flops / self.speed
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Machine({units.as_tflops(self.speed):.3g} TFLOPS, "
+            f"{units.as_gflops_per_watt(self.efficiency):.3g} GFLOPS/W{label})"
+        )
+
+
+class Cluster:
+    """An ordered collection of machines with vectorised attribute access."""
+
+    def __init__(self, machines: Sequence[Machine]):
+        machines = list(machines)
+        require(len(machines) >= 1, "a cluster needs at least one machine")
+        self._machines = tuple(machines)
+        self._speeds = np.array([m.speed for m in machines], dtype=float)
+        self._efficiencies = np.array([m.efficiency for m in machines], dtype=float)
+
+    @classmethod
+    def from_tflops(
+        cls,
+        speeds_tflops: Iterable[float],
+        efficiencies_gflops_per_watt: Iterable[float],
+    ) -> "Cluster":
+        """Build a cluster from parallel lists in the paper's units."""
+        speeds = list(speeds_tflops)
+        effs = list(efficiencies_gflops_per_watt)
+        if len(speeds) != len(effs):
+            raise ValidationError("speeds and efficiencies must have equal length")
+        return cls([Machine.from_tflops(s, e) for s, e in zip(speeds, effs)])
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self._machines)
+
+    def __getitem__(self, index: int) -> Machine:
+        return self._machines[index]
+
+    @property
+    def machines(self) -> tuple[Machine, ...]:
+        return self._machines
+
+    # -- vector views ---------------------------------------------------------
+
+    @property
+    def speeds(self) -> np.ndarray:
+        """``s_r`` vector (FLOP/s), read-only."""
+        v = self._speeds.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def efficiencies(self) -> np.ndarray:
+        """``E_r`` vector (FLOP/J), read-only."""
+        v = self._efficiencies.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def powers(self) -> np.ndarray:
+        """``P_r = s_r / E_r`` vector (W)."""
+        return self._speeds / self._efficiencies
+
+    @property
+    def total_speed(self) -> float:
+        """``Σ_r s_r`` (FLOP/s)."""
+        return float(self._speeds.sum())
+
+    @property
+    def total_power(self) -> float:
+        """``Σ_r P_r`` (W)."""
+        return float(self.powers.sum())
+
+    def efficiency_order(self, descending: bool = True) -> np.ndarray:
+        """Machine indices sorted by energy efficiency.
+
+        ``descending=True`` (default) gives the order used by Algorithm 2
+        (most efficient first); ties broken by original index for
+        determinism.
+        """
+        keys = -self._efficiencies if descending else self._efficiencies
+        return np.argsort(keys, kind="stable")
+
+    def __repr__(self) -> str:
+        return f"Cluster(m={len(self)}, total_speed={units.as_tflops(self.total_speed):.3g} TFLOPS)"

@@ -1,0 +1,89 @@
+"""Energy profiles (paper Sec. 3.2, "The Energy Profiles").
+
+The *energy profile* ``p_r`` of machine ``r`` caps the busy time that may
+be scheduled on it; a profile vector is *budget-feasible* when
+``Σ_r p_r · P_r ≤ B``.  Algorithm 2 starts from the **naive profile**:
+machines taken in non-increasing energy-efficiency order are granted time
+up to ``d_max`` until the budget is exhausted.  Algorithm 3 then refines
+the profile when that greedy split is suboptimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.errors import ValidationError
+from .instance import ProblemInstance
+
+__all__ = ["EnergyProfile", "naive_profile"]
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """A per-machine busy-time allowance ``p = (p_1, ..., p_m)``."""
+
+    limits: np.ndarray  # seconds per machine
+
+    def __post_init__(self) -> None:
+        limits = np.asarray(self.limits, dtype=float)
+        if limits.ndim != 1:
+            raise ValidationError(f"profile must be a vector, got shape {limits.shape}")
+        if np.any(limits < 0):
+            raise ValidationError(f"profile limits must be >= 0, got {limits.tolist()}")
+        limits = limits.copy()
+        limits.setflags(write=False)
+        object.__setattr__(self, "limits", limits)
+
+    def __len__(self) -> int:
+        return int(self.limits.size)
+
+    def __getitem__(self, r: int) -> float:
+        return float(self.limits[r])
+
+    def energy(self, powers: np.ndarray) -> float:
+        """Energy (J) consumed if every machine runs up to its profile."""
+        powers = np.asarray(powers, dtype=float)
+        if powers.shape != self.limits.shape:
+            raise ValidationError("powers vector length must match profile length")
+        return float(self.limits @ powers)
+
+    def fits_budget(self, powers: np.ndarray, budget: float, *, tolerance: float = 1e-7) -> bool:
+        """Whether ``Σ_r p_r P_r ≤ B`` (with relative tolerance)."""
+        return self.energy(powers) <= budget + tolerance * max(budget, 1.0)
+
+    def admits(self, loads: np.ndarray, *, tolerance: float = 1e-7) -> bool:
+        """Whether per-machine loads (s) stay within the profile."""
+        loads = np.asarray(loads, dtype=float)
+        slack = tolerance * np.maximum(self.limits, 1.0)
+        return bool(np.all(loads <= self.limits + slack))
+
+    def __repr__(self) -> str:
+        return f"EnergyProfile({np.array2string(self.limits, precision=4)})"
+
+
+def naive_profile(instance: ProblemInstance, *, horizon: float | None = None) -> EnergyProfile:
+    """The naive energy profile (Algorithm 2, lines 1–5).
+
+    Machines sorted by non-increasing efficiency receive busy time
+    ``min(remaining_budget / P_r, horizon)``; ``horizon`` defaults to the
+    last deadline ``d_max`` (no task may run past it).  With an infinite
+    budget every machine gets the full horizon.
+    """
+    cluster = instance.cluster
+    if horizon is None:
+        horizon = instance.tasks.d_max
+    limits = np.zeros(len(cluster))
+    if np.isinf(instance.budget):
+        limits[:] = horizon
+        return EnergyProfile(limits)
+    remaining = instance.budget
+    powers = cluster.powers
+    for r in cluster.efficiency_order(descending=True):
+        if remaining <= 0:
+            break
+        grant = min(remaining / powers[r], horizon)
+        limits[r] = grant
+        remaining -= grant * powers[r]
+    return EnergyProfile(limits)

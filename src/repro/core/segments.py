@@ -1,0 +1,90 @@
+"""Mutable segment records driving Algorithms 1–3.
+
+The paper's pseudocode manipulates a ``listSegments`` structure whose
+entries know their *slope*, owning *task*, *position* within the task's
+accuracy function, *totalFlops*, and the *usedFlops* already granted by
+the scheduler.  :class:`SegmentState` is that record;
+:func:`build_segment_list` expands a task set into one flat list.
+
+Invariant maintained by the algorithms (and asserted in tests): within a
+task, segment ``k`` receives work only after segment ``k−1`` is full —
+automatic when processing segments in non-increasing slope order, since
+concavity makes earlier segments at least as steep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from ..utils.errors import ValidationError
+from .task import TaskSet
+
+__all__ = ["SegmentState", "build_segment_list", "order_by_slope", "task_used_flops"]
+
+
+@dataclass
+class SegmentState:
+    """One linear piece of one task's accuracy function, with progress."""
+
+    task_index: int
+    position: int
+    slope: float
+    total_flops: float
+    used_flops: float = 0.0
+
+    @property
+    def remaining_flops(self) -> float:
+        """FLOP still available in this segment (never negative)."""
+        return max(self.total_flops - self.used_flops, 0.0)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the segment is (numerically) fully used."""
+        return self.remaining_flops <= 1e-9 * max(self.total_flops, 1.0)
+
+    def use(self, flops: float) -> None:
+        """Consume ``flops`` from the segment (clamps tiny overshoot)."""
+        if flops < -1e-9 * max(self.total_flops, 1.0):
+            raise ValidationError(f"cannot use negative flops ({flops}) on a segment")
+        self.used_flops = min(self.used_flops + max(flops, 0.0), self.total_flops)
+
+    def release(self, flops: float) -> None:
+        """Return ``flops`` to the segment (clamps tiny undershoot)."""
+        if flops < -1e-9 * max(self.total_flops, 1.0):
+            raise ValidationError(f"cannot release negative flops ({flops})")
+        self.used_flops = max(self.used_flops - max(flops, 0.0), 0.0)
+
+
+def build_segment_list(tasks: TaskSet) -> List[SegmentState]:
+    """Expand every task's accuracy pieces into flat segment records."""
+    out: List[SegmentState] = []
+    for j, task in enumerate(tasks):
+        for seg in task.accuracy.segments():
+            out.append(
+                SegmentState(
+                    task_index=j,
+                    position=seg.position,
+                    slope=seg.slope,
+                    total_flops=seg.total_flops,
+                )
+            )
+    return out
+
+
+def order_by_slope(segments: Iterable[SegmentState]) -> List[SegmentState]:
+    """Sort by non-increasing slope (Algorithm 1 line 1).
+
+    Ties are broken by (task_index, position) so the schedule is
+    deterministic; within a task, concavity guarantees position order
+    coincides with slope order.
+    """
+    return sorted(segments, key=lambda s: (-s.slope, s.task_index, s.position))
+
+
+def task_used_flops(segments: Sequence[SegmentState], n_tasks: int) -> List[float]:
+    """Total FLOP granted to each task across its segments."""
+    totals = [0.0] * n_tasks
+    for seg in segments:
+        totals[seg.task_index] += seg.used_flops
+    return totals

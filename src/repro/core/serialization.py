@@ -1,0 +1,159 @@
+"""JSON (de)serialisation of the core data model.
+
+Instances and schedules round-trip through plain dicts / JSON files so
+that experiment inputs can be archived, shared, and replayed — a
+production necessity the in-memory model alone does not cover.
+
+The format is versioned; loaders reject unknown versions rather than
+guessing.  All quantities are stored in SI units (FLOP, s, J, W) exactly
+as held in memory, so round-trips are bit-faithful.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from ..utils.errors import ValidationError
+from .accuracy import PiecewiseLinearAccuracy
+from .instance import ProblemInstance
+from .machine import Cluster, Machine
+from .schedule import Schedule
+from .task import Task, TaskSet
+
+__all__ = [
+    "FORMAT_VERSION",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]
+
+FORMAT_VERSION = 1
+
+
+def _accuracy_to_dict(acc: PiecewiseLinearAccuracy) -> Dict[str, Any]:
+    return {
+        "breakpoints": acc.breakpoints.tolist(),
+        "accuracies": acc.breakpoint_accuracies.tolist(),
+    }
+
+
+def _accuracy_from_dict(data: Dict[str, Any]) -> PiecewiseLinearAccuracy:
+    return PiecewiseLinearAccuracy(data["breakpoints"], data["accuracies"])
+
+
+def instance_to_dict(instance: ProblemInstance) -> Dict[str, Any]:
+    """Serialise a problem instance to a JSON-ready dict."""
+    return {
+        "format": "repro.instance",
+        "version": FORMAT_VERSION,
+        "budget": instance.budget if math.isfinite(instance.budget) else "inf",
+        "machines": [
+            {
+                "speed": m.speed,
+                "efficiency": m.efficiency,
+                "name": m.name,
+                "idle_power": m.idle_power,
+            }
+            for m in instance.cluster
+        ],
+        "tasks": [
+            {
+                "deadline": t.deadline,
+                "name": t.name,
+                "accuracy": _accuracy_to_dict(t.accuracy),
+            }
+            for t in instance.tasks
+        ],
+    }
+
+
+def _check_header(data: Dict[str, Any], expected: str) -> None:
+    if not isinstance(data, dict) or data.get("format") != expected:
+        raise ValidationError(f"not a {expected} document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported {expected} version {data.get('version')!r} (expected {FORMAT_VERSION})"
+        )
+
+
+def instance_from_dict(data: Dict[str, Any]) -> ProblemInstance:
+    """Rebuild a problem instance from :func:`instance_to_dict` output."""
+    _check_header(data, "repro.instance")
+    cluster = Cluster(
+        [
+            Machine(
+                speed=m["speed"],
+                efficiency=m["efficiency"],
+                name=m.get("name"),
+                idle_power=m.get("idle_power", 0.0),
+            )
+            for m in data["machines"]
+        ]
+    )
+    tasks = TaskSet(
+        [
+            Task(
+                deadline=t["deadline"],
+                accuracy=_accuracy_from_dict(t["accuracy"]),
+                name=t.get("name"),
+            )
+            for t in data["tasks"]
+        ]
+    )
+    budget = data["budget"]
+    return ProblemInstance(tasks, cluster, math.inf if budget == "inf" else float(budget))
+
+
+def save_instance(instance: ProblemInstance, path: Union[str, Path]) -> None:
+    """Write an instance as JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: Union[str, Path]) -> ProblemInstance:
+    """Read an instance written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def schedule_to_dict(schedule: Schedule, *, embed_instance: bool = True) -> Dict[str, Any]:
+    """Serialise a schedule (optionally with its instance inline)."""
+    out: Dict[str, Any] = {
+        "format": "repro.schedule",
+        "version": FORMAT_VERSION,
+        "times": np.asarray(schedule.times).tolist(),
+    }
+    if embed_instance:
+        out["instance"] = instance_to_dict(schedule.instance)
+    return out
+
+
+def schedule_from_dict(
+    data: Dict[str, Any], instance: Union[ProblemInstance, None] = None
+) -> Schedule:
+    """Rebuild a schedule; the instance comes inline or as an argument."""
+    _check_header(data, "repro.schedule")
+    if instance is None:
+        if "instance" not in data:
+            raise ValidationError("schedule document has no embedded instance; pass one explicitly")
+        instance = instance_from_dict(data["instance"])
+    times = np.asarray(data["times"], dtype=float)
+    return Schedule(instance, times)
+
+
+def save_schedule(schedule: Schedule, path: Union[str, Path], *, embed_instance: bool = True) -> None:
+    """Write a schedule (and by default its instance) as JSON."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule, embed_instance=embed_instance), indent=2))
+
+
+def load_schedule(path: Union[str, Path], instance: Union[ProblemInstance, None] = None) -> Schedule:
+    """Read a schedule written by :func:`save_schedule`."""
+    return schedule_from_dict(json.loads(Path(path).read_text()), instance)

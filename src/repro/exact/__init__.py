@@ -1,0 +1,24 @@
+"""Exact mathematical-programming solvers (the paper's MOSEK comparators)."""
+
+from .discrete_mip import DiscreteLevelsMIPScheduler, solve_discrete_mip
+from .duals import KKTReport, KKTViolation, certify
+from .lp import LPFractionalScheduler, solve_lp_relaxation
+from .mip import MIPScheduler, solve_mip
+from .model import LinearModel, VariableLayout, build_mip, build_relaxation, extract_times
+
+__all__ = [
+    "DiscreteLevelsMIPScheduler",
+    "solve_discrete_mip",
+    "KKTReport",
+    "KKTViolation",
+    "certify",
+    "LPFractionalScheduler",
+    "solve_lp_relaxation",
+    "MIPScheduler",
+    "solve_mip",
+    "LinearModel",
+    "VariableLayout",
+    "build_mip",
+    "build_relaxation",
+    "extract_times",
+]

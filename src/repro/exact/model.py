@@ -1,0 +1,196 @@
+"""Shared matrix builders for the LP / MIP formulations.
+
+Variable layout (column order) for an instance with ``n`` tasks and ``m``
+machines:
+
+* ``t_jr`` — processing times, row-major: column ``j*m + r``  (n·m cols);
+* ``z_j``  — accuracy epigraph variables: column ``n·m + j``   (n cols);
+* ``x_jr`` — assignment binaries (MIP only): column
+  ``n·m + n + j*m + r`` (n·m cols).
+
+The objective is ``min Σ_j −z_j`` (equivalently Eq. (1a)/(3a): maximise
+total accuracy; the constant ``n`` offset of the accuracy-error form is
+dropped).  Constraint blocks follow Eqs. (3b)–(3e) plus, for the MIP,
+(1d)–(1e).  All inequality rows are returned as ``A x ≤ b``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+from scipy import sparse
+
+from ..core.instance import ProblemInstance
+
+__all__ = ["VariableLayout", "LinearModel", "build_relaxation", "build_mip", "extract_times"]
+
+
+@dataclass(frozen=True)
+class VariableLayout:
+    """Column indexing for the shared variable order."""
+
+    n: int
+    m: int
+    with_assignment: bool
+
+    @property
+    def n_t(self) -> int:
+        return self.n * self.m
+
+    @property
+    def n_z(self) -> int:
+        return self.n
+
+    @property
+    def n_x(self) -> int:
+        return self.n * self.m if self.with_assignment else 0
+
+    @property
+    def n_cols(self) -> int:
+        return self.n_t + self.n_z + self.n_x
+
+    def t(self, j: int, r: int) -> int:
+        """Column of ``t_jr``."""
+        return j * self.m + r
+
+    def z(self, j: int) -> int:
+        """Column of ``z_j``."""
+        return self.n_t + j
+
+    def x(self, j: int, r: int) -> int:
+        """Column of ``x_jr`` (MIP only)."""
+        assert self.with_assignment
+        return self.n_t + self.n_z + j * self.m + r
+
+
+@dataclass
+class LinearModel:
+    """A complete ``min c·x  s.t.  A_ub x ≤ b_ub, A_eq x = b_eq, lb ≤ x ≤ ub``."""
+
+    layout: VariableLayout
+    c: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: Optional[sparse.csr_matrix]
+    b_eq: Optional[np.ndarray]
+    lower: np.ndarray
+    upper: np.ndarray
+    integrality: np.ndarray  # 0 continuous, 1 integer (per column)
+
+
+class _RowBuilder:
+    """Accumulates sparse inequality rows in COO form."""
+
+    def __init__(self, n_cols: int):
+        self.n_cols = n_cols
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.vals: List[float] = []
+        self.rhs: List[float] = []
+
+    def add(self, cols: List[int], vals: List[float], rhs: float) -> None:
+        row = len(self.rhs)
+        self.rows.extend([row] * len(cols))
+        self.cols.extend(cols)
+        self.vals.extend(vals)
+        self.rhs.append(rhs)
+
+    def matrix(self) -> tuple[sparse.csr_matrix, np.ndarray]:
+        a = sparse.coo_matrix(
+            (self.vals, (self.rows, self.cols)), shape=(len(self.rhs), self.n_cols)
+        ).tocsr()
+        return a, np.asarray(self.rhs, dtype=float)
+
+
+def _common_rows(instance: ProblemInstance, layout: VariableLayout, builder: _RowBuilder) -> None:
+    """Rows shared by LP and MIP: (3b) envelope, (3c) deadlines, (3d) caps, (3e) budget."""
+    tasks, cluster = instance.tasks, instance.cluster
+    n, m = layout.n, layout.m
+    speeds = cluster.speeds
+    powers = cluster.powers
+    deadlines = tasks.deadlines
+
+    # (3b) accuracy epigraph: z_j − α_jk Σ_r s_r t_jr ≤ b_jk per segment.
+    for j, task in enumerate(tasks):
+        acc = task.accuracy
+        bp, vals_at_bp, slopes = acc.breakpoints, acc.breakpoint_accuracies, acc.slopes
+        for k in range(acc.n_segments):
+            alpha = float(slopes[k])
+            intercept = float(vals_at_bp[k] - alpha * bp[k])
+            cols = [layout.t(j, r) for r in range(m)] + [layout.z(j)]
+            coeffs = [-alpha * float(speeds[r]) for r in range(m)] + [1.0]
+            builder.add(cols, coeffs, intercept)
+
+    # (3c) prefix deadlines: Σ_{i≤j} t_ir ≤ d_j for every machine.
+    for r in range(m):
+        for j in range(n):
+            cols = [layout.t(i, r) for i in range(j + 1)]
+            builder.add(cols, [1.0] * (j + 1), float(deadlines[j]))
+
+    # (3d) work caps, scaled to O(1) coefficients: Σ_r (s_r / f_max) t_jr ≤ 1.
+    for j in range(n):
+        cap = float(tasks.f_max[j])
+        cols = [layout.t(j, r) for r in range(m)]
+        builder.add(cols, [float(speeds[r]) / cap for r in range(m)], 1.0)
+
+    # (3e) energy budget, scaled by B: Σ_{j,r} (P_r / B) t_jr ≤ 1.
+    if math.isfinite(instance.budget):
+        scale = instance.budget if instance.budget > 0 else 1.0
+        cols = [layout.t(j, r) for j in range(n) for r in range(m)]
+        coeffs = [float(powers[r]) / scale for _j in range(n) for r in range(m)]
+        builder.add(cols, coeffs, 1.0 if instance.budget > 0 else 0.0)
+
+
+def build_relaxation(instance: ProblemInstance) -> LinearModel:
+    """The LP of DSCT-EA-FR (Eqs. (3a)–(3f))."""
+    layout = VariableLayout(instance.n_tasks, instance.n_machines, with_assignment=False)
+    builder = _RowBuilder(layout.n_cols)
+    _common_rows(instance, layout, builder)
+    a_ub, b_ub = builder.matrix()
+
+    c = np.zeros(layout.n_cols)
+    c[layout.n_t :] = -1.0
+    lower = np.zeros(layout.n_cols)
+    upper = np.full(layout.n_cols, np.inf)
+    upper[layout.n_t :] = 1.0  # accuracies are fractions
+    integrality = np.zeros(layout.n_cols)
+    return LinearModel(layout, c, a_ub, b_ub, None, None, lower, upper, integrality)
+
+
+def build_mip(instance: ProblemInstance) -> LinearModel:
+    """The MIP of DSCT-EA (Eqs. (1a)–(1g), epigraph-linearised like the LP)."""
+    layout = VariableLayout(instance.n_tasks, instance.n_machines, with_assignment=True)
+    builder = _RowBuilder(layout.n_cols)
+    _common_rows(instance, layout, builder)
+
+    # (1d) linking: t_jr − d_j x_jr ≤ 0.
+    deadlines = instance.tasks.deadlines
+    for j in range(layout.n):
+        for r in range(layout.m):
+            builder.add([layout.t(j, r), layout.x(j, r)], [1.0, -float(deadlines[j])], 0.0)
+    a_ub, b_ub = builder.matrix()
+
+    # (1e) each task on exactly one machine.
+    eq = _RowBuilder(layout.n_cols)
+    for j in range(layout.n):
+        eq.add([layout.x(j, r) for r in range(layout.m)], [1.0] * layout.m, 1.0)
+    a_eq, b_eq = eq.matrix()
+
+    c = np.zeros(layout.n_cols)
+    c[layout.n_t : layout.n_t + layout.n_z] = -1.0
+    lower = np.zeros(layout.n_cols)
+    upper = np.full(layout.n_cols, np.inf)
+    upper[layout.n_t : layout.n_t + layout.n_z] = 1.0
+    upper[layout.n_t + layout.n_z :] = 1.0  # binaries
+    integrality = np.zeros(layout.n_cols)
+    integrality[layout.n_t + layout.n_z :] = 1.0
+    return LinearModel(layout, c, a_ub, b_ub, a_eq, b_eq, lower, upper, integrality)
+
+
+def extract_times(layout: VariableLayout, x: np.ndarray) -> np.ndarray:
+    """Recover the (n, m) ``t_jr`` matrix from a solver vector."""
+    t = np.asarray(x[: layout.n_t], dtype=float).reshape(layout.n, layout.m)
+    return np.clip(t, 0.0, None)

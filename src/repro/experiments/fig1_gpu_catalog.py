@@ -1,0 +1,30 @@
+"""Fig. 1 — energy efficiency vs speed for NVIDIA server GPUs.
+
+Regenerates the scatter (one row per GPU) plus the linear trend the
+paper highlights: "devices exhibit linear improvement in energy
+efficiency with the advancement of hardware speed".
+"""
+
+from __future__ import annotations
+
+from ..hardware.gpu_catalog import GPU_CATALOG, efficiency_speed_series, fit_efficiency_trend
+from .records import ResultTable
+
+__all__ = ["run_fig1"]
+
+
+def run_fig1() -> ResultTable:
+    """Build the Fig. 1 data table."""
+    speeds, effs, names = efficiency_speed_series()
+    slope, intercept = fit_efficiency_trend()
+    table = ResultTable(
+        title="Fig. 1 — GPU energy efficiency vs speed",
+        columns=["gpu", "year", "speed_tflops", "efficiency_gflops_per_watt"],
+    )
+    for spec, s, e in zip(GPU_CATALOG, speeds, effs):
+        table.add_row(spec.name, spec.year, float(s), float(e))
+    table.notes.append(
+        f"linear trend: efficiency ≈ {slope:.3f}·speed + {intercept:.2f} GFLOPS/W "
+        f"(positive slope = the paper's observation)"
+    )
+    return table

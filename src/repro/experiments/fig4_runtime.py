@@ -1,0 +1,105 @@
+"""Fig. 4 — execution time of DSCT-EA-APPROX vs the exact MIP solver.
+
+Paper setup: (a) n from 10 to 500 with m = 5; (b) m from 2 to 10 with
+n = 50; 10 instances per point, a 60 s solver time limit.  The solver
+(cvx-MOSEK there, HiGHS here) times out beyond small instances while
+DSCT-EA-APPROX handles hundreds of tasks — the *shape* we reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.approx import ApproxScheduler
+from ..exact.mip import solve_mip
+from ..utils.rng import SeedLike, spawn
+from ..utils.timing import time_call
+from ..workloads.scenarios import runtime_instance
+from .records import ResultTable
+
+__all__ = ["Fig4Config", "run_fig4_tasks", "run_fig4_machines"]
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Sweep parameters (paper defaults; shrink for smoke runs)."""
+
+    task_counts: Sequence[int] = (10, 30, 50, 100, 200, 300, 400, 500)
+    machine_counts: Sequence[int] = (2, 4, 6, 8, 10)
+    fixed_m: int = 5
+    fixed_n: int = 50
+    repetitions: int = 10
+    time_limit: float = 60.0
+    include_mip: bool = True
+    seed: SeedLike = 2024
+
+
+def _sweep(
+    sizes: Sequence[int],
+    make_instance,
+    config: Fig4Config,
+    title: str,
+    size_name: str,
+) -> ResultTable:
+    table = ResultTable(
+        title=title,
+        columns=[
+            size_name,
+            "approx_mean_s",
+            "mip_mean_s",
+            "mip_timeouts",
+            "approx_acc_mean",
+            "mip_acc_mean",
+        ],
+    )
+    approx = ApproxScheduler()
+    point_seeds = spawn(config.seed, len(sizes))
+    for size, point_seed in zip(sizes, point_seeds):
+        approx_times, mip_times, approx_accs, mip_accs = [], [], [], []
+        timeouts = 0
+        for rng in point_seed.spawn(config.repetitions):
+            instance = make_instance(size, rng)
+            schedule, elapsed = time_call(lambda: approx.solve(instance))
+            approx_times.append(elapsed)
+            approx_accs.append(schedule.total_accuracy)
+            if config.include_mip:
+                mip_schedule, info = solve_mip(instance, time_limit=config.time_limit)
+                mip_times.append(info.runtime_seconds)
+                mip_accs.append(mip_schedule.total_accuracy)
+                if info.status == "time_limit":
+                    timeouts += 1
+        table.add_row(
+            int(size),
+            float(np.mean(approx_times)),
+            float(np.mean(mip_times)) if mip_times else float("nan"),
+            timeouts,
+            float(np.mean(approx_accs)),
+            float(np.mean(mip_accs)) if mip_accs else float("nan"),
+        )
+    table.notes.append(f"MIP time limit: {config.time_limit:.0f}s (paper: 60s with cvx-MOSEK)")
+    return table
+
+
+def run_fig4_tasks(config: Fig4Config = Fig4Config()) -> ResultTable:
+    """Fig. 4a: runtime vs number of tasks (m fixed)."""
+    return _sweep(
+        config.task_counts,
+        lambda n, rng: runtime_instance(int(n), config.fixed_m, seed=rng),
+        config,
+        f"Fig. 4a — runtime vs n (m = {config.fixed_m})",
+        "n_tasks",
+    )
+
+
+def run_fig4_machines(config: Fig4Config = Fig4Config()) -> ResultTable:
+    """Fig. 4b: runtime vs number of machines (n fixed)."""
+    return _sweep(
+        config.machine_counts,
+        lambda m, rng: runtime_instance(config.fixed_n, int(m), seed=rng),
+        config,
+        f"Fig. 4b — runtime vs m (n = {config.fixed_n})",
+        "n_machines",
+    )

@@ -1,0 +1,70 @@
+"""Fig. 5 — average accuracy vs energy budget ratio β, four methods.
+
+Paper setup: n = 100 uniform tasks (θ = 0.1), m = 2 machines, ρ = 1.0,
+β from 0.1 to 1.0.  Expected shape: DSCT-EA-APPROX hugs DSCT-EA-UB and
+clearly beats EDF-3CompressionLevels, which beats EDF-NoCompression;
+everything converges to a_max at β = 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..algorithms.approx import ApproxScheduler
+from ..algorithms.fractional import FractionalScheduler
+from ..baselines.discrete_levels import EDFDiscreteLevelsScheduler
+from ..baselines.no_compression import EDFNoCompressionScheduler
+from ..utils.rng import SeedLike, spawn
+from ..workloads.scenarios import budget_sweep_instance
+from .records import ResultTable
+from .runner import evaluate_schedulers
+
+__all__ = ["Fig5Config", "run_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    """Sweep parameters (paper defaults; shrink for smoke runs)."""
+
+    betas: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+    n: int = 100
+    m: int = 2
+    rho: float = 1.0
+    theta: float = 0.1
+    repetitions: int = 10
+    seed: SeedLike = 2024
+
+
+def run_fig5(config: Fig5Config = Fig5Config()) -> ResultTable:
+    """Run the budget sweep; one row per β with all four methods."""
+    schedulers = [
+        FractionalScheduler(),  # DSCT-EA-UB
+        ApproxScheduler(),
+        EDFDiscreteLevelsScheduler(),
+        EDFNoCompressionScheduler(),
+    ]
+    table = ResultTable(
+        title="Fig. 5 — average accuracy vs energy budget ratio β",
+        columns=["beta", "DSCT-EA-UB", "DSCT-EA-APPROX", "EDF-3COMPRESSIONLEVELS", "EDF-NOCOMPRESSION"],
+    )
+    point_seeds = spawn(config.seed, len(config.betas))
+    for beta, point_seed in zip(config.betas, point_seeds):
+        accs = {s.name: [] for s in schedulers}
+        for rng in point_seed.spawn(config.repetitions):
+            instance = budget_sweep_instance(
+                float(beta), n=config.n, m=config.m, rho=config.rho, theta=config.theta, seed=rng
+            )
+            for name, schedule in evaluate_schedulers(instance, schedulers).items():
+                accs[name].append(schedule.mean_accuracy)
+        table.add_row(
+            float(beta),
+            float(np.mean(accs["DSCT-EA-FR-OPT"])),
+            float(np.mean(accs["DSCT-EA-APPROX"])),
+            float(np.mean(accs["EDF-3COMPRESSIONLEVELS"])),
+            float(np.mean(accs["EDF-NOCOMPRESSION"])),
+        )
+    table.notes.append("DSCT-EA-UB = DSCT-EA-FR-OPT (fractional optimum, upper-bounds every method)")
+    return table

@@ -1,0 +1,65 @@
+"""Process-parallel experiment execution.
+
+Sweeps at paper scale are embarrassingly parallel across grid points;
+this module runs them on a process pool (the scientific-Python guidance
+for CPU-bound NumPy workloads: processes, not threads, because the
+solvers hold the GIL in Python-level loops).
+
+Constraints worth knowing:
+
+* the work function must be **importable** (module-level) so it pickles
+  — closures and lambdas are rejected up front with a clear error;
+* every item carries its own seed; child generators are derived in the
+  parent from a single root so results are identical to a serial run;
+* ``n_jobs=1`` short-circuits to a serial loop (simpler debugging, no
+  pool overhead), which is also the fallback when the platform cannot
+  spawn processes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+from ..utils.errors import ValidationError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import require
+
+__all__ = ["parallel_map", "seeded_items"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def seeded_items(items: Sequence[T], seed: SeedLike = None) -> List[tuple[T, int]]:
+    """Pair each item with an independent integer seed (parent-derived)."""
+    rng = ensure_rng(seed)
+    return [(item, int(s)) for item, s in zip(items, rng.integers(0, 2**63 - 1, size=len(items)))]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    n_jobs: int = 1,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``items`` on a process pool, preserving order.
+
+    ``fn`` and every item must be picklable; ``n_jobs=1`` runs serially.
+    """
+    require(n_jobs >= 1, "n_jobs must be >= 1")
+    require(chunksize >= 1, "chunksize must be >= 1")
+    items = list(items)
+    if n_jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:  # noqa: BLE001 — any pickling failure is the same advice
+        raise ValidationError(
+            "parallel_map requires a module-level (picklable) function; "
+            f"got {fn!r} ({exc}).  Define the worker at module scope or use n_jobs=1."
+        ) from None
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

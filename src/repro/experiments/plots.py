@@ -1,0 +1,95 @@
+"""Dependency-free ASCII line plots for experiment tables.
+
+The benchmark harness prints tables; for a quick visual read of the
+figure *shapes* (Fig. 5's accuracy-vs-β curves, Fig. 6's profiles) the
+examples render them as terminal charts.  Pure text — no matplotlib
+available offline — but enough to eyeball monotonicity, gaps and
+crossovers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..utils.errors import ValidationError
+from .records import ResultTable
+
+__all__ = ["ascii_plot", "plot_table"]
+
+_MARKERS = "ox+*#%@&"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more y(x) series as an ASCII chart.
+
+    Each series gets a marker (legend below the chart); overlapping
+    points keep the first marker drawn.
+    """
+    x = np.asarray(list(x), dtype=float)
+    if x.size < 2:
+        raise ValidationError("need at least two x points to plot")
+    if not series:
+        raise ValidationError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ValidationError(f"at most {len(_MARKERS)} series supported")
+    ys = {}
+    for name, vals in series.items():
+        arr = np.asarray(list(vals), dtype=float)
+        if arr.shape != x.shape:
+            raise ValidationError(f"series {name!r} length {arr.size} != x length {x.size}")
+        ys[name] = arr
+
+    y_all = np.concatenate(list(ys.values()))
+    y_lo, y_hi = float(np.min(y_all)), float(np.max(y_all))
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, arr) in zip(_MARKERS, ys.items()):
+        for xi, yi in zip(x, arr):
+            col = int((xi - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yi - y_lo) / (y_hi - y_lo) * (height - 1))
+            row = height - 1 - row  # invert: top of grid = max y
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:.3g}"
+        elif i == height - 1:
+            label = f"{y_lo:.3g}"
+        else:
+            label = ""
+        lines.append(f"{label:>9s} |{''.join(row)}|")
+    lines.append(f"{'':>9s} +{'-' * width}+")
+    lines.append(f"{'':>9s}  {x_lo:<.3g}{' ' * max(width - 12, 1)}{x_hi:>.3g}")
+    lines.append(f"{'':>9s}  {x_label} →   ({y_label} ↑)")
+    legend = "   ".join(f"{marker}={name}" for marker, name in zip(_MARKERS, ys))
+    lines.append(f"{'':>9s}  {legend}")
+    return "\n".join(lines)
+
+
+def plot_table(
+    table: ResultTable,
+    x_column: str,
+    y_columns: Sequence[str],
+    *,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Plot selected columns of a :class:`ResultTable` against one x column."""
+    x = [float(v) for v in table.column(x_column)]
+    series = {name: [float(v) for v in table.column(name)] for name in y_columns}
+    return ascii_plot(x, series, width=width, height=height, x_label=x_column, y_label="value")

@@ -1,0 +1,98 @@
+"""Tabular result records shared by all experiment drivers.
+
+Every driver returns a :class:`ResultTable` — ordered columns, float/str
+cells — that can be pretty-printed (benchmarks print the same rows/series
+the paper reports) or exported to CSV/JSON for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from ..utils.errors import ValidationError
+
+__all__ = ["ResultTable"]
+
+Cell = Union[float, int, str, bool]
+
+
+@dataclass
+class ResultTable:
+    """An ordered little data frame (no pandas dependency)."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValidationError(
+                f"row has {len(cells)} cells but table {self.title!r} has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[Cell]:
+        """All values of one column."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ValidationError(f"no column {name!r} in {self.columns}") from None
+        return [row[idx] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Cell]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    # -- rendering -----------------------------------------------------------
+
+    @staticmethod
+    def _fmt(cell: Cell) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            magnitude = abs(cell)
+            if magnitude >= 1e4 or magnitude < 1e-3:
+                return f"{cell:.3e}"
+            return f"{cell:.4f}".rstrip("0").rstrip(".")
+        return str(cell)
+
+    def format(self) -> str:
+        """Fixed-width text rendering."""
+        header = [self.columns]
+        body = [[self._fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in header + body) for i in range(len(self.columns))]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    # -- export --------------------------------------------------------------
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        payload: Dict[str, Any] = {
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,75 @@
+"""Shared experiment plumbing: seeded repetition and aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..algorithms.base import Scheduler
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..utils.errors import ValidationError
+from ..utils.rng import SeedLike, spawn
+
+__all__ = ["Aggregate", "aggregate", "repeat", "evaluate_schedulers"]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean/min/max summary of one metric over repetitions."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Aggregate":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValidationError("cannot aggregate zero values")
+        return cls(float(arr.mean()), float(arr.min()), float(arr.max()), int(arr.size))
+
+
+def aggregate(values: Sequence[float]) -> Aggregate:
+    """Shorthand for :meth:`Aggregate.of`."""
+    return Aggregate.of(values)
+
+
+def repeat(
+    fn: Callable[[np.random.Generator], float],
+    repetitions: int,
+    seed: SeedLike = None,
+) -> Aggregate:
+    """Run ``fn`` once per child generator and aggregate the results.
+
+    Each repetition gets an independent child stream of ``seed``, so
+    results are reproducible and adding repetitions never disturbs
+    earlier ones.
+    """
+    if repetitions < 1:
+        raise ValidationError(f"repetitions must be >= 1, got {repetitions}")
+    streams = spawn(seed, repetitions)
+    return Aggregate.of([fn(rng) for rng in streams])
+
+
+def evaluate_schedulers(
+    instance: ProblemInstance,
+    schedulers: Sequence[Scheduler],
+    *,
+    check_feasible: bool = True,
+) -> Dict[str, Schedule]:
+    """Solve one instance with several methods; optionally audit each."""
+    out: Dict[str, Schedule] = {}
+    for scheduler in schedulers:
+        schedule = scheduler.solve(instance)
+        if check_feasible:
+            report = schedule.feasibility()
+            if not report.feasible:
+                raise ValidationError(
+                    f"{scheduler.name} produced an infeasible schedule:\n{report.summary()}"
+                )
+        out[scheduler.name] = schedule
+    return out

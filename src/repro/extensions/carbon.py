@@ -1,0 +1,134 @@
+"""Carbon accounting — the sustainability lens behind the paper's motivation.
+
+The introduction frames DSCT-EA as a tool for cutting the cloud's carbon
+footprint; this module closes the loop by converting Joules into grams
+of CO₂ under a (time-varying) grid carbon-intensity curve, and by
+scoring schedules/epoch plans in carbon terms.
+
+A :class:`CarbonIntensityCurve` is a step function over hours of day
+(g CO₂ per kWh, the unit grid operators publish).  Typical shapes are
+provided: a flat average grid and a "duck curve" grid that dips at
+midday solar peak — the combination under which carbon-aware scheduling
+differs most from energy-aware scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.schedule import Schedule
+from ..extensions.renewable import RenewableReport
+from ..utils.errors import ValidationError
+from ..utils.validation import check_nonnegative, require
+
+__all__ = [
+    "CarbonIntensityCurve",
+    "flat_grid",
+    "duck_curve_grid",
+    "schedule_carbon",
+    "report_carbon",
+    "JOULES_PER_KWH",
+]
+
+JOULES_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class CarbonIntensityCurve:
+    """Hourly step function of grid carbon intensity (g CO₂ / kWh).
+
+    ``values[h]`` applies to hour-of-day ``[h, h+1)``; any number of
+    steps ≥ 1 is allowed (they divide the day evenly).
+    """
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 1 or values.size < 1:
+            raise ValidationError("carbon curve needs a 1-D vector with >= 1 step")
+        if np.any(values < 0):
+            raise ValidationError("carbon intensity must be >= 0")
+        values = values.copy()
+        values.setflags(write=False)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.values.size)
+
+    def at_hour(self, hour: float) -> float:
+        """Intensity at an hour-of-day (wraps modulo 24)."""
+        step = int((hour % 24.0) / 24.0 * self.n_steps)
+        return float(self.values[min(step, self.n_steps - 1)])
+
+    def grams_for_energy(self, joules: float, hour: float) -> float:
+        """CO₂ (g) for ``joules`` consumed entirely within one step."""
+        check_nonnegative(joules, "joules")
+        return joules / JOULES_PER_KWH * self.at_hour(hour)
+
+    @property
+    def mean_intensity(self) -> float:
+        return float(self.values.mean())
+
+
+def flat_grid(intensity: float = 400.0) -> CarbonIntensityCurve:
+    """A constant-intensity grid (default ≈ world-average 2020s mix)."""
+    return CarbonIntensityCurve(np.full(24, float(intensity)))
+
+
+def duck_curve_grid(
+    *,
+    base: float = 450.0,
+    midday_dip: float = 150.0,
+    evening_peak: float = 550.0,
+) -> CarbonIntensityCurve:
+    """A solar-heavy grid: clean at midday, dirty in the evening ramp."""
+    hours = np.arange(24, dtype=float)
+    values = np.full(24, base)
+    values[10:16] = midday_dip
+    values[17:21] = evening_peak
+    return CarbonIntensityCurve(values)
+
+
+def schedule_carbon(schedule: Schedule, curve: CarbonIntensityCurve, *, hour: float = 12.0) -> float:
+    """CO₂ (g) of one schedule executed at a given hour of day.
+
+    Schedules span seconds, far below the curve's hourly resolution, so
+    a single step applies.
+    """
+    return curve.grams_for_energy(schedule.total_energy, hour)
+
+
+def report_carbon(
+    report: RenewableReport,
+    curve: CarbonIntensityCurve,
+    *,
+    grid_fraction: Sequence[float] | None = None,
+) -> float:
+    """CO₂ (g) of a day-long epoch plan.
+
+    Epoch ``e`` of ``E`` maps to hour-of-day ``24·e/E``.  With
+    ``grid_fraction`` (per-epoch share of the energy drawn from the grid
+    rather than local renewables; defaults to all-grid) only that share
+    emits.
+    """
+    n = len(report.epochs)
+    if n == 0:
+        return 0.0
+    if grid_fraction is None:
+        fractions = np.ones(n)
+    else:
+        fractions = np.asarray(list(grid_fraction), dtype=float)
+        if fractions.shape != (n,):
+            raise ValidationError(f"grid_fraction must have length {n}")
+        if np.any((fractions < 0) | (fractions > 1)):
+            raise ValidationError("grid_fraction entries must lie in [0, 1]")
+    total = 0.0
+    for epoch, frac in zip(report.epochs, fractions):
+        hour = 24.0 * epoch.epoch / n
+        total += curve.grams_for_energy(epoch.energy_used * float(frac), hour)
+    return total

@@ -1,0 +1,165 @@
+"""Communication-energy extension — the paper's second future-work item.
+
+§7: "we intend to consider in the problem model the energy consumption
+resulted from communication of devices."  The natural first model: each
+task must ship its input data to the machine that executes it, costing a
+fixed per-assignment energy ``c_jr = input_bytes_j · joules_per_byte_r``
+(independent of the compression level — the input images always travel).
+
+This changes the budget constraint to
+``Σ_{j,r} P_r t_jr + Σ_j c_{j,σ(j)} ≤ B`` where σ is the assignment.
+The compute part stays the DSCT-EA structure, so we solve it by fixed
+point: schedule with a budget reduced by the previous iteration's
+communication bill until the assignment (hence the bill) stabilises —
+with a conservative fallback that always terminates feasibly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.approx import ApproxScheduler
+from ..algorithms.base import Scheduler, SolveInfo, SolveResult
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..utils.errors import ValidationError
+from ..utils.validation import require
+
+__all__ = ["CommunicationModel", "communication_energy", "CommAwareScheduler"]
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Per-task input sizes and per-machine transfer costs.
+
+    Attributes
+    ----------
+    input_bytes:
+        Bytes each task must receive before executing (length n).
+    joules_per_byte:
+        Energy cost of delivering one byte to each machine (length m) —
+        heterogeneous NICs/fabric per the paper's motivation.
+    """
+
+    input_bytes: np.ndarray
+    joules_per_byte: np.ndarray
+
+    def __post_init__(self) -> None:
+        ib = np.asarray(self.input_bytes, dtype=float)
+        jb = np.asarray(self.joules_per_byte, dtype=float)
+        if ib.ndim != 1 or jb.ndim != 1:
+            raise ValidationError("input_bytes and joules_per_byte must be vectors")
+        if np.any(ib < 0) or np.any(jb < 0):
+            raise ValidationError("communication quantities must be >= 0")
+        ib, jb = ib.copy(), jb.copy()
+        ib.setflags(write=False)
+        jb.setflags(write=False)
+        object.__setattr__(self, "input_bytes", ib)
+        object.__setattr__(self, "joules_per_byte", jb)
+
+    @property
+    def n_tasks(self) -> int:
+        return int(self.input_bytes.size)
+
+    @property
+    def n_machines(self) -> int:
+        return int(self.joules_per_byte.size)
+
+    def cost_matrix(self) -> np.ndarray:
+        """``c_jr`` (n × m): energy to place task j's input on machine r."""
+        return np.outer(self.input_bytes, self.joules_per_byte)
+
+    def worst_case_total(self) -> float:
+        """Σ_j max_r c_jr — a bill no assignment can exceed."""
+        return float(self.cost_matrix().max(axis=1).sum())
+
+
+def communication_energy(schedule: Schedule, model: CommunicationModel) -> float:
+    """Communication bill of an integral schedule's assignment.
+
+    Unassigned tasks (no work anywhere) ship nothing.
+    """
+    inst = schedule.instance
+    if model.n_tasks != inst.n_tasks or model.n_machines != inst.n_machines:
+        raise ValidationError("communication model shape does not match the instance")
+    assigned = schedule.assigned_machine  # raises for fractional schedules
+    costs = model.cost_matrix()
+    total = 0.0
+    for j, r in enumerate(assigned):
+        if r >= 0:
+            total += costs[j, r]
+    return total
+
+
+class CommAwareScheduler(Scheduler):
+    """DSCT-EA-APPROX with assignment-dependent communication energy.
+
+    Fixed-point loop: solve with budget ``B − bill(previous assignment)``;
+    when the bill stops changing (or ``max_rounds`` is hit) fall back to
+    the conservative budget ``B − Σ_j max_r c_jr``, which is feasible for
+    *any* assignment.  The returned schedule always satisfies the joint
+    compute + communication budget.
+    """
+
+    name = "DSCT-EA-APPROX-COMM"
+
+    def __init__(
+        self,
+        model: CommunicationModel,
+        *,
+        inner: Optional[Scheduler] = None,
+        max_rounds: int = 5,
+    ):
+        require(max_rounds >= 1, "max_rounds must be >= 1")
+        self.model = model
+        self.inner = inner or ApproxScheduler()
+        self.max_rounds = int(max_rounds)
+
+    def _with_budget(self, instance: ProblemInstance, budget: float) -> ProblemInstance:
+        return ProblemInstance(instance.tasks, instance.cluster, max(budget, 0.0))
+
+    def solve(self, instance: ProblemInstance) -> Schedule:
+        return self.solve_with_info(instance).schedule
+
+    def solve_with_info(self, instance: ProblemInstance) -> SolveResult:
+        if self.model.n_tasks != instance.n_tasks or self.model.n_machines != instance.n_machines:
+            raise ValidationError("communication model shape does not match the instance")
+        budget = instance.budget
+        if math.isinf(budget):
+            schedule = self.inner.solve(instance)
+            bill = communication_energy(schedule, self.model)
+            info = SolveInfo(self.name, extra={"comm_energy": bill, "rounds": 1, "fallback": False})
+            return SolveResult(schedule, info)
+
+        bill = 0.0
+        schedule: Optional[Schedule] = None
+        rounds = 0
+        for rounds in range(1, self.max_rounds + 1):
+            candidate = self.inner.solve(self._with_budget(instance, budget - bill))
+            new_bill = communication_energy(candidate, self.model)
+            if candidate.total_energy + new_bill <= budget * (1 + 1e-12):
+                schedule = candidate
+                bill = new_bill
+                break
+            bill = new_bill
+        fallback = schedule is None
+        if fallback:
+            # Conservative but always feasible: reserve the worst case.
+            reserve = self.model.worst_case_total()
+            schedule = self.inner.solve(self._with_budget(instance, budget - reserve))
+            bill = communication_energy(schedule, self.model)
+        assert schedule is not None
+        info = SolveInfo(
+            self.name,
+            extra={
+                "comm_energy": bill,
+                "compute_energy": schedule.total_energy,
+                "rounds": rounds,
+                "fallback": fallback,
+            },
+        )
+        return SolveResult(schedule, info)

@@ -1,0 +1,90 @@
+"""Inverse problems: the cheapest budget for a target accuracy.
+
+The paper fixes the budget and maximises accuracy; operators often face
+the dual question — *what is the least energy (or money) that buys a
+target accuracy?*  Because the optimal accuracy Φ(B) is concave and
+non-decreasing in the budget, bisection answers it exactly.
+
+:func:`cheapest_budget_for_accuracy` returns the minimal budget, and
+:func:`cheapest_cost_for_accuracy` prices it under a tariff (currency
+per kWh), the pattern behind time-of-use electricity contracts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from ..algorithms.base import Scheduler
+from ..algorithms.fractional import FractionalScheduler
+from ..core.instance import ProblemInstance
+from ..utils.errors import InfeasibleError, ValidationError
+from ..utils.validation import check_nonnegative, check_positive, require
+
+__all__ = ["cheapest_budget_for_accuracy", "cheapest_cost_for_accuracy", "JOULES_PER_KWH"]
+
+JOULES_PER_KWH = 3.6e6
+
+
+def _with_budget(instance: ProblemInstance, budget: float) -> ProblemInstance:
+    return ProblemInstance(instance.tasks, instance.cluster, budget)
+
+
+def cheapest_budget_for_accuracy(
+    instance: ProblemInstance,
+    target_mean_accuracy: float,
+    *,
+    scheduler: Optional[Scheduler] = None,
+    rel_tol: float = 1e-4,
+    max_iterations: int = 60,
+) -> float:
+    """Minimal energy budget (J) whose schedule reaches the target.
+
+    Bisects on the budget; the instance's own budget is ignored (the
+    search range is ``[0, d_max · ΣP]``, the β = 1 budget, which allows
+    full processing).  Raises :class:`InfeasibleError` if even β = 1
+    cannot reach the target (deadlines bind, or the target exceeds what
+    the accuracy functions allow).
+    """
+    require(0.0 <= target_mean_accuracy <= 1.0, "target accuracy must lie in [0, 1]")
+    check_positive(rel_tol, "rel_tol")
+    scheduler = scheduler or FractionalScheduler()
+
+    hi = instance.tasks.d_max * instance.cluster.total_power  # β = 1
+    top = scheduler.solve(_with_budget(instance, hi)).mean_accuracy
+    if top < target_mean_accuracy - 1e-12:
+        raise InfeasibleError(
+            f"target accuracy {target_mean_accuracy:.4f} unreachable: "
+            f"even the full budget achieves only {top:.4f}"
+        )
+    floor = scheduler.solve(_with_budget(instance, 0.0)).mean_accuracy
+    if floor >= target_mean_accuracy:
+        return 0.0
+
+    lo = 0.0
+    for _ in range(max_iterations):
+        if hi - lo <= rel_tol * max(hi, 1.0):
+            break
+        mid = 0.5 * (lo + hi)
+        acc = scheduler.solve(_with_budget(instance, mid)).mean_accuracy
+        if acc >= target_mean_accuracy:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def cheapest_cost_for_accuracy(
+    instance: ProblemInstance,
+    target_mean_accuracy: float,
+    price_per_kwh: float,
+    *,
+    scheduler: Optional[Scheduler] = None,
+    rel_tol: float = 1e-4,
+) -> tuple[float, float]:
+    """(cost, budget_joules) to reach the target under a flat tariff."""
+    check_nonnegative(price_per_kwh, "price_per_kwh")
+    budget = cheapest_budget_for_accuracy(
+        instance, target_mean_accuracy, scheduler=scheduler, rel_tol=rel_tol
+    )
+    return budget / JOULES_PER_KWH * price_per_kwh, budget

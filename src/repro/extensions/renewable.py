@@ -1,0 +1,154 @@
+"""Renewable-powered scheduling — the paper's first future-work item (§7).
+
+A planning day is split into epochs; each epoch harvests an energy budget
+from a (solar-like) production curve and receives a batch of inference
+tasks.  :class:`RenewablePlanner` schedules every epoch with any DSCT-EA
+scheduler under the harvested budget, optionally banking unspent energy
+in a battery (with round-trip efficiency and capacity limits) for later
+epochs — the policy comparison behind ``examples/renewable_budget.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.base import Scheduler
+from ..core.instance import ProblemInstance
+from ..core.machine import Cluster
+from ..core.schedule import Schedule
+from ..core.task import TaskSet
+from ..utils.errors import ValidationError
+from ..utils.validation import check_fraction, check_positive, require
+
+__all__ = ["solar_curve", "EpochOutcome", "RenewableReport", "RenewablePlanner"]
+
+
+def solar_curve(
+    epochs: int,
+    peak_beta: float,
+    *,
+    sunrise_hour: float = 6.0,
+    sunset_hour: float = 18.0,
+) -> np.ndarray:
+    """Half-sine daytime harvest over a 24 h day, as budget ratios β_e.
+
+    Zero outside [sunrise, sunset]; peaks at ``peak_beta`` at solar noon.
+    """
+    require(epochs >= 1, "epochs must be >= 1")
+    check_positive(peak_beta, "peak_beta")
+    require(0 <= sunrise_hour < sunset_hour <= 24, "need 0 <= sunrise < sunset <= 24")
+    hours = np.linspace(0.0, 24.0, epochs, endpoint=False) + 12.0 / epochs
+    span = sunset_hour - sunrise_hour
+    phase = (hours - sunrise_hour) / span * math.pi
+    lit = np.where((hours >= sunrise_hour) & (hours <= sunset_hour), np.sin(phase), 0.0)
+    return peak_beta * np.clip(lit, 0.0, None)
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """One epoch: harvest in, schedule out, battery after."""
+
+    epoch: int
+    harvest: float
+    granted_budget: float
+    schedule: Schedule
+    battery_after: float
+
+    @property
+    def mean_accuracy(self) -> float:
+        return self.schedule.mean_accuracy
+
+    @property
+    def energy_used(self) -> float:
+        return self.schedule.total_energy
+
+
+@dataclass(frozen=True)
+class RenewableReport:
+    """All epochs of one planning day."""
+
+    epochs: tuple[EpochOutcome, ...]
+
+    @property
+    def day_mean_accuracy(self) -> float:
+        if not self.epochs:
+            return 0.0
+        return float(np.mean([e.mean_accuracy for e in self.epochs]))
+
+    @property
+    def total_energy(self) -> float:
+        return sum(e.energy_used for e in self.epochs)
+
+    @property
+    def total_harvest(self) -> float:
+        return sum(e.harvest for e in self.epochs)
+
+
+class RenewablePlanner:
+    """Schedule epoch batches under harvested energy, optionally banked.
+
+    Parameters
+    ----------
+    cluster, scheduler:
+        The machines and the per-epoch scheduling method.
+    battery_capacity:
+        Max energy (J) the battery can hold; 0 disables banking,
+        ``math.inf`` is a lossless unbounded battery.
+    battery_efficiency:
+        Round-trip efficiency in (0, 1]: banking E Joules makes
+        ``battery_efficiency · E`` available later.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        *,
+        battery_capacity: float = 0.0,
+        battery_efficiency: float = 1.0,
+    ):
+        if battery_capacity < 0:
+            raise ValidationError(f"battery_capacity must be >= 0, got {battery_capacity}")
+        require(0.0 < battery_efficiency <= 1.0, "battery_efficiency must lie in (0, 1]")
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.battery_capacity = float(battery_capacity)
+        self.battery_efficiency = float(battery_efficiency)
+
+    def run(self, epoch_tasks: Sequence[TaskSet], harvests: Sequence[float]) -> RenewableReport:
+        """Plan each epoch in order; harvests are absolute energies (J)."""
+        if len(epoch_tasks) != len(harvests):
+            raise ValidationError("epoch_tasks and harvests must have equal length")
+        battery = 0.0
+        outcomes: List[EpochOutcome] = []
+        for e, (tasks, harvest) in enumerate(zip(epoch_tasks, harvests)):
+            if harvest < 0:
+                raise ValidationError(f"harvest must be >= 0, got {harvest} (epoch {e})")
+            granted = harvest + battery
+            instance = ProblemInstance(tasks, self.cluster, granted)
+            schedule = self.scheduler.solve(instance)
+            surplus = max(granted - schedule.total_energy, 0.0)
+            battery = min(surplus * self.battery_efficiency, self.battery_capacity)
+            outcomes.append(
+                EpochOutcome(
+                    epoch=e,
+                    harvest=float(harvest),
+                    granted_budget=granted,
+                    schedule=schedule,
+                    battery_after=battery,
+                )
+            )
+        return RenewableReport(tuple(outcomes))
+
+    def harvests_from_betas(self, betas: Sequence[float], epoch_tasks: Sequence[TaskSet]) -> List[float]:
+        """Convert per-epoch β ratios into absolute harvests (J)."""
+        if len(betas) != len(epoch_tasks):
+            raise ValidationError("betas and epoch_tasks must have equal length")
+        return [
+            float(beta) * tasks.d_max * self.cluster.total_power
+            for beta, tasks in zip(betas, epoch_tasks)
+        ]

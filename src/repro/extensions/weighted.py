@@ -1,0 +1,63 @@
+"""Weighted tasks — priority classes on top of DSCT-EA.
+
+MLaaS tiers pay differently: a premium request's accuracy point is worth
+more than a best-effort one.  The weighted objective ``Σ_j w_j a_j(f_j)``
+needs no new algorithms: scaling every task's accuracy *values* by
+``w_j / max w`` turns the weighted problem into a standard instance
+(slopes scale with the weight, so the greedy/exchange machinery prices
+tasks correctly), and the optimal schedules coincide.
+
+:func:`weighted_instance` performs that reduction;
+:func:`weighted_total_accuracy` evaluates a schedule of the reduced
+instance back in original weighted units.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.accuracy import PiecewiseLinearAccuracy
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..core.task import Task, TaskSet
+from ..utils.errors import ValidationError
+
+__all__ = ["weighted_instance", "weighted_total_accuracy"]
+
+
+def weighted_instance(
+    instance: ProblemInstance, weights: Sequence[float]
+) -> tuple[ProblemInstance, float]:
+    """Reduce a weighted problem to a standard one.
+
+    Returns ``(reduced_instance, scale)`` where the reduced instance's
+    accuracy functions are the originals scaled by ``w_j / max w`` and
+    ``scale = max w``: a schedule's weighted objective equals
+    ``scale ×`` its total accuracy on the reduced instance.
+
+    Deadlines, machines and the budget are untouched — the constraint
+    geometry does not change, only the objective prices.
+    """
+    w = np.asarray(list(weights), dtype=float)
+    if w.shape != (instance.n_tasks,):
+        raise ValidationError(f"need one weight per task ({instance.n_tasks}), got {w.shape}")
+    if np.any(w <= 0):
+        raise ValidationError("weights must be > 0 (drop zero-weight tasks up front)")
+    scale = float(w.max())
+    rel = w / scale
+    tasks = []
+    for task, r in zip(instance.tasks, rel):
+        acc = task.accuracy
+        scaled = PiecewiseLinearAccuracy(acc.breakpoints, acc.breakpoint_accuracies * r)
+        tasks.append(Task(deadline=task.deadline, accuracy=scaled, name=task.name))
+    reduced = ProblemInstance(TaskSet(tasks, assume_sorted=True), instance.cluster, instance.budget)
+    return reduced, scale
+
+
+def weighted_total_accuracy(schedule: Schedule, scale: float) -> float:
+    """Weighted objective of a reduced-instance schedule (original units)."""
+    if scale <= 0:
+        raise ValidationError("scale must be > 0 (the max weight from weighted_instance)")
+    return schedule.total_accuracy * scale

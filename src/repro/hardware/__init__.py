@@ -1,0 +1,29 @@
+"""Hardware substrate: GPU catalog (paper Fig. 1) and machine samplers."""
+
+from .gpu_catalog import (
+    GPU_CATALOG,
+    GpuSpec,
+    catalog_cluster,
+    efficiency_speed_series,
+    fit_efficiency_trend,
+    gpu_by_name,
+    sample_catalog_cluster,
+)
+from .sampling import (
+    PAPER_EFFICIENCY_RANGE_GFLOPSW,
+    PAPER_SPEED_RANGE_TFLOPS,
+    sample_uniform_cluster,
+)
+
+__all__ = [
+    "GpuSpec",
+    "GPU_CATALOG",
+    "gpu_by_name",
+    "catalog_cluster",
+    "efficiency_speed_series",
+    "fit_efficiency_trend",
+    "sample_catalog_cluster",
+    "sample_uniform_cluster",
+    "PAPER_SPEED_RANGE_TFLOPS",
+    "PAPER_EFFICIENCY_RANGE_GFLOPSW",
+]

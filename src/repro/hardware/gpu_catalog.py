@@ -1,0 +1,112 @@
+"""NVIDIA server-GPU catalog — the substrate behind the paper's Fig. 1.
+
+The paper motivates machine heterogeneity with Desislavov et al. [7],
+"Trends in AI inference energy consumption", which plots energy
+efficiency against speed for NVIDIA server GPUs and observes a roughly
+linear improvement of efficiency with hardware speed.  We embed a
+representative catalog (dense FP32 throughput and TDP from public data
+sheets — the same sources [7] aggregates) and the regression utilities
+that reproduce the figure's trend line.
+
+The catalog is a *substitute* for the paper's exact dataset (not
+published); what matters downstream is the (speed, efficiency) envelope
+it spans — 1–67 TFLOPS and ~15–100 GFLOPS/W — which brackets the
+U(1, 20) TFLOPS × U(5, 60) GFLOPS/W sampling the experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.machine import Cluster, Machine
+from ..utils.errors import ValidationError
+from ..utils.rng import SeedLike, ensure_rng
+
+__all__ = ["GpuSpec", "GPU_CATALOG", "gpu_by_name", "catalog_cluster", "efficiency_speed_series", "fit_efficiency_trend", "sample_catalog_cluster"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU model: dense FP32 throughput and board power."""
+
+    name: str
+    year: int
+    tflops_fp32: float
+    tdp_watts: float
+
+    @property
+    def efficiency_gflops_per_watt(self) -> float:
+        """GFLOPS/W — the paper's Fig. 1 y-axis."""
+        return self.tflops_fp32 * 1000.0 / self.tdp_watts
+
+    def to_machine(self) -> Machine:
+        return Machine.from_tflops(self.tflops_fp32, self.efficiency_gflops_per_watt, name=self.name)
+
+
+#: Representative NVIDIA server/inference GPUs (dense FP32, board TDP).
+GPU_CATALOG: tuple[GpuSpec, ...] = (
+    GpuSpec("Tesla K80", 2014, 8.7, 300.0),
+    GpuSpec("Tesla M40", 2015, 6.8, 250.0),
+    GpuSpec("Tesla M4", 2015, 2.2, 50.0),
+    GpuSpec("Tesla P100", 2016, 10.6, 300.0),
+    GpuSpec("Tesla P40", 2016, 12.0, 250.0),
+    GpuSpec("Tesla P4", 2016, 5.5, 75.0),
+    GpuSpec("Tesla V100", 2017, 15.7, 300.0),
+    GpuSpec("Tesla T4", 2018, 8.1, 70.0),
+    GpuSpec("Quadro RTX 8000", 2018, 16.3, 260.0),
+    GpuSpec("A100 SXM", 2020, 19.5, 400.0),
+    GpuSpec("A40", 2020, 37.4, 300.0),
+    GpuSpec("A30", 2021, 10.3, 165.0),
+    GpuSpec("A2", 2021, 4.5, 60.0),
+    GpuSpec("A16", 2021, 4.5, 62.5),
+    GpuSpec("RTX A2000", 2021, 8.0, 70.0),
+    GpuSpec("L4", 2023, 30.3, 72.0),
+    GpuSpec("L40", 2022, 90.5, 300.0),
+    GpuSpec("H100 SXM", 2022, 66.9, 700.0),
+)
+
+
+def gpu_by_name(name: str) -> GpuSpec:
+    """Look up a catalog entry by exact name."""
+    for spec in GPU_CATALOG:
+        if spec.name == name:
+            return spec
+    raise ValidationError(f"unknown GPU {name!r}; known: {[s.name for s in GPU_CATALOG]}")
+
+
+def catalog_cluster(names: Sequence[str]) -> Cluster:
+    """Build a :class:`Cluster` from catalog GPU names."""
+    return Cluster([gpu_by_name(n).to_machine() for n in names])
+
+
+def efficiency_speed_series(
+    catalog: Sequence[GpuSpec] = GPU_CATALOG,
+) -> tuple[np.ndarray, np.ndarray, list[str]]:
+    """(speeds TFLOPS, efficiencies GFLOPS/W, names) — Fig. 1's scatter."""
+    speeds = np.array([s.tflops_fp32 for s in catalog])
+    effs = np.array([s.efficiency_gflops_per_watt for s in catalog])
+    return speeds, effs, [s.name for s in catalog]
+
+
+def fit_efficiency_trend(catalog: Sequence[GpuSpec] = GPU_CATALOG) -> tuple[float, float]:
+    """Least-squares line ``efficiency ≈ a·speed + b`` (Fig. 1's trend).
+
+    Returns ``(slope a in GFLOPS/W per TFLOPS, intercept b in GFLOPS/W)``;
+    the paper's observation is that ``a > 0`` (efficiency improves
+    linearly with device speed).
+    """
+    speeds, effs, _ = efficiency_speed_series(catalog)
+    a, b = np.polyfit(speeds, effs, 1)
+    return float(a), float(b)
+
+
+def sample_catalog_cluster(m: int, seed: SeedLike = None) -> Cluster:
+    """Random cluster of ``m`` catalog GPUs (with replacement)."""
+    if m < 1:
+        raise ValidationError(f"m must be >= 1, got {m}")
+    rng = ensure_rng(seed)
+    picks = rng.integers(0, len(GPU_CATALOG), size=m)
+    return Cluster([GPU_CATALOG[int(i)].to_machine() for i in picks])

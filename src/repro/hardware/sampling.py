@@ -1,0 +1,44 @@
+"""Random machine generation matching the paper's experimental setup.
+
+Sec. 6: "We considered machine speeds that are uniformly distributed
+between 1 TFLOPS and 20 TFLOPS, and energy efficiencies uniformly
+distributed between 5 GFLOPS/W and 60 GFLOPS/W.  These values were
+selected based on research findings presented in [7]."
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.machine import Cluster, Machine
+from ..utils.errors import ValidationError
+from ..utils.rng import SeedLike, ensure_rng
+
+__all__ = ["sample_uniform_cluster", "PAPER_SPEED_RANGE_TFLOPS", "PAPER_EFFICIENCY_RANGE_GFLOPSW"]
+
+#: The paper's machine speed range (TFLOPS).
+PAPER_SPEED_RANGE_TFLOPS: Tuple[float, float] = (1.0, 20.0)
+#: The paper's energy-efficiency range (GFLOPS/W).
+PAPER_EFFICIENCY_RANGE_GFLOPSW: Tuple[float, float] = (5.0, 60.0)
+
+
+def sample_uniform_cluster(
+    m: int,
+    seed: SeedLike = None,
+    *,
+    speed_range_tflops: Tuple[float, float] = PAPER_SPEED_RANGE_TFLOPS,
+    efficiency_range_gflopsw: Tuple[float, float] = PAPER_EFFICIENCY_RANGE_GFLOPSW,
+) -> Cluster:
+    """Sample ``m`` machines with the paper's uniform distributions."""
+    if m < 1:
+        raise ValidationError(f"m must be >= 1, got {m}")
+    lo_s, hi_s = speed_range_tflops
+    lo_e, hi_e = efficiency_range_gflopsw
+    if not (0 < lo_s <= hi_s and 0 < lo_e <= hi_e):
+        raise ValidationError("ranges must be positive and ordered (lo <= hi)")
+    rng = ensure_rng(seed)
+    machines = [
+        Machine.from_tflops(float(rng.uniform(lo_s, hi_s)), float(rng.uniform(lo_e, hi_e)))
+        for _ in range(m)
+    ]
+    return Cluster(machines)

@@ -1,0 +1,77 @@
+"""Realised accuracy: from probabilities to measured correctness.
+
+The accuracy functions give the *expected* top-1 accuracy of a
+compressed model; a real batch of B images realises an empirical
+accuracy with Binomial noise around it.  These helpers close that gap
+for the simulator and the examples, standing in for the ImageNet-1k
+evaluation the paper ran (which we cannot, offline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.schedule import Schedule
+from ..utils.errors import ValidationError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_fraction, require
+
+__all__ = ["sample_batch_accuracy", "BatchEvaluation", "evaluate_schedule_batches"]
+
+
+def sample_batch_accuracy(accuracy: float, batch_size: int, seed: SeedLike = None) -> float:
+    """Empirical accuracy of one batch: Binomial(B, p) / B."""
+    check_fraction(accuracy, "accuracy")
+    require(batch_size >= 1, "batch_size must be >= 1")
+    rng = ensure_rng(seed)
+    return float(rng.binomial(batch_size, accuracy)) / batch_size
+
+
+@dataclass(frozen=True)
+class BatchEvaluation:
+    """Measured (sampled) outcome of a scheduled batch workload."""
+
+    expected: np.ndarray  # model-predicted accuracy per task
+    realised: np.ndarray  # sampled empirical accuracy per task
+    batch_sizes: np.ndarray
+
+    @property
+    def mean_expected(self) -> float:
+        return float(self.expected.mean())
+
+    @property
+    def mean_realised(self) -> float:
+        return float(self.realised.mean())
+
+    @property
+    def max_abs_gap(self) -> float:
+        return float(np.abs(self.realised - self.expected).max())
+
+
+def evaluate_schedule_batches(
+    schedule: Schedule,
+    batch_sizes,
+    seed: SeedLike = None,
+) -> BatchEvaluation:
+    """Sample realised per-task accuracies for a schedule of batch tasks.
+
+    ``batch_sizes[j]`` is the number of images task j classifies; the
+    expected accuracy is the schedule's `task_accuracies` and each task
+    realises a Binomial draw.  Large batches concentrate near the
+    expectation (the paper's averages are over thousands of images).
+    """
+    sizes = np.asarray(list(batch_sizes), dtype=int)
+    if sizes.shape != (schedule.instance.n_tasks,):
+        raise ValidationError(
+            f"need one batch size per task ({schedule.instance.n_tasks}), got {sizes.shape}"
+        )
+    if np.any(sizes < 1):
+        raise ValidationError("batch sizes must be >= 1")
+    rng = ensure_rng(seed)
+    expected = schedule.task_accuracies
+    realised = np.array(
+        [float(rng.binomial(int(b), float(p))) / int(b) for p, b in zip(expected, sizes)]
+    )
+    return BatchEvaluation(expected=expected, realised=realised, batch_sizes=sizes)

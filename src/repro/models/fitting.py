@@ -1,0 +1,127 @@
+"""Fitting accuracy curves from profiled measurements.
+
+The paper profiles OFA subnetworks (FLOPs, accuracy) and fits the
+exponential law before scheduling; this module implements that
+calibration step so the full workflow — profile → fit → piecewise →
+schedule — runs end to end on measured (noisy) data.
+
+The exponential law ``a(f) = a_max − Δ·exp(−θ f / Δ)`` linearises:
+``log(a_max − a) = log Δ − (θ/Δ)·f``, so θ comes from one least-squares
+line fit in log space.  ``a_max`` itself can be taken from the best
+measurement (plus a small headroom) when not known a priori.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.accuracy import ExponentialAccuracy, PiecewiseLinearAccuracy, fit_piecewise
+from ..utils.errors import ValidationError
+from ..utils.validation import check_fraction, require
+from .profiler import Measurement
+
+__all__ = ["FitResult", "fit_exponential", "accuracy_from_measurements"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of the exponential calibration."""
+
+    curve: ExponentialAccuracy
+    theta: float
+    a_min: float
+    a_max: float
+    rmse: float  # accuracy-space root-mean-square residual
+    n_points: int
+
+    def piecewise(self, n_segments: int = 5) -> PiecewiseLinearAccuracy:
+        """The scheduler-ready concave fit of the calibrated curve."""
+        return fit_piecewise(self.curve, n_segments)
+
+
+def fit_exponential(
+    flops: Sequence[float],
+    accuracies: Sequence[float],
+    *,
+    a_min: float = 0.001,
+    a_max: Optional[float] = None,
+    a_max_headroom: float = 0.005,
+) -> FitResult:
+    """Least-squares fit of the saturating exponential to (f, a) samples.
+
+    Parameters
+    ----------
+    flops, accuracies:
+        Profiled points (at least two distinct FLOP values).
+    a_min:
+        Accuracy at zero work (the random-guess floor).
+    a_max:
+        Saturation accuracy; when None, the best sample plus
+        ``a_max_headroom`` is used (the curve must sit strictly above
+        every sample for the log transform to exist).
+    """
+    f = np.asarray(list(flops), dtype=float)
+    a = np.asarray(list(accuracies), dtype=float)
+    if f.shape != a.shape or f.ndim != 1:
+        raise ValidationError("flops and accuracies must be equal-length vectors")
+    require(f.size >= 2, "need at least two measurements")
+    if np.any(f < 0):
+        raise ValidationError("flops must be >= 0")
+    for ai in a:
+        check_fraction(float(ai), "measured accuracy")
+    check_fraction(a_min, "a_min")
+    if np.unique(f).size < 2:
+        raise ValidationError("need at least two distinct FLOP values")
+
+    if a_max is None:
+        a_max = min(float(a.max()) + a_max_headroom, 1.0)
+    check_fraction(a_max, "a_max")
+    require(a_max > a_min, "a_max must exceed a_min")
+    if np.any(a >= a_max):
+        # clip samples a hair under the asymptote so logs stay finite
+        a = np.minimum(a, a_max - 1e-9)
+
+    delta = a_max - a_min
+    # log(a_max − a) = log Δ − (θ/Δ) f   →  slope = −θ/Δ
+    y = np.log(a_max - a)
+    slope, intercept = np.polyfit(f, y, 1)
+    if slope >= 0:
+        raise ValidationError(
+            "measurements do not decay toward a_max (non-negative log-slope); "
+            "check the samples or supply a_max explicitly"
+        )
+    theta = -slope * delta
+    curve = ExponentialAccuracy(theta, a_min=a_min, a_max=a_max)
+    predicted = curve.value_array(np.minimum(f, curve.f_max))
+    rmse = float(np.sqrt(np.mean((predicted - a) ** 2)))
+    return FitResult(
+        curve=curve, theta=float(theta), a_min=float(a_min), a_max=float(a_max),
+        rmse=rmse, n_points=int(f.size),
+    )
+
+
+def accuracy_from_measurements(
+    measurements: Sequence[Measurement],
+    *,
+    a_min: float = 0.001,
+    a_max: Optional[float] = None,
+    n_segments: int = 5,
+) -> tuple[PiecewiseLinearAccuracy, FitResult]:
+    """Profiler output → scheduler input, in one call.
+
+    Fits the exponential to the measurements' (flops, accuracy) pairs
+    and returns the concave piecewise-linear function plus the fit
+    diagnostics — exactly the paper's calibration pipeline.
+    """
+    if not measurements:
+        raise ValidationError("need at least one measurement")
+    fit = fit_exponential(
+        [m.flops for m in measurements],
+        [m.accuracy for m in measurements],
+        a_min=a_min,
+        a_max=a_max,
+    )
+    return fit.piecewise(n_segments), fit

@@ -1,0 +1,255 @@
+"""Synthetic Once-For-All model families — the substrate behind Fig. 2.
+
+The paper's tasks are inference jobs on *slimmable* networks trained with
+Once-For-All [3]: one supernet whose subnetworks trade FLOPs for
+accuracy along four dimensions (width, kernel size, depth, resolution).
+The experiments only consume the resulting accuracy-vs-FLOPs curve
+(exponential saturating shape, Fig. 2), so we model the family
+synthetically:
+
+* a combinatorial subnetwork space (stages × depth × per-layer options)
+  whose size reproduces the paper's ">10¹⁹ subnetworks for MobileNet"
+  observation;
+* a multiplicative FLOPs model over the configuration dimensions;
+* an accuracy law ``a(flops) = a_max − Δ·exp(−θ·flops/Δ)`` plus a small
+  deterministic per-configuration residual, mimicking that individual
+  subnetworks scatter around the envelope in Fig. 2.
+
+:meth:`OnceForAllFamily.accuracy_function` returns the concave
+piecewise-linear fit the schedulers consume, and
+:meth:`OnceForAllFamily.batch_task` lifts it to a batch-inference task.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.accuracy import ExponentialAccuracy, PiecewiseLinearAccuracy, fit_piecewise
+from ..core.task import Task
+from ..utils.errors import ValidationError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_fraction, check_positive, require
+
+__all__ = ["SubnetworkConfig", "SubnetworkProfile", "OnceForAllFamily"]
+
+
+@dataclass(frozen=True)
+class SubnetworkConfig:
+    """One subnetwork: per-stage depths and per-stage option indices.
+
+    ``depths[i]`` is the number of active layers in stage ``i``;
+    ``options[i]`` indexes the (kernel, expand) choice used by stage
+    ``i``'s layers; ``width_index`` and ``resolution_index`` select the
+    global width multiplier and input resolution.
+    """
+
+    depths: Tuple[int, ...]
+    options: Tuple[int, ...]
+    width_index: int
+    resolution_index: int
+
+
+@dataclass(frozen=True)
+class SubnetworkProfile:
+    """A subnetwork with its simulated cost/quality measurements."""
+
+    config: SubnetworkConfig
+    flops: float  # per-image FLOP
+    accuracy: float
+
+
+class OnceForAllFamily:
+    """A synthetic OFA supernet with a saturating accuracy/FLOPs law."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        full_flops: float,
+        a_min: float = 0.001,
+        a_max: float = 0.82,
+        theta: Optional[float] = None,
+        n_stages: int = 5,
+        depth_choices: Sequence[int] = (2, 3, 4),
+        options_per_layer: int = 9,
+        width_multipliers: Sequence[float] = (1.0,),
+        resolutions: Sequence[int] = (224,),
+        residual_scale: float = 0.01,
+        min_flops_fraction: float = 0.08,
+    ):
+        check_positive(full_flops, "full_flops")
+        check_fraction(a_min, "a_min")
+        check_fraction(a_max, "a_max")
+        require(a_max > a_min, "a_max must exceed a_min")
+        require(n_stages >= 1, "need at least one stage")
+        require(options_per_layer >= 1, "need at least one per-layer option")
+        require(0 < min_flops_fraction < 1, "min_flops_fraction must lie in (0, 1)")
+        self.name = name
+        self.full_flops = float(full_flops)
+        self.a_min = float(a_min)
+        self.a_max = float(a_max)
+        self.n_stages = int(n_stages)
+        self.depth_choices = tuple(sorted(depth_choices))
+        self.options_per_layer = int(options_per_layer)
+        self.width_multipliers = tuple(sorted(width_multipliers))
+        self.resolutions = tuple(sorted(resolutions))
+        self.residual_scale = float(residual_scale)
+        self.min_flops_fraction = float(min_flops_fraction)
+        delta = self.a_max - self.a_min
+        if theta is None:
+            # Default: the curve covers 99.9 % of Δ at full_flops.
+            theta = -delta * math.log1p(-0.999) / self.full_flops
+        # Anchor the curve so its f_max is exactly the full model's cost:
+        # coverage is whatever fraction of Δ θ buys over full_flops.
+        coverage = -math.expm1(-theta * self.full_flops / delta)
+        coverage = min(max(coverage, 1e-12), 1.0 - 1e-12)
+        self._curve = ExponentialAccuracy(theta, a_min=self.a_min, a_max=self.a_max, coverage=coverage)
+        self._f_top = min(self._curve.f_max, self.full_flops)
+
+    # -- combinatorics -----------------------------------------------------
+
+    def count_subnetworks(self) -> int:
+        """Size of the subnetwork space.
+
+        Per stage: ``Σ_{d∈depths} options_per_layer**d`` layer settings;
+        stages multiply, then width and resolution choices.  With OFA
+        MobileNetV3's parameters (5 stages, depths {2,3,4}, 9 options)
+        this is ≈ 2.2 × 10¹⁹ — the paper's ">10¹⁹" remark.
+        """
+        per_stage = sum(self.options_per_layer**d for d in self.depth_choices)
+        return per_stage**self.n_stages * len(self.width_multipliers) * len(self.resolutions)
+
+    # -- cost & quality models -----------------------------------------------
+
+    def config_flops(self, config: SubnetworkConfig) -> float:
+        """Per-image FLOP of a configuration (multiplicative model).
+
+        Depth contributes linearly per stage, the per-layer option and
+        width quadratically (channel widths), resolution quadratically
+        (spatial dims) — the standard CNN cost scaling.  The result is
+        normalised so the maximal configuration costs ``full_flops`` and
+        the minimal one ``min_flops_fraction · full_flops``.
+        """
+        self._validate_config(config)
+        d_max = self.depth_choices[-1]
+        # Option index o ∈ [0, options) maps to a per-layer cost factor in
+        # [min_fraction, 1]: denser kernels / expansion ratios cost more.
+        span = self.options_per_layer - 1 if self.options_per_layer > 1 else 1
+        raw = 0.0
+        for depth, opt in zip(config.depths, config.options):
+            opt_factor = self.min_flops_fraction + (1 - self.min_flops_fraction) * (opt / span if span else 1.0)
+            raw += (depth / d_max) * opt_factor
+        raw /= self.n_stages
+        width = self.width_multipliers[config.width_index]
+        res = self.resolutions[config.resolution_index]
+        raw *= (width / self.width_multipliers[-1]) ** 2
+        raw *= (res / self.resolutions[-1]) ** 2
+        lo = self.min_flops_fraction
+        return self.full_flops * (lo + (1.0 - lo) * raw)
+
+    def config_accuracy(self, config: SubnetworkConfig) -> float:
+        """Accuracy of a configuration: envelope value + small residual.
+
+        The residual is a deterministic hash-based perturbation (same
+        config ⇒ same accuracy, as for a real trained supernet), always
+        ≤ 0 so the envelope stays an upper bound.
+        """
+        flops = self.config_flops(config)
+        base = self._curve.value(flops)
+        # zlib.crc32 rather than hash(): stable across processes (hash()
+        # of strings is salted per interpreter run).
+        h = zlib.crc32(repr((self.name, config)).encode()) & 0xFFFF
+        residual = self.residual_scale * (h / 0xFFFF) * (self.a_max - self.a_min)
+        return max(self.a_min, base - residual)
+
+    def profile(self, config: SubnetworkConfig) -> SubnetworkProfile:
+        """Bundle a configuration with its simulated measurements."""
+        return SubnetworkProfile(config, self.config_flops(config), self.config_accuracy(config))
+
+    def sample_configs(self, count: int, seed: SeedLike = None) -> List[SubnetworkConfig]:
+        """Uniformly sample ``count`` configurations."""
+        require(count >= 0, "count must be >= 0")
+        rng = ensure_rng(seed)
+        out = []
+        for _ in range(count):
+            depths = tuple(int(rng.choice(self.depth_choices)) for _ in range(self.n_stages))
+            options = tuple(int(rng.integers(0, self.options_per_layer)) for _ in range(self.n_stages))
+            out.append(
+                SubnetworkConfig(
+                    depths=depths,
+                    options=options,
+                    width_index=int(rng.integers(0, len(self.width_multipliers))),
+                    resolution_index=int(rng.integers(0, len(self.resolutions))),
+                )
+            )
+        return out
+
+    def largest_config(self) -> SubnetworkConfig:
+        """The uncompressed (maximal) subnetwork."""
+        return SubnetworkConfig(
+            depths=(self.depth_choices[-1],) * self.n_stages,
+            options=(self.options_per_layer - 1,) * self.n_stages,
+            width_index=len(self.width_multipliers) - 1,
+            resolution_index=len(self.resolutions) - 1,
+        )
+
+    # -- Fig. 2 data & scheduler input ------------------------------------------
+
+    def accuracy_curve(self, num: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """(flops, accuracy) arrays of the envelope — Fig. 2's curve."""
+        flops = np.linspace(0.0, self._f_top, num)
+        return flops, self._curve.value_array(flops)
+
+    def scatter(self, count: int = 300, seed: SeedLike = None) -> List[SubnetworkProfile]:
+        """Sampled subnetwork profiles — Fig. 2's point cloud."""
+        return [self.profile(c) for c in self.sample_configs(count, seed)]
+
+    def accuracy_function(self, n_segments: int = 5) -> PiecewiseLinearAccuracy:
+        """Concave piecewise-linear fit of the envelope (scheduler input)."""
+        return fit_piecewise(self._curve, n_segments)
+
+    def batch_task(
+        self,
+        batch_size: int,
+        deadline: float,
+        *,
+        n_segments: int = 5,
+        name: Optional[str] = None,
+    ) -> Task:
+        """A batch-inference task over this family.
+
+        A batch of B images compressed uniformly reaches the per-image
+        accuracy at B× the per-image work, so the accuracy function's
+        work axis is scaled by B.
+        """
+        require(batch_size >= 1, "batch_size must be >= 1")
+        acc = self.accuracy_function(n_segments).scale_flops(float(batch_size))
+        return Task(deadline=deadline, accuracy=acc, name=name or f"{self.name}×{batch_size}")
+
+    def _validate_config(self, config: SubnetworkConfig) -> None:
+        if len(config.depths) != self.n_stages or len(config.options) != self.n_stages:
+            raise ValidationError(
+                f"config must have {self.n_stages} stages, got "
+                f"{len(config.depths)} depths / {len(config.options)} options"
+            )
+        for d in config.depths:
+            if d not in self.depth_choices:
+                raise ValidationError(f"depth {d} not in {self.depth_choices}")
+        for o in config.options:
+            if not 0 <= o < self.options_per_layer:
+                raise ValidationError(f"option {o} out of range [0, {self.options_per_layer})")
+        if not 0 <= config.width_index < len(self.width_multipliers):
+            raise ValidationError(f"width_index {config.width_index} out of range")
+        if not 0 <= config.resolution_index < len(self.resolutions):
+            raise ValidationError(f"resolution_index {config.resolution_index} out of range")
+
+    def __repr__(self) -> str:
+        return (
+            f"OnceForAllFamily({self.name!r}, full_flops={self.full_flops:.3g}, "
+            f"a_max={self.a_max}, |space|≈{self.count_subnetworks():.3g})"
+        )

@@ -1,0 +1,78 @@
+"""Simulated GPU profiling of OFA subnetworks.
+
+The paper measured subnetwork latencies on an RTX A2000; offline we
+substitute an analytic cost model with optional multiplicative
+measurement noise: latency = FLOPs / speed, energy = FLOPs / efficiency,
+each jittered by a log-normal factor.  The profiler is what the
+quickstart example uses to turn "a batch of images on model X with
+deadline d" into scheduler inputs, exercising the same pipeline as the
+paper's testbed (profile → fit accuracy curve → schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.machine import Machine
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_nonnegative, require
+from .ofa import OnceForAllFamily, SubnetworkConfig, SubnetworkProfile
+
+__all__ = ["Measurement", "SimulatedProfiler"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One simulated profiling run of a subnetwork on a machine."""
+
+    config: SubnetworkConfig
+    flops: float
+    latency_seconds: float
+    energy_joules: float
+    accuracy: float
+
+
+class SimulatedProfiler:
+    """Profiles subnetworks on a machine with reproducible noise.
+
+    ``noise`` is the standard deviation of the log-normal jitter applied
+    to both latency and energy (0 ⇒ exact analytic model).
+    """
+
+    def __init__(self, machine: Machine, *, noise: float = 0.0, seed: SeedLike = None):
+        check_nonnegative(noise, "noise")
+        self.machine = machine
+        self.noise = float(noise)
+        self._rng = ensure_rng(seed)
+
+    def _jitter(self) -> float:
+        if self.noise == 0.0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self.noise)))
+
+    def measure(self, family: OnceForAllFamily, config: SubnetworkConfig, *, batch_size: int = 1) -> Measurement:
+        """Profile one configuration (per-batch latency and energy)."""
+        require(batch_size >= 1, "batch_size must be >= 1")
+        flops = family.config_flops(config) * batch_size
+        latency = self.machine.time_for_work(flops) * self._jitter()
+        energy = self.machine.energy_for_work(flops) * self._jitter()
+        return Measurement(
+            config=config,
+            flops=flops,
+            latency_seconds=latency,
+            energy_joules=energy,
+            accuracy=family.config_accuracy(config),
+        )
+
+    def sweep(
+        self,
+        family: OnceForAllFamily,
+        configs: Sequence[SubnetworkConfig],
+        *,
+        batch_size: int = 1,
+    ) -> list[Measurement]:
+        """Profile many configurations (the paper's calibration sweep)."""
+        return [self.measure(family, c, batch_size=batch_size) for c in configs]

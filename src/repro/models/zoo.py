@@ -1,0 +1,81 @@
+"""Preset Once-For-All model families used in examples and experiments.
+
+Full-model FLOPs and top-1 accuracies follow the published numbers for
+the corresponding OFA supernets; the paper's experiments use
+``ofa-resnet`` with ``a_max = 0.82`` and ``a_min = 1/1000`` (random guess
+over the 1000 ImageNet-1k classes).
+"""
+
+from __future__ import annotations
+
+from .ofa import OnceForAllFamily
+
+__all__ = ["ofa_resnet50", "ofa_mobilenet_v3", "ofa_proxyless", "MODEL_ZOO", "get_family"]
+
+
+def ofa_resnet50() -> OnceForAllFamily:
+    """OFA-ResNet50 (the paper's model): 4.1 GFLOPs full, a_max = 0.82.
+
+    Elastic dimensions: depth {0,1,2} per stage (on top of a base), width
+    multipliers {0.65, 0.8, 1.0}, expand ratios {0.2, 0.25, 0.35}
+    (modelled as 3 per-layer options), resolutions 128–224.
+    """
+    return OnceForAllFamily(
+        "ofa-resnet50",
+        full_flops=4.1e9,
+        a_min=0.001,
+        a_max=0.82,
+        n_stages=4,
+        depth_choices=(1, 2, 3),
+        options_per_layer=3,
+        width_multipliers=(0.65, 0.8, 1.0),
+        resolutions=(128, 160, 192, 224),
+        min_flops_fraction=0.1,
+    )
+
+
+def ofa_mobilenet_v3() -> OnceForAllFamily:
+    """OFA-MobileNetV3: 230 MFLOPs full, a_max ≈ 0.767, >10¹⁹ subnets."""
+    return OnceForAllFamily(
+        "ofa-mobilenetv3",
+        full_flops=0.23e9,
+        a_min=0.001,
+        a_max=0.767,
+        n_stages=5,
+        depth_choices=(2, 3, 4),
+        options_per_layer=9,  # kernel {3,5,7} × expand {3,4,6}
+        width_multipliers=(1.0, 1.2),
+        resolutions=(128, 160, 192, 224),
+        min_flops_fraction=0.06,
+    )
+
+
+def ofa_proxyless() -> OnceForAllFamily:
+    """OFA-ProxylessNAS: 320 MFLOPs full, a_max ≈ 0.752."""
+    return OnceForAllFamily(
+        "ofa-proxyless",
+        full_flops=0.32e9,
+        a_min=0.001,
+        a_max=0.752,
+        n_stages=5,
+        depth_choices=(2, 3, 4),
+        options_per_layer=9,
+        width_multipliers=(1.0, 1.3),
+        resolutions=(128, 160, 192, 224),
+        min_flops_fraction=0.06,
+    )
+
+
+MODEL_ZOO = {
+    "ofa-resnet50": ofa_resnet50,
+    "ofa-mobilenetv3": ofa_mobilenet_v3,
+    "ofa-proxyless": ofa_proxyless,
+}
+
+
+def get_family(name: str) -> OnceForAllFamily:
+    """Instantiate a zoo family by name."""
+    try:
+        return MODEL_ZOO[name]()
+    except KeyError:
+        raise KeyError(f"unknown model family {name!r}; known: {sorted(MODEL_ZOO)}") from None

@@ -1,0 +1,140 @@
+"""Rolling-horizon online planner over a request stream.
+
+The paper solves a static batch; a serving front-end sees a stream.  The
+natural deployment (also used in its inspiration, Jellyfish [16]) is a
+rolling horizon: buffer arrivals for a short planning window, then solve
+the buffered batch as a DSCT-EA instance whose deadlines are the
+requests' SLOs relative to the window start, and whose budget is the
+window's share of a global power cap.
+
+:class:`RollingHorizonPlanner` formalises that loop around any
+:class:`~repro.algorithms.base.Scheduler`; the ``mlaas_online_serving``
+example is a thin wrapper over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.base import Scheduler
+from ..core.instance import ProblemInstance
+from ..core.machine import Cluster
+from ..core.schedule import Schedule
+from ..utils.errors import ValidationError
+from ..utils.validation import check_positive
+from ..workloads.arrivals import Request, window_batches
+from ..workloads.generator import tasks_from_thetas
+
+__all__ = ["WindowOutcome", "ServingReport", "RollingHorizonPlanner"]
+
+
+@dataclass(frozen=True)
+class WindowOutcome:
+    """What one planning window achieved."""
+
+    start: float
+    n_requests: int
+    schedule: Schedule
+    accuracies: np.ndarray
+    on_time: int
+    energy: float
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate over all windows of one run."""
+
+    windows: tuple[WindowOutcome, ...]
+
+    @property
+    def n_requests(self) -> int:
+        return sum(w.n_requests for w in self.windows)
+
+    @property
+    def mean_accuracy(self) -> float:
+        if not self.windows:
+            return 0.0
+        total = sum(float(w.accuracies.sum()) for w in self.windows)
+        return total / max(self.n_requests, 1)
+
+    @property
+    def on_time_fraction(self) -> float:
+        """Fraction of requests that received work and met their SLO."""
+        if self.n_requests == 0:
+            return 0.0
+        return sum(w.on_time for w in self.windows) / self.n_requests
+
+    @property
+    def total_energy(self) -> float:
+        return sum(w.energy for w in self.windows)
+
+
+class RollingHorizonPlanner:
+    """Plan a request stream window by window with a DSCT-EA scheduler.
+
+    Parameters
+    ----------
+    cluster:
+        The serving machines.
+    scheduler:
+        Any scheduler from this library (``ApproxScheduler()`` is the
+        intended choice).
+    window_seconds:
+        Length of each planning window.
+    power_cap_fraction:
+        Energy per window as a fraction of running every machine at full
+        power for the window (the window's β).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        *,
+        window_seconds: float = 2.0,
+        power_cap_fraction: float = 0.5,
+    ):
+        check_positive(window_seconds, "window_seconds")
+        if not 0.0 < power_cap_fraction:
+            raise ValidationError(f"power_cap_fraction must be > 0, got {power_cap_fraction}")
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.window_seconds = float(window_seconds)
+        self.power_cap_fraction = float(power_cap_fraction)
+
+    @property
+    def window_budget(self) -> float:
+        """Energy budget (J) granted to each window."""
+        return self.power_cap_fraction * self.window_seconds * self.cluster.total_power
+
+    def plan_window(self, start: float, batch: Sequence[Request]) -> WindowOutcome:
+        """Solve one window's batch; returns the outcome."""
+        if not batch:
+            raise ValidationError("cannot plan an empty window")
+        deadlines = [max(r.deadline - start, 1e-3) for r in batch]
+        thetas = [r.theta_per_tflop for r in batch]
+        order = np.argsort(deadlines, kind="stable")
+        tasks = tasks_from_thetas([thetas[i] for i in order], [deadlines[i] for i in order])
+        instance = ProblemInstance(tasks, self.cluster, self.window_budget)
+        schedule = self.scheduler.solve(instance)
+        completion = schedule.completion_times.max(axis=1)
+        served = schedule.task_flops > 0
+        on_time = int(np.sum(served & (completion <= tasks.deadlines + 1e-9)))
+        return WindowOutcome(
+            start=start,
+            n_requests=len(batch),
+            schedule=schedule,
+            accuracies=schedule.task_accuracies,
+            on_time=on_time,
+            energy=schedule.total_energy,
+        )
+
+    def run(self, requests: Sequence[Request]) -> ServingReport:
+        """Plan an entire stream; empty streams yield an empty report."""
+        outcomes: List[WindowOutcome] = []
+        for start, batch in window_batches(list(requests), self.window_seconds):
+            outcomes.append(self.plan_window(start, batch))
+        return ServingReport(tuple(outcomes))

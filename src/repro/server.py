@@ -1,0 +1,128 @@
+"""A minimal HTTP scheduling service (stdlib only).
+
+Turns the library into a local JSON-over-HTTP planner, the shape an
+MLaaS control plane would embed:
+
+* ``GET  /health``            — liveness and version;
+* ``GET  /schedulers``        — registered method names;
+* ``POST /solve?scheduler=X`` — body: an instance document (the
+  ``repro.core.serialization`` format); response: the schedule document
+  plus headline metrics and the feasibility audit.
+
+Intended for trusted local use (demos, integration tests, sidecars) —
+there is no authentication; bind to localhost.
+
+    python -m repro serve --port 8080
+    curl -s localhost:8080/health
+    curl -s -X POST localhost:8080/solve?scheduler=approx -d @instance.json
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from . import __version__
+from .algorithms.registry import available_schedulers, make_scheduler
+from .core.serialization import instance_from_dict, schedule_to_dict
+from .utils.errors import ReproError
+
+__all__ = ["make_server", "serve"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro/{__version__}"
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 — stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        path = urlparse(self.path).path
+        if path == "/health":
+            self._send_json({"status": "ok", "version": __version__})
+        elif path == "/schedulers":
+            self._send_json({"schedulers": available_schedulers()})
+        else:
+            self._send_error_json(f"unknown path {path!r}", 404)
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        parsed = urlparse(self.path)
+        if parsed.path != "/solve":
+            self._send_error_json(f"unknown path {parsed.path!r}", 404)
+            return
+        query = parse_qs(parsed.query)
+        name = query.get("scheduler", ["approx"])[0]
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length)
+            data = json.loads(raw.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_error_json(f"invalid JSON body: {exc}", 400)
+            return
+        try:
+            instance = instance_from_dict(data)
+            scheduler = make_scheduler(name)
+        except ReproError as exc:
+            self._send_error_json(str(exc), 400)
+            return
+        try:
+            result = scheduler.solve_with_info(instance)
+        except ReproError as exc:
+            self._send_error_json(f"solve failed: {exc}", 500)
+            return
+        schedule = result.schedule
+        audit = schedule.feasibility()
+        self._send_json(
+            {
+                "scheduler": scheduler.name,
+                "schedule": schedule_to_dict(schedule, embed_instance=False),
+                "metrics": {
+                    "mean_accuracy": schedule.mean_accuracy,
+                    "total_accuracy": schedule.total_accuracy,
+                    "energy_joules": schedule.total_energy,
+                    "budget_joules": instance.budget,
+                    "runtime_seconds": result.info.runtime_seconds,
+                },
+                "feasible": audit.feasible,
+                "violations": [str(v) for v in audit.violations],
+            }
+        )
+
+
+def make_server(host: str = "127.0.0.1", port: int = 0, *, verbose: bool = False) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server; port 0 picks a free port."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve(host: str = "127.0.0.1", port: int = 8080) -> None:
+    """Run the service until interrupted (the CLI's ``serve`` command)."""
+    server = make_server(host, port, verbose=True)
+    print(f"repro scheduling service on http://{host}:{server.server_address[1]}")
+    print(f"methods: {', '.join(available_schedulers())}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

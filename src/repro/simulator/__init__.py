@@ -1,0 +1,39 @@
+"""Discrete-event cluster simulator: replay schedules, measure, audit."""
+
+from .cluster_sim import ClusterSimulator
+from .online_sim import OnlineSimReport, OnlineSimulation, ServedRequest
+from .engine import EventQueue
+from .failures import (
+    FailureModel,
+    FailureReport,
+    Outage,
+    Slowdown,
+    replay_with_duration_noise,
+    replay_with_failures,
+)
+from .events import MachineIdle, SimEvent, TaskFinished, TaskStarted
+from .metrics import SimulationReport
+from .power import PowerModel
+from .trace import ExecutionTrace, TaskRecord
+
+__all__ = [
+    "ClusterSimulator",
+    "OnlineSimulation",
+    "OnlineSimReport",
+    "ServedRequest",
+    "EventQueue",
+    "FailureModel",
+    "FailureReport",
+    "Outage",
+    "Slowdown",
+    "replay_with_failures",
+    "replay_with_duration_noise",
+    "SimulationReport",
+    "PowerModel",
+    "ExecutionTrace",
+    "TaskRecord",
+    "TaskStarted",
+    "TaskFinished",
+    "MachineIdle",
+    "SimEvent",
+]

@@ -1,0 +1,76 @@
+"""A small discrete-event simulation engine.
+
+The cluster simulator (and the online-serving example) are built on this
+classic event-heap core: callbacks are scheduled at absolute times and
+executed in time order (FIFO among equal times).  The engine is
+deliberately minimal — no processes or channels — because the workloads
+here are open-loop: schedules are computed up front and the simulator
+replays them, checking the model's assumptions against "physical" time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, List, Optional, Tuple
+
+from ..utils.errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered callback executor."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time`` (≥ now)."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at NaN time")
+        if time < self._now - 1e-12 * max(abs(self._now), 1.0):
+            raise SimulationError(f"cannot schedule in the past: {time} < now {self._now}")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events in order; returns the final simulation time.
+
+        ``until`` stops the clock at that time (remaining events stay
+        queued); without it the queue drains completely.
+        """
+        if self._running:
+            raise SimulationError("EventQueue.run is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                time, _, callback = self._heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._heap)
+                self._now = time
+                callback()
+            if until is not None:
+                self._now = max(self._now, until)
+            return self._now
+        finally:
+            self._running = False
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,43 @@
+"""Typed event records emitted by the cluster simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TaskStarted", "TaskFinished", "MachineIdle", "SimEvent"]
+
+
+@dataclass(frozen=True)
+class TaskStarted:
+    """A task's share began executing on a machine."""
+
+    time: float
+    task: int
+    machine: int
+
+
+@dataclass(frozen=True)
+class TaskFinished:
+    """A task's share finished on a machine.
+
+    ``flops`` is the work done by this machine's share; ``missed_deadline``
+    flags completions past the task's deadline (the simulator's audit —
+    the algorithms should never produce one).
+    """
+
+    time: float
+    task: int
+    machine: int
+    flops: float
+    missed_deadline: bool
+
+
+@dataclass(frozen=True)
+class MachineIdle:
+    """A machine ran out of queued work."""
+
+    time: float
+    machine: int
+
+
+SimEvent = TaskStarted | TaskFinished | MachineIdle

@@ -1,0 +1,95 @@
+"""Measured outcomes of a simulated run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from .events import SimEvent
+from .power import PowerModel
+from .trace import ExecutionTrace
+
+__all__ = ["SimulationReport"]
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Everything the simulated cluster measured while replaying a plan."""
+
+    instance: ProblemInstance
+    trace: ExecutionTrace
+    task_flops: np.ndarray
+    task_accuracies: np.ndarray
+    task_completion: np.ndarray
+    machine_busy: np.ndarray
+    energy: float
+    deadline_misses: Tuple[tuple[int, int, float], ...]
+    events: Tuple[SimEvent, ...] = ()
+
+    @classmethod
+    def from_trace(
+        cls,
+        instance: ProblemInstance,
+        trace: ExecutionTrace,
+        power_model: PowerModel,
+        *,
+        deadline_misses: Tuple[tuple[int, int, float], ...] = (),
+        events: Tuple[SimEvent, ...] = (),
+    ) -> "SimulationReport":
+        flops = trace.task_flops()
+        return cls(
+            instance=instance,
+            trace=trace,
+            task_flops=flops,
+            task_accuracies=instance.tasks.accuracies(flops),
+            task_completion=trace.task_completion(),
+            machine_busy=trace.machine_busy(),
+            energy=power_model.energy(trace.machine_busy(), horizon=instance.tasks.d_max if power_model.account_idle else None),
+            deadline_misses=deadline_misses,
+            events=events,
+        )
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def total_accuracy(self) -> float:
+        return float(self.task_accuracies.sum())
+
+    @property
+    def mean_accuracy(self) -> float:
+        return self.total_accuracy / self.instance.n_tasks
+
+    @property
+    def within_budget(self) -> bool:
+        budget = self.instance.budget
+        return self.energy <= budget * (1.0 + 1e-7) if np.isfinite(budget) else True
+
+    @property
+    def all_deadlines_met(self) -> bool:
+        return not self.deadline_misses
+
+    @property
+    def makespan(self) -> float:
+        return self.trace.makespan()
+
+    @property
+    def utilization(self) -> np.ndarray:
+        """Busy fraction per machine over the deadline horizon."""
+        horizon = self.instance.tasks.d_max
+        return self.machine_busy / horizon if horizon > 0 else np.zeros_like(self.machine_busy)
+
+    def summary(self) -> str:
+        """Human-readable digest (used by examples)."""
+        lines = [
+            f"tasks: {self.instance.n_tasks}, machines: {self.instance.n_machines}",
+            f"mean accuracy:     {self.mean_accuracy:.4f}",
+            f"energy:            {self.energy:.1f} J"
+            + (f" / budget {self.instance.budget:.1f} J" if np.isfinite(self.instance.budget) else " (no budget)"),
+            f"deadlines met:     {self.all_deadlines_met} ({len(self.deadline_misses)} misses)",
+            f"makespan:          {self.makespan:.4g} s",
+            f"utilization:       {np.array2string(self.utilization, precision=2)}",
+        ]
+        return "\n".join(lines)

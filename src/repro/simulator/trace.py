@@ -1,0 +1,144 @@
+"""Execution traces: what actually happened when a schedule was replayed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..utils.errors import ValidationError
+
+__all__ = ["TaskRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One task's share on one machine."""
+
+    task: int
+    machine: int
+    start: float
+    end: float
+    flops: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """All task-share records of one simulated run."""
+
+    n_tasks: int
+    n_machines: int
+    records: List[TaskRecord] = field(default_factory=list)
+
+    def add(self, record: TaskRecord) -> None:
+        if not 0 <= record.task < self.n_tasks:
+            raise ValidationError(f"task index {record.task} out of range")
+        if not 0 <= record.machine < self.n_machines:
+            raise ValidationError(f"machine index {record.machine} out of range")
+        self.records.append(record)
+
+    def task_flops(self) -> np.ndarray:
+        """Total work done per task across machines."""
+        out = np.zeros(self.n_tasks)
+        for rec in self.records:
+            out[rec.task] += rec.flops
+        return out
+
+    def task_completion(self) -> np.ndarray:
+        """Latest end time per task (0 for tasks never executed)."""
+        out = np.zeros(self.n_tasks)
+        for rec in self.records:
+            out[rec.task] = max(out[rec.task], rec.end)
+        return out
+
+    def machine_busy(self) -> np.ndarray:
+        """Total busy seconds per machine."""
+        out = np.zeros(self.n_machines)
+        for rec in self.records:
+            out[rec.machine] += rec.duration
+        return out
+
+    def makespan(self) -> float:
+        """End of the last share (0 for an empty trace)."""
+        return max((rec.end for rec in self.records), default=0.0)
+
+    def gantt(self, *, width: int = 72, min_share: float = 1e-9) -> str:
+        """ASCII Gantt chart (one row per machine) for examples/debugging."""
+        span = self.makespan()
+        if span <= 0:
+            return "(empty trace)"
+        lines = []
+        for r in range(self.n_machines):
+            row = [" "] * width
+            for rec in self.records:
+                if rec.machine != r or rec.duration < min_share:
+                    continue
+                lo = int(rec.start / span * (width - 1))
+                hi = max(int(rec.end / span * (width - 1)), lo)
+                label = str(rec.task % 10)
+                for x in range(lo, hi + 1):
+                    row[x] = label
+            lines.append(f"m{r:<2d} |{''.join(row)}|")
+        lines.append(f"     0{' ' * (width - 12)}{span:.4g}s")
+        return "\n".join(lines)
+
+    def to_svg(
+        self,
+        *,
+        width: int = 800,
+        row_height: int = 28,
+        colors: Sequence[str] = ("#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948"),
+    ) -> str:
+        """Render the trace as a standalone SVG Gantt chart.
+
+        Dependency-free (string assembly); one row per machine, one
+        rectangle per task share, tasks coloured cyclically with the
+        task index as a label.  Open the result in any browser.
+        """
+        span = self.makespan()
+        margin, label_w = 8, 40
+        chart_w = width - 2 * margin - label_w
+        height = self.n_machines * row_height + 2 * margin + 20
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+            f'font-family="monospace" font-size="11">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+        ]
+        for r in range(self.n_machines):
+            y = margin + r * row_height
+            parts.append(
+                f'<text x="{margin}" y="{y + row_height * 0.65:.1f}" fill="#333">m{r}</text>'
+            )
+            parts.append(
+                f'<line x1="{margin + label_w}" y1="{y + row_height - 4}" '
+                f'x2="{width - margin}" y2="{y + row_height - 4}" stroke="#ddd"/>'
+            )
+        if span > 0:
+            for rec in self.records:
+                x = margin + label_w + rec.start / span * chart_w
+                w = max(rec.duration / span * chart_w, 1.0)
+                y = margin + rec.machine * row_height + 3
+                color = colors[rec.task % len(colors)]
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" height="{row_height - 10}" '
+                    f'fill="{color}" stroke="#333" stroke-width="0.5">'
+                    f"<title>task {rec.task}: {rec.start:.4g}s–{rec.end:.4g}s "
+                    f"({rec.flops:.3g} FLOP)</title></rect>"
+                )
+                if w > 14:
+                    parts.append(
+                        f'<text x="{x + 2:.1f}" y="{y + row_height * 0.5:.1f}" '
+                        f'fill="white">{rec.task}</text>'
+                    )
+        axis_y = margin + self.n_machines * row_height + 12
+        parts.append(f'<text x="{margin + label_w}" y="{axis_y}" fill="#333">0</text>')
+        parts.append(
+            f'<text x="{width - margin - 50}" y="{axis_y}" fill="#333">{span:.4g}s</text>'
+        )
+        parts.append("</svg>")
+        return "".join(parts)

@@ -1,0 +1,44 @@
+"""Shared utilities: units, RNG plumbing, validation, timing, errors."""
+
+from . import units
+from .errors import (
+    InfeasibleError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    ValidationError,
+)
+from .rng import SeedLike, ensure_rng, spawn
+from .timing import Timer, TimingResult, repeat_call, time_call
+from .validation import (
+    check_finite,
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+    check_sorted,
+    require,
+)
+
+__all__ = [
+    "units",
+    "ReproError",
+    "ValidationError",
+    "InfeasibleError",
+    "SolverError",
+    "SimulationError",
+    "SeedLike",
+    "ensure_rng",
+    "spawn",
+    "Timer",
+    "TimingResult",
+    "time_call",
+    "repeat_call",
+    "require",
+    "check_positive",
+    "check_nonnegative",
+    "check_finite",
+    "check_fraction",
+    "check_sorted",
+    "check_same_length",
+]

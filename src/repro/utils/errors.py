@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library-level failures without
+accidentally swallowing programming errors (``TypeError`` etc. propagate
+unchanged).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "InfeasibleError",
+    "SolverError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Invalid input data: negative speeds, unsorted breakpoints, ..."""
+
+
+class InfeasibleError(ReproError):
+    """The problem instance admits no feasible solution.
+
+    For DSCT-EA this is rare — the all-zero schedule is always feasible
+    when the budget is non-negative — but degenerate inputs (negative
+    budget, negative deadlines) raise this.
+    """
+
+
+class SolverError(ReproError):
+    """An exact solver (LP/MIP backend) failed or returned a bad status."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistent state."""

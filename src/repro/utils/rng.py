@@ -1,0 +1,41 @@
+"""Deterministic random-number plumbing.
+
+All stochastic code in the library takes a ``seed`` argument that may be
+
+* ``None`` — fresh OS entropy,
+* an ``int`` — reproducible stream,
+* a ``numpy.random.Generator`` — used as-is (caller controls the stream).
+
+:func:`ensure_rng` normalises the three forms.  :func:`spawn` derives
+independent child generators so that, e.g., each repetition of an
+experiment gets its own stream and adding repetitions never perturbs
+earlier ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "ensure_rng", "spawn"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(seed: SeedLike, n: int) -> Sequence[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Children are derived through NumPy's ``spawn`` mechanism so streams do
+    not overlap, and the i-th child is a pure function of ``(seed, i)``.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return ensure_rng(seed).spawn(n)

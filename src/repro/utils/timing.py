@@ -1,0 +1,78 @@
+"""Wall-clock measurement helpers for the runtime experiments (Fig. 4, Table 1).
+
+The paper compares algorithm execution times; these helpers keep the
+measurement convention (``perf_counter``, best-of / mean-of repetitions)
+in one place so all experiments time things the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, TypeVar
+
+__all__ = ["Timer", "TimingResult", "time_call", "repeat_call"]
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimingResult:
+    """Aggregate of repeated timings of one callable."""
+
+    seconds: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed seconds (0.0 when empty)."""
+        return sum(self.seconds) / len(self.seconds) if self.seconds else 0.0
+
+    @property
+    def best(self) -> float:
+        """Minimum elapsed seconds."""
+        return min(self.seconds) if self.seconds else 0.0
+
+    @property
+    def worst(self) -> float:
+        """Maximum elapsed seconds."""
+        return max(self.seconds) if self.seconds else 0.0
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Call ``fn`` once, returning ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def repeat_call(fn: Callable[[], T], repetitions: int = 3) -> TimingResult:
+    """Time ``fn`` several times (paper experiments average over instances)."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    result = TimingResult()
+    for _ in range(repetitions):
+        _, elapsed = time_call(fn)
+        result.seconds.append(elapsed)
+    return result

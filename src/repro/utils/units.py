@@ -1,0 +1,105 @@
+"""Unit conventions and conversions.
+
+The library stores all quantities internally in SI units:
+
+===============  =========================  =====================
+quantity         internal unit              typical constructor
+===============  =========================  =====================
+work             FLOP (floating-point ops)  :func:`tflop`
+speed            FLOP/s                     :func:`tflops`
+time             second                     plain float
+power            Watt                       plain float
+energy           Joule                      plain float
+efficiency       FLOP/J (= FLOP/s/W)        :func:`gflops_per_watt`
+accuracy         fraction in [0, 1]         plain float
+===============  =========================  =====================
+
+The paper quotes machine speeds in TFLOPS (10**12 FLOP/s) and energy
+efficiencies in GFLOPS/W (10**9 FLOP/J); the helpers here are the single
+conversion point so that the rest of the code never multiplies by raw
+powers of ten.
+
+float64 headroom: a 20 TFLOPS machine running for an hour performs
+7.2e16 FLOP, ~39 bits — far inside the 53-bit mantissa, so plain SI
+floats are safe without rescaling.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TERA",
+    "GIGA",
+    "MEGA",
+    "KILO",
+    "tflop",
+    "gflop",
+    "tflops",
+    "gflops",
+    "gflops_per_watt",
+    "as_tflop",
+    "as_tflops",
+    "as_gflops_per_watt",
+    "joules",
+    "watt_hours",
+    "as_watt_hours",
+]
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+
+def tflop(value: float) -> float:
+    """Convert teraFLOP to FLOP."""
+    return value * TERA
+
+
+def gflop(value: float) -> float:
+    """Convert gigaFLOP to FLOP."""
+    return value * GIGA
+
+
+def tflops(value: float) -> float:
+    """Convert TFLOPS (10**12 FLOP/s) to FLOP/s."""
+    return value * TERA
+
+
+def gflops(value: float) -> float:
+    """Convert GFLOPS (10**9 FLOP/s) to FLOP/s."""
+    return value * GIGA
+
+
+def gflops_per_watt(value: float) -> float:
+    """Convert GFLOPS/W to FLOP/J (the internal efficiency unit)."""
+    return value * GIGA
+
+
+def as_tflop(value: float) -> float:
+    """Convert FLOP to teraFLOP (for display)."""
+    return value / TERA
+
+
+def as_tflops(value: float) -> float:
+    """Convert FLOP/s to TFLOPS (for display)."""
+    return value / TERA
+
+
+def as_gflops_per_watt(value: float) -> float:
+    """Convert FLOP/J to GFLOPS/W (for display)."""
+    return value / GIGA
+
+
+def joules(value: float) -> float:
+    """Identity — energy is already stored in Joules; kept for symmetry."""
+    return value
+
+
+def watt_hours(value: float) -> float:
+    """Convert watt-hours to Joules."""
+    return value * 3600.0
+
+
+def as_watt_hours(value: float) -> float:
+    """Convert Joules to watt-hours (for display)."""
+    return value / 3600.0

@@ -1,0 +1,80 @@
+"""Small reusable argument validators.
+
+These raise :class:`~repro.utils.errors.ValidationError` (a ``ValueError``
+subclass) with messages naming the offending argument, keeping the checks
+in data-model constructors one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ValidationError
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_nonnegative",
+    "check_finite",
+    "check_fraction",
+    "check_sorted",
+    "check_same_length",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate ``value > 0`` (and finite); return it."""
+    check_finite(value, name)
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate ``value >= 0`` (and finite); return it."""
+    check_finite(value, name)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_finite(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite real number; return it."""
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate ``0 <= value <= 1``; return it."""
+    check_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_sorted(values: Sequence[float], name: str, *, strict: bool = False) -> None:
+    """Validate that ``values`` is non-decreasing (or increasing if strict)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size <= 1:
+        return
+    diffs = np.diff(arr)
+    bad = (diffs <= 0) if strict else (diffs < 0)
+    if np.any(bad):
+        kind = "strictly increasing" if strict else "non-decreasing"
+        raise ValidationError(f"{name} must be {kind}, got {list(arr)}")
+
+
+def check_same_length(name_a: str, a: Iterable, name_b: str, b: Iterable) -> None:
+    """Validate that two sized iterables have equal length."""
+    la, lb = len(list(a)), len(list(b))
+    if la != lb:
+        raise ValidationError(f"{name_a} (len {la}) and {name_b} (len {lb}) must have equal length")

@@ -1,0 +1,131 @@
+"""Pluggable distributions for workload generation.
+
+The paper samples θ and deadlines uniformly; sensitivity to those
+choices is part of a serious evaluation.  This module provides a small
+registry of named distributions (uniform, log-normal, Pareto heavy-tail,
+bimodal) usable for both task efficiencies and deadline fractions, and
+a generator variant wired to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.machine import Cluster
+from ..core.task import TaskSet
+from ..utils.errors import ValidationError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_positive, require
+from .generator import TaskGenConfig, tasks_from_thetas
+
+__all__ = ["sample_distribution", "available_distributions", "DistributionalConfig", "generate_distributional_tasks"]
+
+#: name → sampler(rng, size, lo, hi) returning values in [lo, hi].
+_SAMPLERS: Dict[str, Callable] = {}
+
+
+def _register(name: str):
+    def deco(fn):
+        _SAMPLERS[name] = fn
+        return fn
+
+    return deco
+
+
+@_register("uniform")
+def _uniform(rng: np.random.Generator, size: int, lo: float, hi: float) -> np.ndarray:
+    return rng.uniform(lo, hi, size=size)
+
+
+@_register("lognormal")
+def _lognormal(rng: np.random.Generator, size: int, lo: float, hi: float) -> np.ndarray:
+    # Log-normal shaped into [lo, hi]: most mass near lo, a long high tail.
+    raw = rng.lognormal(mean=0.0, sigma=0.75, size=size)
+    raw = raw / (raw.max() if raw.max() > 0 else 1.0)
+    return lo + (hi - lo) * raw
+
+
+@_register("pareto")
+def _pareto(rng: np.random.Generator, size: int, lo: float, hi: float) -> np.ndarray:
+    # Heavy tail clipped into range: many small values, few large ones.
+    raw = rng.pareto(a=1.5, size=size)
+    raw = np.clip(raw / 5.0, 0.0, 1.0)
+    return lo + (hi - lo) * raw
+
+
+@_register("bimodal")
+def _bimodal(rng: np.random.Generator, size: int, lo: float, hi: float) -> np.ndarray:
+    # Half near the bottom, half near the top (the Fig. 6b flavour).
+    which = rng.random(size) < 0.5
+    low = rng.uniform(lo, lo + 0.2 * (hi - lo), size=size)
+    high = rng.uniform(hi - 0.2 * (hi - lo), hi, size=size)
+    return np.where(which, low, high)
+
+
+def available_distributions() -> list[str]:
+    """Names accepted by :func:`sample_distribution`."""
+    return sorted(_SAMPLERS)
+
+
+def sample_distribution(
+    name: str, rng: np.random.Generator, size: int, lo: float, hi: float
+) -> np.ndarray:
+    """Draw ``size`` values in ``[lo, hi]`` from a named distribution."""
+    if name not in _SAMPLERS:
+        raise ValidationError(f"unknown distribution {name!r}; known: {available_distributions()}")
+    require(size >= 1, "size must be >= 1")
+    require(0 < lo <= hi, "need 0 < lo <= hi")
+    values = _SAMPLERS[name](rng, size, lo, hi)
+    return np.clip(values, lo, hi)
+
+
+@dataclass(frozen=True)
+class DistributionalConfig:
+    """Task generation with named θ and deadline distributions."""
+
+    n: int = 100
+    theta_distribution: str = "uniform"
+    theta_range: Tuple[float, float] = (0.1, 1.0)
+    deadline_distribution: str = "uniform"
+    deadline_floor: float = 0.05
+    rho: float = 1.0
+    n_segments: int = 5
+
+    def __post_init__(self) -> None:
+        require(self.n >= 1, "n must be >= 1")
+        check_positive(self.rho, "rho")
+        require(0 < self.deadline_floor <= 1.0, "deadline_floor must lie in (0, 1]")
+        for name in (self.theta_distribution, self.deadline_distribution):
+            if name not in _SAMPLERS:
+                raise ValidationError(f"unknown distribution {name!r}")
+
+
+def generate_distributional_tasks(
+    config: DistributionalConfig, cluster: Cluster, seed: SeedLike = None
+) -> TaskSet:
+    """Like ``generate_tasks`` but with pluggable distributions."""
+    from ..core.accuracy import ExponentialAccuracy
+    from ..utils import units
+    from .generator import PAPER_A_MAX, PAPER_A_MIN
+
+    rng = ensure_rng(seed)
+    thetas = sample_distribution(config.theta_distribution, rng, config.n, *config.theta_range)
+    f_max = np.array(
+        [
+            ExponentialAccuracy(th / units.TERA, a_min=PAPER_A_MIN, a_max=PAPER_A_MAX).f_max
+            for th in thetas
+        ]
+    )
+    d_max = config.rho * float(f_max.sum()) / cluster.total_speed
+    fractions = sample_distribution(
+        config.deadline_distribution, rng, config.n, config.deadline_floor, 1.0
+    )
+    if config.n > 1:
+        fractions[int(rng.integers(config.n))] = 1.0  # pin ρ exactly
+    else:
+        fractions[:] = 1.0
+    return tasks_from_thetas(thetas, fractions * d_max, n_segments=config.n_segments)

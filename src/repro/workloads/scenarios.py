@@ -1,0 +1,192 @@
+"""Named workload scenarios from the paper's evaluation section.
+
+* :func:`heterogeneity_instance` — Fig. 3's setup: n = 100, m = 5,
+  ρ = 0.35, β = 0.5, θ ∈ [θ_min, μ·θ_min] with θ_min = 0.1.
+* :func:`runtime_instance` — Fig. 4 / Table 1 instances (uniform tasks).
+* :func:`budget_sweep_instance` — Fig. 5's setup: n = 100, m = 2,
+  ρ = 1.0, every task θ = 0.1.
+* :func:`fig6_cluster` and the two Fig. 6 task mixes
+  (:func:`uniform_mix_tasks`, :func:`earliest_high_efficiency_tasks`) —
+  machine 1 = 2 TFLOPS / 80 GFLOPS/W, machine 2 = 5 TFLOPS / 70 GFLOPS/W,
+  ρ = 0.01 (very strict deadlines).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.machine import Cluster, Machine
+from ..core.task import TaskSet
+from ..hardware.sampling import sample_uniform_cluster
+from ..utils.rng import SeedLike, ensure_rng, spawn
+from ..utils.validation import check_positive, require
+from .generator import TaskGenConfig, generate_tasks
+
+__all__ = [
+    "PAPER_THETA_MIN",
+    "heterogeneity_instance",
+    "runtime_instance",
+    "budget_sweep_instance",
+    "fig6_cluster",
+    "uniform_mix_tasks",
+    "earliest_high_efficiency_tasks",
+    "fig6_instance",
+]
+
+#: The paper fixes the minimum task efficiency at 0.1.
+PAPER_THETA_MIN = 0.1
+
+
+def heterogeneity_instance(
+    mu: float,
+    *,
+    n: int = 100,
+    m: int = 5,
+    rho: float = 0.35,
+    beta: float = 0.5,
+    theta_min: float = PAPER_THETA_MIN,
+    seed: SeedLike = None,
+) -> ProblemInstance:
+    """One Fig. 3 instance with task heterogeneity ratio μ = θ_max/θ_min."""
+    require(mu >= 1.0, f"mu must be >= 1, got {mu}")
+    rng_cluster, rng_tasks = spawn(seed, 2)
+    cluster = sample_uniform_cluster(m, rng_cluster)
+    config = TaskGenConfig(n=n, theta_range=(theta_min, theta_min * mu), rho=rho)
+    tasks = generate_tasks(config, cluster, rng_tasks)
+    return ProblemInstance.with_beta(tasks, cluster, beta)
+
+
+def runtime_instance(
+    n: int,
+    m: int,
+    *,
+    rho: float = 0.5,
+    beta: float = 0.5,
+    theta_range: Tuple[float, float] = (PAPER_THETA_MIN, 1.0),
+    seed: SeedLike = None,
+) -> ProblemInstance:
+    """One Fig. 4 / Table 1 instance of a given size."""
+    rng_cluster, rng_tasks = spawn(seed, 2)
+    cluster = sample_uniform_cluster(m, rng_cluster)
+    config = TaskGenConfig(n=n, theta_range=theta_range, rho=rho)
+    tasks = generate_tasks(config, cluster, rng_tasks)
+    return ProblemInstance.with_beta(tasks, cluster, beta)
+
+
+def budget_sweep_instance(
+    beta: float,
+    *,
+    n: int = 100,
+    m: int = 2,
+    rho: float = 1.0,
+    theta: float = PAPER_THETA_MIN,
+    common_deadline: bool = True,
+    seed: SeedLike = None,
+) -> ProblemInstance:
+    """One Fig. 5 instance: uniform tasks (θ = 0.1), varying budget ratio.
+
+    ``common_deadline=True`` gives every task the same deadline d_max
+    (deadline_floor = 1).  This reproduces the paper's Fig. 5 boundary
+    behaviour exactly: at β = 1 the budget covers full processing and
+    *all* methods — including EDF-NoCompression — converge to a_max,
+    which is only possible when no individual early deadline binds.
+    """
+    rng_cluster, rng_tasks = spawn(seed, 2)
+    cluster = sample_uniform_cluster(m, rng_cluster)
+    config = TaskGenConfig(
+        n=n,
+        theta_range=(theta, theta),
+        rho=rho,
+        deadline_floor=1.0 if common_deadline else 0.05,
+    )
+    tasks = generate_tasks(config, cluster, rng_tasks)
+    return ProblemInstance.with_beta(tasks, cluster, beta)
+
+
+def fig6_cluster() -> Cluster:
+    """Fig. 6's two machines: slower-but-efficient vs faster-but-hungrier.
+
+    Machine 1: 2 TFLOPS at 80 GFLOPS/W; machine 2: 5 TFLOPS at
+    70 GFLOPS/W (values from [7]).
+    """
+    return Cluster(
+        [
+            Machine.from_tflops(2.0, 80.0, name="machine-1 (efficient)"),
+            Machine.from_tflops(5.0, 70.0, name="machine-2 (fast)"),
+        ]
+    )
+
+
+def uniform_mix_tasks(
+    cluster: Cluster,
+    *,
+    n: int = 100,
+    rho: float = 0.01,
+    theta_range: Tuple[float, float] = (0.1, 4.9),
+    seed: SeedLike = None,
+) -> TaskSet:
+    """Fig. 6a's Uniform Tasks: θ ~ U(0.1, 4.9), very strict deadlines."""
+    config = TaskGenConfig(n=n, theta_range=theta_range, rho=rho)
+    return generate_tasks(config, cluster, seed)
+
+
+def earliest_high_efficiency_tasks(
+    cluster: Cluster,
+    *,
+    n: int = 100,
+    rho: float = 0.01,
+    early_fraction: float = 0.3,
+    high_range: Tuple[float, float] = (4.0, 4.9),
+    low_range: Tuple[float, float] = (0.1, 1.0),
+    seed: SeedLike = None,
+) -> TaskSet:
+    """Fig. 6b's Earliest High Efficient Tasks.
+
+    The earliest ``early_fraction`` of tasks (by deadline) have high
+    efficiency θ ∈ high_range; the rest θ ∈ low_range.
+    """
+    require(0.0 < early_fraction < 1.0, "early_fraction must lie in (0, 1)")
+    rng = ensure_rng(seed)
+    n_early = max(int(round(early_fraction * n)), 1)
+
+    # Draw both groups with a unified generator call so ρ is realised on
+    # the merged set: generate θ first, then deadlines, then assign the
+    # high θ to the earliest deadlines.
+    thetas_high = rng.uniform(*high_range, size=n_early)
+    thetas_low = rng.uniform(*low_range, size=n - n_early)
+    thetas = np.concatenate([thetas_high, thetas_low])
+
+    from ..core.accuracy import ExponentialAccuracy
+    from ..utils import units as _units
+    from .generator import PAPER_A_MAX, PAPER_A_MIN, tasks_from_thetas
+
+    f_max = np.array(
+        [ExponentialAccuracy(th / _units.TERA, a_min=PAPER_A_MIN, a_max=PAPER_A_MAX).f_max for th in thetas]
+    )
+    d_max = rho * float(f_max.sum()) / cluster.total_speed
+    fractions = np.sort(rng.uniform(0.05, 1.0, size=n))
+    fractions[-1] = 1.0
+    # earliest deadlines → high-θ tasks (thetas already ordered high first)
+    deadlines = fractions * d_max
+    return tasks_from_thetas(thetas, deadlines)
+
+
+def fig6_instance(
+    beta: float,
+    scenario: str,
+    *,
+    n: int = 100,
+    seed: SeedLike = None,
+) -> ProblemInstance:
+    """A complete Fig. 6 instance; scenario is 'uniform' or 'earliest'."""
+    cluster = fig6_cluster()
+    if scenario == "uniform":
+        tasks = uniform_mix_tasks(cluster, n=n, seed=seed)
+    elif scenario == "earliest":
+        tasks = earliest_high_efficiency_tasks(cluster, n=n, seed=seed)
+    else:
+        raise ValueError(f"unknown Fig. 6 scenario {scenario!r} (use 'uniform' or 'earliest')")
+    return ProblemInstance.with_beta(tasks, cluster, beta)

@@ -1,0 +1,129 @@
+"""Request traces: synthetic production-shaped streams and CSV I/O.
+
+The paper's motivation (social-network-scale inference) implies
+production request traces we do not have; this module synthesises the
+standard shape — a diurnal rate curve with burst noise — and provides a
+CSV interchange format so real traces can be dropped in when available.
+
+CSV columns: ``arrival_time,slo_seconds,theta_per_tflop`` (header row
+required), matching :class:`~repro.workloads.arrivals.Request` fields.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..utils.errors import ValidationError
+from ..utils.rng import SeedLike, ensure_rng
+from ..utils.validation import check_positive, require
+from .arrivals import Request
+
+__all__ = ["DiurnalTraceConfig", "generate_diurnal_trace", "save_trace", "load_trace"]
+
+
+@dataclass(frozen=True)
+class DiurnalTraceConfig:
+    """Shape of a synthetic production trace.
+
+    The arrival rate follows
+    ``rate(t) = base_rate · (1 + amplitude·sin(2π(t/period − peak_phase)))``
+    (non-homogeneous Poisson, thinned), the classic day/night pattern;
+    ``burst_rate_boost`` adds short random bursts on top.
+    """
+
+    horizon_seconds: float = 3600.0
+    base_rate: float = 2.0
+    amplitude: float = 0.6
+    period_seconds: float = 3600.0
+    peak_phase: float = 0.25
+    burst_rate_boost: float = 0.0
+    burst_mean_length: float = 30.0
+    slo_range: tuple[float, float] = (0.5, 2.0)
+    theta_range: tuple[float, float] = (0.1, 1.0)
+
+    def __post_init__(self) -> None:
+        check_positive(self.horizon_seconds, "horizon_seconds")
+        check_positive(self.base_rate, "base_rate")
+        require(0.0 <= self.amplitude < 1.0, "amplitude must lie in [0, 1)")
+        check_positive(self.period_seconds, "period_seconds")
+        require(self.burst_rate_boost >= 0.0, "burst_rate_boost must be >= 0")
+        check_positive(self.burst_mean_length, "burst_mean_length")
+        require(0 < self.slo_range[0] <= self.slo_range[1], "slo_range must be positive/ordered")
+        require(0 < self.theta_range[0] <= self.theta_range[1], "theta_range must be positive/ordered")
+
+
+def generate_diurnal_trace(config: DiurnalTraceConfig, seed: SeedLike = None) -> List[Request]:
+    """Sample a trace by thinning a homogeneous Poisson process."""
+    rng = ensure_rng(seed)
+    max_rate = config.base_rate * (1.0 + config.amplitude) + config.burst_rate_boost
+    # Pre-draw burst windows.
+    bursts: List[tuple[float, float]] = []
+    if config.burst_rate_boost > 0:
+        t = float(rng.exponential(config.horizon_seconds / 4))
+        while t < config.horizon_seconds:
+            length = float(rng.exponential(config.burst_mean_length))
+            bursts.append((t, t + length))
+            t += length + float(rng.exponential(config.horizon_seconds / 4))
+
+    def rate_at(t: float) -> float:
+        base = config.base_rate * (
+            1.0 + config.amplitude * math.sin(2 * math.pi * (t / config.period_seconds - config.peak_phase))
+        )
+        boost = config.burst_rate_boost if any(a <= t < b for a, b in bursts) else 0.0
+        return base + boost
+
+    out: List[Request] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / max_rate))
+        if t >= config.horizon_seconds:
+            return out
+        if rng.random() <= rate_at(t) / max_rate:  # thinning
+            out.append(
+                Request(
+                    arrival_time=t,
+                    slo_seconds=float(rng.uniform(*config.slo_range)),
+                    theta_per_tflop=float(rng.uniform(*config.theta_range)),
+                )
+            )
+
+
+_HEADER = ["arrival_time", "slo_seconds", "theta_per_tflop"]
+
+
+def save_trace(requests: Sequence[Request], path: Union[str, Path]) -> None:
+    """Write a trace as CSV (sorted by arrival time)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for r in sorted(requests, key=lambda r: r.arrival_time):
+            writer.writerow([repr(r.arrival_time), repr(r.slo_seconds), repr(r.theta_per_tflop)])
+
+
+def load_trace(path: Union[str, Path]) -> List[Request]:
+    """Read a CSV trace written by :func:`save_trace` (or hand-made)."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise ValidationError(f"trace CSV must start with header {','.join(_HEADER)}, got {header}")
+        out: List[Request] = []
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise ValidationError(f"line {lineno}: expected 3 columns, got {len(row)}")
+            try:
+                arrival, slo, theta = (float(v) for v in row)
+            except ValueError as exc:
+                raise ValidationError(f"line {lineno}: non-numeric value ({exc})") from None
+            if arrival < 0 or slo <= 0 or theta <= 0:
+                raise ValidationError(f"line {lineno}: values out of range {row}")
+            out.append(Request(arrival_time=arrival, slo_seconds=slo, theta_per_tflop=theta))
+    return sorted(out, key=lambda r: r.arrival_time)

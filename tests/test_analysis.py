@@ -1,0 +1,85 @@
+"""Schedule analytics and the robustness experiment drivers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler
+from repro.core import Schedule
+from repro.core.analysis import describe, format_analysis
+from repro.experiments import RobustnessConfig, run_outage_sweep, run_slowdown_sweep
+
+from conftest import make_instance
+
+
+class TestDescribe:
+    @pytest.fixture(scope="class")
+    def case(self):
+        inst = make_instance(n=10, m=2, beta=0.5, seed=170)
+        return inst, ApproxScheduler().solve(inst)
+
+    def test_shapes(self, case):
+        inst, sched = case
+        a = describe(sched)
+        assert a.compression_ratios.shape == (10,)
+        assert a.machine_work_share.shape == (2,)
+
+    def test_ratios_bounded(self, case):
+        _, sched = case
+        a = describe(sched)
+        assert np.all((a.compression_ratios >= 0) & (a.compression_ratios <= 1))
+
+    def test_shares_sum_to_one(self, case):
+        _, sched = case
+        a = describe(sched)
+        assert a.machine_work_share.sum() == pytest.approx(1.0)
+        assert a.machine_energy_share.sum() == pytest.approx(1.0)
+
+    def test_headroom_consistent(self, case):
+        inst, sched = case
+        a = describe(sched)
+        for j, task in enumerate(inst.tasks):
+            assert a.accuracy_headroom[j] == pytest.approx(
+                task.a_max - sched.task_accuracies[j], abs=1e-12
+            )
+
+    def test_empty_schedule(self, case):
+        inst, _ = case
+        a = describe(Schedule.empty(inst))
+        assert len(a.unscheduled_tasks) == 10
+        assert a.mean_compression == 0.0
+        assert a.machine_work_share.sum() == 0.0
+
+    def test_budget_utilisation(self, case):
+        inst, sched = case
+        a = describe(sched)
+        assert a.budget_utilisation == pytest.approx(sched.total_energy / inst.budget)
+
+    def test_unbudgeted_instance_nan(self):
+        inst = make_instance(n=4, m=2, seed=171)
+        inst = type(inst)(inst.tasks, inst.cluster, math.inf)
+        a = describe(ApproxScheduler().solve(inst))
+        assert math.isnan(a.budget_utilisation)
+
+    def test_format_contains_sections(self, case):
+        _, sched = case
+        text = format_analysis(sched)
+        assert "mean compression" in text
+        assert "budget utilisation" in text
+
+
+class TestRobustnessDrivers:
+    CFG = RobustnessConfig(n=15, m=2, repetitions=2)
+
+    def test_outage_sweep_monotone(self):
+        table = run_outage_sweep(self.CFG, fractions=(0.0, 0.5, 1.0))
+        retained = table.column("accuracy_retained_pct")
+        assert retained == sorted(retained)
+        assert retained[-1] == pytest.approx(100.0, abs=0.1)
+
+    def test_slowdown_sweep_misses_monotone(self):
+        table = run_slowdown_sweep(self.CFG, factors=(1.0, 0.5))
+        misses = table.column("deadline_misses")
+        assert misses[0] <= misses[1]
+        assert misses[0] == 0.0

@@ -1,0 +1,146 @@
+"""Baseline schedulers: EDF-NoCompression, EDF-3CompressionLevels, extras."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.approx import ApproxScheduler
+from repro.baselines import (
+    PAPER_LEVELS,
+    EDFDiscreteLevelsScheduler,
+    EDFNoCompressionScheduler,
+    GreedyEnergyScheduler,
+    RandomAssignScheduler,
+)
+from repro.baselines.edf import PlacementState, least_loaded_machine
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+ALL_BASELINES = [
+    EDFNoCompressionScheduler(),
+    EDFDiscreteLevelsScheduler(),
+    GreedyEnergyScheduler(),
+    RandomAssignScheduler(seed=0),
+]
+
+
+class TestPlacementState:
+    def test_fits_deadline(self):
+        inst = make_instance(n=4, m=2, beta=1.0, seed=70)
+        state = PlacementState(inst)
+        d0 = inst.tasks.deadlines[0]
+        assert state.fits(0, 0, d0 * 0.9)
+        assert not state.fits(0, 0, d0 * 1.1)
+
+    def test_fits_budget(self):
+        inst = make_instance(n=4, m=2, beta=1.0, seed=70)
+        inst = type(inst)(inst.tasks, inst.cluster, 1.0)  # 1 J budget
+        state = PlacementState(inst)
+        too_long = 2.0 / inst.cluster.powers[0]
+        assert not state.fits(0, 0, min(too_long, inst.tasks.deadlines[0]))
+
+    def test_place_accumulates(self):
+        inst = make_instance(n=4, m=2, beta=1.0, seed=70)
+        state = PlacementState(inst)
+        state.place(0, 1, 0.2)
+        assert state.loads[1] == pytest.approx(0.2)
+        assert state.energy_used == pytest.approx(0.2 * inst.cluster.powers[1])
+
+    def test_least_loaded(self):
+        loads = np.array([3.0, 1.0, 2.0])
+        assert least_loaded_machine(loads) == 1
+        assert least_loaded_machine(loads, exclude=np.array([False, True, False])) == 2
+        assert least_loaded_machine(loads, exclude=np.array([True, True, True])) == -1
+
+
+class TestFeasibilityAll:
+    @pytest.mark.parametrize("scheduler", ALL_BASELINES, ids=lambda s: s.name)
+    @pytest.mark.parametrize("beta", [0.1, 0.5, 1.0])
+    def test_always_feasible(self, scheduler, beta):
+        inst = make_instance(n=12, m=3, beta=beta, seed=71)
+        sched = scheduler.solve(inst)
+        report = sched.feasibility(integral=True)
+        assert report.feasible, report.summary()
+
+    @pytest.mark.parametrize("scheduler", ALL_BASELINES, ids=lambda s: s.name)
+    def test_zero_budget(self, scheduler):
+        inst = make_instance(n=6, m=2, beta=1.0, seed=72)
+        inst = type(inst)(inst.tasks, inst.cluster, 0.0)
+        sched = scheduler.solve(inst)
+        assert np.allclose(sched.times, 0.0)
+
+
+class TestNoCompression:
+    def test_all_or_nothing(self):
+        """Scheduled tasks perform exactly f_max; others exactly zero."""
+        inst = make_instance(n=10, m=3, beta=0.6, seed=73)
+        sched = EDFNoCompressionScheduler().solve(inst)
+        flops = sched.task_flops
+        for j in range(inst.n_tasks):
+            full = inst.tasks.f_max[j]
+            assert flops[j] == pytest.approx(full, rel=1e-9) or flops[j] == 0.0
+
+    def test_loose_instance_schedules_everything(self):
+        inst = make_instance(n=5, m=2, beta=5.0, rho=20.0, seed=74)
+        sched = EDFNoCompressionScheduler().solve(inst)
+        assert np.all(sched.task_flops > 0)
+        assert sched.total_accuracy == pytest.approx(inst.tasks.max_accuracy_sum(), rel=1e-9)
+
+    def test_budget_starves_tail(self):
+        """Under a tight budget, later tasks go unscheduled."""
+        inst = make_instance(n=10, m=2, beta=0.1, rho=1.0, seed=75)
+        sched = EDFNoCompressionScheduler().solve(inst)
+        flops = sched.task_flops
+        assert flops.sum() > 0
+        assert np.any(flops == 0.0)
+
+
+class TestDiscreteLevels:
+    def test_levels_validation(self):
+        with pytest.raises(ValidationError):
+            EDFDiscreteLevelsScheduler([])
+        with pytest.raises(ValidationError):
+            EDFDiscreteLevelsScheduler([0.0, 0.5])
+        with pytest.raises(ValidationError):
+            EDFDiscreteLevelsScheduler([0.5, 1.5])
+
+    def test_name_reflects_level_count(self):
+        assert EDFDiscreteLevelsScheduler().name == "EDF-3COMPRESSIONLEVELS"
+        assert EDFDiscreteLevelsScheduler([0.3, 0.8]).name == "EDF-2COMPRESSIONLEVELS"
+
+    def test_accuracies_land_on_levels(self):
+        inst = make_instance(n=10, m=2, beta=0.7, rho=2.0, seed=76)
+        sched = EDFDiscreteLevelsScheduler().solve(inst)
+        targets = {round(min(lv, t.a_max), 6) for lv in PAPER_LEVELS for t in inst.tasks}
+        targets |= {round(t.a_min, 6) for t in inst.tasks}
+        for acc in sched.task_accuracies:
+            assert any(abs(acc - t) < 1e-6 for t in targets), acc
+
+    def test_upgrade_pass_helps(self):
+        inst = make_instance(n=12, m=2, beta=0.6, seed=77)
+        with_up = EDFDiscreteLevelsScheduler(upgrade_pass=True).solve(inst)
+        without = EDFDiscreteLevelsScheduler(upgrade_pass=False).solve(inst)
+        assert with_up.total_accuracy >= without.total_accuracy - 1e-9
+
+    def test_below_continuous_approx_usually(self):
+        inst = make_instance(n=20, m=2, beta=0.4, seed=78)
+        levels = EDFDiscreteLevelsScheduler().solve(inst)
+        approx = ApproxScheduler().solve(inst)
+        assert levels.total_accuracy <= approx.total_accuracy + 1e-6
+
+
+class TestExtras:
+    def test_random_assign_reproducible(self):
+        inst = make_instance(n=8, m=3, beta=0.5, seed=79)
+        a = RandomAssignScheduler(seed=5).solve(inst)
+        b = RandomAssignScheduler(seed=5).solve(inst)
+        assert np.allclose(a.times, b.times)
+
+    def test_greedy_beats_random_on_average(self):
+        wins = 0
+        for seed in range(6):
+            inst = make_instance(n=15, m=3, beta=0.3, seed=300 + seed)
+            g = GreedyEnergyScheduler().solve(inst)
+            r = RandomAssignScheduler(seed=seed).solve(inst)
+            wins += g.total_accuracy >= r.total_accuracy
+        assert wins >= 4

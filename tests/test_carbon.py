@@ -1,0 +1,99 @@
+"""Carbon accounting extension."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler
+from repro.extensions import (
+    CarbonIntensityCurve,
+    RenewablePlanner,
+    duck_curve_grid,
+    flat_grid,
+    report_carbon,
+    schedule_carbon,
+)
+from repro.extensions.carbon import JOULES_PER_KWH
+from repro.hardware import sample_uniform_cluster
+from repro.utils.errors import ValidationError
+from repro.workloads import TaskGenConfig, generate_tasks
+
+from conftest import make_instance
+
+
+class TestCurve:
+    def test_flat(self):
+        curve = flat_grid(300.0)
+        assert curve.at_hour(0) == 300.0
+        assert curve.at_hour(23.9) == 300.0
+        assert curve.mean_intensity == 300.0
+
+    def test_duck_shape(self):
+        curve = duck_curve_grid()
+        assert curve.at_hour(12) < curve.at_hour(3) < curve.at_hour(19)
+
+    def test_wraps_hours(self):
+        curve = duck_curve_grid()
+        assert curve.at_hour(36) == curve.at_hour(12)
+        assert curve.at_hour(-5) == curve.at_hour(19)
+
+    def test_coarse_steps(self):
+        curve = CarbonIntensityCurve(np.array([100.0, 200.0]))  # 12 h steps
+        assert curve.at_hour(3) == 100.0
+        assert curve.at_hour(15) == 200.0
+
+    def test_grams_for_energy(self):
+        curve = flat_grid(500.0)
+        assert curve.grams_for_energy(JOULES_PER_KWH, 10.0) == pytest.approx(500.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CarbonIntensityCurve(np.array([-1.0]))
+        with pytest.raises(ValidationError):
+            CarbonIntensityCurve(np.zeros((2, 2)))
+        with pytest.raises(ValidationError):
+            flat_grid(100.0).grams_for_energy(-1.0, 0.0)
+
+
+class TestScheduleCarbon:
+    def test_proportional_to_energy(self):
+        inst = make_instance(n=6, m=2, beta=0.4, seed=130)
+        sched = ApproxScheduler().solve(inst)
+        curve = flat_grid(400.0)
+        grams = schedule_carbon(sched, curve)
+        assert grams == pytest.approx(sched.total_energy / JOULES_PER_KWH * 400.0)
+
+    def test_hour_matters_on_duck_grid(self):
+        inst = make_instance(n=6, m=2, beta=0.4, seed=131)
+        sched = ApproxScheduler().solve(inst)
+        curve = duck_curve_grid()
+        assert schedule_carbon(sched, curve, hour=12) < schedule_carbon(sched, curve, hour=19)
+
+
+class TestReportCarbon:
+    def make_report(self):
+        cluster = sample_uniform_cluster(2, seed=7)
+        planner = RenewablePlanner(cluster, ApproxScheduler())
+        tasks = [
+            generate_tasks(TaskGenConfig(n=5, rho=0.8), cluster, seed=700 + e) for e in range(4)
+        ]
+        harvests = planner.harvests_from_betas([0.3, 0.6, 0.6, 0.3], tasks)
+        return planner.run(tasks, harvests)
+
+    def test_all_grid_default(self):
+        report = self.make_report()
+        grams = report_carbon(report, flat_grid(400.0))
+        assert grams == pytest.approx(report.total_energy / JOULES_PER_KWH * 400.0)
+
+    def test_grid_fraction_discounts(self):
+        report = self.make_report()
+        curve = flat_grid(400.0)
+        full = report_carbon(report, curve)
+        half = report_carbon(report, curve, grid_fraction=[0.5] * 4)
+        assert half == pytest.approx(full / 2)
+
+    def test_grid_fraction_validation(self):
+        report = self.make_report()
+        with pytest.raises(ValidationError):
+            report_carbon(report, flat_grid(), grid_fraction=[0.5])
+        with pytest.raises(ValidationError):
+            report_carbon(report, flat_grid(), grid_fraction=[2.0] * 4)

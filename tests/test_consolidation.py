@@ -1,0 +1,102 @@
+"""Idle-power-aware consolidation scheduler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler
+from repro.extensions import ConsolidatingScheduler
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+
+class TestConsolidation:
+    def test_zero_idle_matches_plain_approx(self):
+        inst = make_instance(n=8, m=3, beta=0.5, seed=220)
+        plain = ApproxScheduler().solve(inst)
+        cons = ConsolidatingScheduler(idle_fraction=0.0).solve(inst)
+        # with no idle draw, powering everything on is weakly best
+        assert cons.total_accuracy >= plain.total_accuracy - 1e-9
+
+    def test_heavy_idle_powers_machines_down(self):
+        inst = make_instance(n=8, m=3, beta=0.4, seed=221)
+        result = ConsolidatingScheduler(idle_fraction=0.6).solve_with_info(inst)
+        assert len(result.info.extra["powered_on"]) < inst.n_machines
+
+    def test_schedule_on_full_cluster_indexing(self):
+        inst = make_instance(n=8, m=3, beta=0.4, seed=222)
+        result = ConsolidatingScheduler(idle_fraction=0.6).solve_with_info(inst)
+        sched = result.schedule
+        assert sched.times.shape == (inst.n_tasks, inst.n_machines)
+        powered = set(result.info.extra["powered_on"])
+        for r in range(inst.n_machines):
+            if r not in powered:
+                assert np.all(sched.times[:, r] == 0.0)
+
+    def test_total_energy_with_idle_within_budget(self):
+        inst = make_instance(n=8, m=3, beta=0.4, seed=223)
+        result = ConsolidatingScheduler(idle_fraction=0.4).solve_with_info(inst)
+        total = result.schedule.total_energy + result.info.extra["idle_overhead_joules"]
+        assert total <= inst.budget * (1 + 1e-9)
+
+    def test_idle_monotone_accuracy(self):
+        inst = make_instance(n=8, m=3, beta=0.4, seed=224)
+        accs = [
+            ConsolidatingScheduler(idle_fraction=f).solve(inst).total_accuracy
+            for f in (0.0, 0.3, 0.6)
+        ]
+        assert accs[0] >= accs[1] - 1e-9 >= accs[2] - 2e-9
+
+    def test_budget_too_small_for_any_machine(self):
+        inst = make_instance(n=4, m=2, beta=1.0, seed=225)
+        tiny = type(inst)(inst.tasks, inst.cluster, 1e-6)
+        result = ConsolidatingScheduler(idle_fraction=1.0).solve_with_info(tiny)
+        assert result.info.status == "all_machines_off"
+        assert np.allclose(result.schedule.times, 0.0)
+
+    def test_infinite_budget(self):
+        inst = make_instance(n=5, m=2, beta=1.0, seed=226)
+        inst = type(inst)(inst.tasks, inst.cluster, math.inf)
+        sched = ConsolidatingScheduler(idle_fraction=0.5).solve(inst)
+        assert sched.feasibility().feasible
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            ConsolidatingScheduler(idle_fraction=1.5)
+
+
+class TestEvaluation:
+    def test_sample_batch_accuracy_bounds(self):
+        from repro.models import sample_batch_accuracy
+
+        acc = sample_batch_accuracy(0.8, 100, seed=1)
+        assert 0.0 <= acc <= 1.0
+
+    def test_large_batches_concentrate(self):
+        from repro.models import sample_batch_accuracy
+
+        draws = [sample_batch_accuracy(0.7, 100_000, seed=s) for s in range(5)]
+        assert all(abs(d - 0.7) < 0.01 for d in draws)
+
+    def test_evaluate_schedule_batches(self):
+        from repro.models import evaluate_schedule_batches
+
+        inst = make_instance(n=6, m=2, beta=0.5, seed=227)
+        sched = ApproxScheduler().solve(inst)
+        ev = evaluate_schedule_batches(sched, [10_000] * 6, seed=2)
+        assert ev.expected.shape == ev.realised.shape == (6,)
+        assert ev.max_abs_gap < 0.05
+        assert abs(ev.mean_realised - ev.mean_expected) < 0.02
+
+    def test_evaluate_validation(self):
+        from repro.models import evaluate_schedule_batches
+        from repro.utils.errors import ValidationError as VE
+
+        inst = make_instance(n=4, m=2, beta=0.5, seed=228)
+        sched = ApproxScheduler().solve(inst)
+        with pytest.raises(VE):
+            evaluate_schedule_batches(sched, [10, 10])
+        with pytest.raises(VE):
+            evaluate_schedule_batches(sched, [0, 10, 10, 10])

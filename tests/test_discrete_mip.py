@@ -1,0 +1,70 @@
+"""Exact discrete-levels MIP."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler, FractionalScheduler
+from repro.baselines import EDFDiscreteLevelsScheduler
+from repro.exact import DiscreteLevelsMIPScheduler, solve_discrete_mip
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+
+class TestSolve:
+    @pytest.fixture(scope="class")
+    def case(self):
+        inst = make_instance(n=6, m=2, beta=0.4, seed=210)
+        sched, info = solve_discrete_mip(inst, time_limit=30)
+        return inst, sched, info
+
+    def test_feasible_and_integral(self, case):
+        _, sched, info = case
+        assert info.optimal
+        assert sched.is_integral
+        assert sched.feasibility(integral=True).feasible
+
+    def test_dominates_edf_heuristic(self, case):
+        """The exact discrete optimum is an upper bound on the heuristic."""
+        inst, sched, _ = case
+        heur = EDFDiscreteLevelsScheduler().solve(inst)
+        assert sched.total_accuracy >= heur.total_accuracy - 1e-6
+
+    def test_below_continuous_upper_bound(self, case):
+        """Discrete levels can never beat the continuous relaxation."""
+        inst, sched, _ = case
+        ub = FractionalScheduler().solve(inst)
+        assert sched.total_accuracy <= ub.total_accuracy + 1e-6
+
+    def test_accuracies_on_levels(self, case):
+        inst, sched, _ = case
+        levels = (0.27, 0.55, 0.82)
+        for j, acc in enumerate(sched.task_accuracies):
+            task = inst.tasks[j]
+            targets = {min(lv, task.a_max) for lv in levels} | {task.a_min}
+            assert any(abs(acc - t) < 1e-6 for t in targets), acc
+
+    def test_rejects_bad_levels(self):
+        inst = make_instance(n=3, m=2, seed=211)
+        with pytest.raises(ValidationError):
+            solve_discrete_mip(inst, levels=())
+        with pytest.raises(ValidationError):
+            solve_discrete_mip(inst, levels=(0.0, 0.5))
+
+    def test_zero_budget(self):
+        inst = make_instance(n=4, m=2, seed=212)
+        inst = type(inst)(inst.tasks, inst.cluster, 0.0)
+        sched, _ = solve_discrete_mip(inst, time_limit=10)
+        assert np.allclose(sched.times, 0.0, atol=1e-9)
+
+    def test_scheduler_facade(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=213)
+        result = DiscreteLevelsMIPScheduler(time_limit=20).solve_with_info(inst)
+        assert result.info.solver == "DISCRETE-LEVELS-MIP"
+        assert result.schedule.feasibility(integral=True).feasible
+
+    def test_more_levels_never_hurt(self):
+        inst = make_instance(n=5, m=2, beta=0.5, seed=214)
+        coarse, _ = solve_discrete_mip(inst, levels=(0.5,), time_limit=20)
+        fine, _ = solve_discrete_mip(inst, levels=(0.27, 0.5, 0.7, 0.82), time_limit=20)
+        assert fine.total_accuracy >= coarse.total_accuracy - 1e-6

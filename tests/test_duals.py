@@ -1,0 +1,70 @@
+"""KKT optimality certificates (paper Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FractionalScheduler
+from repro.algorithms.naive_solution import compute_naive_solution
+from repro.core.schedule import Schedule
+from repro.exact import certify
+
+from conftest import make_instance
+
+
+class TestCertify:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fr_opt_is_certified(self, seed):
+        inst = make_instance(n=8, m=3, beta=0.5, seed=140 + seed)
+        frac = FractionalScheduler().solve(inst)
+        report = certify(frac)
+        assert report.certified, report.summary()
+
+    def test_naive_solution_flagged_when_refinement_matters(self):
+        """On the Fig. 6b mix the naive profile is provably improvable."""
+        from repro.workloads import fig6_instance
+
+        inst = fig6_instance(0.3, "earliest", n=30, seed=5)
+        naive = Schedule(inst, compute_naive_solution(inst).times)
+        refined = FractionalScheduler().solve(inst)
+        assert refined.total_accuracy > naive.total_accuracy + 1e-6
+        report = certify(naive)
+        assert not report.certified
+        assert "energy" in report.summary() or "shift" in report.summary() or "grow" in report.summary()
+
+    def test_empty_schedule_with_budget_flagged(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=150)
+        report = certify(Schedule.empty(inst))
+        # all budget unspent while work is wanted: C3 must fire
+        assert any(v.condition == "C3" for v in report.violations)
+
+    def test_zero_budget_empty_schedule_certified(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=151)
+        inst = type(inst)(inst.tasks, inst.cluster, 0.0)
+        report = certify(Schedule.empty(inst))
+        assert report.certified, report.summary()
+
+    def test_perturbed_optimum_flagged(self):
+        """Shifting time between tasks against the slope order trips C1."""
+        inst = make_instance(n=6, m=1, beta=1.0, rho=0.4, seed=152)
+        frac = FractionalScheduler().solve(inst)
+        times = frac.times.copy()
+        funded = np.nonzero(times[:, 0] > 0)[0]
+        if funded.size >= 2:
+            lo, hi = int(funded[0]), int(funded[-1])
+            delta = 0.25 * times[hi, 0]
+            times[hi, 0] -= delta
+            times[lo, 0] += delta
+            report = certify(Schedule(inst, times))
+            # moving work toward the earlier (flatter-by-now) task makes the
+            # later task's marginal gain exceed the earlier's loss
+            assert not report.certified
+
+    def test_summary_readable(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=153)
+        report = certify(Schedule.empty(inst))
+        assert "violation" in report.summary() or "certified" in report.summary()
+
+    def test_tolerance_loosening_silences(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=154)
+        report = certify(Schedule.empty(inst), tolerance=1e12)
+        assert report.certified

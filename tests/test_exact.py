@@ -1,0 +1,114 @@
+"""Exact solvers: variable layout, LP relaxation, MIP."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.approx import ApproxScheduler
+from repro.algorithms.fractional import solve_fractional
+from repro.exact.lp import LPFractionalScheduler, solve_lp_relaxation
+from repro.exact.mip import MIPScheduler, solve_mip
+from repro.exact.model import VariableLayout, build_mip, build_relaxation, extract_times
+
+from conftest import make_instance
+
+
+class TestLayout:
+    def test_lp_columns(self):
+        layout = VariableLayout(3, 2, with_assignment=False)
+        assert layout.n_cols == 3 * 2 + 3
+        assert layout.t(0, 0) == 0
+        assert layout.t(2, 1) == 5
+        assert layout.z(0) == 6
+
+    def test_mip_columns(self):
+        layout = VariableLayout(3, 2, with_assignment=True)
+        assert layout.n_cols == 6 + 3 + 6
+        assert layout.x(0, 0) == 9
+        assert layout.x(2, 1) == 14
+
+    def test_extract_times(self):
+        layout = VariableLayout(2, 2, with_assignment=False)
+        x = np.array([1.0, 2.0, 3.0, -1e-15, 0.5, 0.6])
+        t = extract_times(layout, x)
+        assert t.shape == (2, 2)
+        assert t[0, 1] == 2.0
+        assert t[1, 1] == 0.0  # clipped
+
+
+class TestRelaxationModel:
+    def test_row_counts(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=60)
+        model = build_relaxation(inst)
+        k_total = sum(t.accuracy.n_segments for t in inst.tasks)
+        expected = k_total + 4 * 2 + 4 + 1  # envelope + deadlines + caps + budget
+        assert model.a_ub.shape == (expected, model.layout.n_cols)
+
+    def test_no_budget_row_when_infinite(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=60)
+        inst = type(inst)(inst.tasks, inst.cluster, math.inf)
+        model = build_relaxation(inst)
+        k_total = sum(t.accuracy.n_segments for t in inst.tasks)
+        assert model.a_ub.shape[0] == k_total + 4 * 2 + 4
+
+    def test_all_continuous(self):
+        inst = make_instance(n=3, m=2, beta=0.5, seed=61)
+        model = build_relaxation(inst)
+        assert not model.integrality.any()
+
+
+class TestLP:
+    def test_solution_feasible(self):
+        inst = make_instance(n=6, m=3, beta=0.5, seed=62)
+        sched, obj = solve_lp_relaxation(inst)
+        assert sched.feasibility().feasible
+        assert sched.total_accuracy == pytest.approx(obj, rel=1e-6)
+
+    def test_scheduler_facade(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=63)
+        result = LPFractionalScheduler().solve_with_info(inst)
+        assert result.info.optimal
+        assert result.info.status == "optimal"
+
+    def test_upper_bounds_every_integral_schedule(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=64)
+        _, lp_obj = solve_lp_relaxation(inst)
+        approx = ApproxScheduler().solve(inst)
+        assert approx.total_accuracy <= lp_obj + 1e-6
+
+
+class TestMIP:
+    def test_optimal_between_approx_and_fractional(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=65)
+        mip, info = solve_mip(inst, time_limit=30)
+        assert info.optimal
+        frac, _ = solve_fractional(inst)
+        approx = ApproxScheduler().solve(inst)
+        assert approx.total_accuracy <= mip.total_accuracy + 1e-6
+        assert mip.total_accuracy <= frac.total_accuracy + 1e-5
+
+    def test_solution_integral_and_feasible(self):
+        inst = make_instance(n=5, m=3, beta=0.4, seed=66)
+        mip, _ = solve_mip(inst, time_limit=30)
+        assert mip.is_integral
+        assert mip.feasibility(integral=True).feasible
+
+    def test_zero_budget(self):
+        inst = make_instance(n=3, m=2, beta=1.0, seed=67)
+        inst = type(inst)(inst.tasks, inst.cluster, 0.0)
+        mip, _ = solve_mip(inst, time_limit=10)
+        assert np.allclose(mip.times, 0.0, atol=1e-9)
+
+    def test_scheduler_facade_with_time_limit(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=68)
+        result = MIPScheduler(time_limit=30).solve_with_info(inst)
+        assert result.info.status in ("optimal", "time_limit")
+        assert result.schedule.feasibility(integral=True).feasible
+
+    def test_single_machine_case(self):
+        inst = make_instance(n=4, m=1, beta=0.6, seed=69)
+        mip, info = solve_mip(inst, time_limit=30)
+        frac, _ = solve_fractional(inst)
+        # with one machine the relaxation is tight
+        assert mip.total_accuracy == pytest.approx(frac.total_accuracy, rel=1e-5)

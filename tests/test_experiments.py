@@ -1,0 +1,166 @@
+"""Experiment drivers on smoke-sized configurations.
+
+Each driver must run end-to-end and reproduce the paper's *qualitative*
+claim at small scale; the full-size runs live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    AblationConfig,
+    EnergyGainConfig,
+    Fig3Config,
+    Fig4Config,
+    Fig5Config,
+    Fig6Config,
+    Table1Config,
+    headline_at_loss,
+    run_energy_gain,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4_machines,
+    run_fig4_tasks,
+    run_fig5,
+    run_fig6,
+    run_refine_ablation,
+    run_segments_ablation,
+    run_idle_power_ablation,
+    run_table1,
+)
+
+
+class TestFig1:
+    def test_rows_and_trend(self):
+        table = run_fig1()
+        assert len(table.rows) >= 10
+        assert "trend" in table.notes[0]
+        assert all(v > 0 for v in table.column("speed_tflops"))
+
+
+class TestFig2:
+    def test_envelope_monotone(self):
+        table = run_fig2(n_curve=10, n_scatter=5)
+        env = [r for r in table.as_dicts() if r["kind"] == "envelope"]
+        accs = [r["accuracy"] for r in env]
+        assert accs == sorted(accs)
+
+    def test_scatter_below_envelope_top(self):
+        table = run_fig2(n_curve=5, n_scatter=10)
+        top = max(r["accuracy"] for r in table.as_dicts() if r["kind"] == "envelope")
+        for r in table.as_dicts():
+            if r["kind"] == "subnetwork":
+                assert r["accuracy"] <= top + 1e-9
+
+
+class TestFig3:
+    def test_gap_below_guarantee(self):
+        table = run_fig3(Fig3Config(mu_values=(5.0, 10.0), repetitions=3, n=15, m=3))
+        for row in table.as_dicts():
+            assert 0 <= row["gap_mean"] <= row["guarantee_G"]
+            assert row["gap_min"] <= row["gap_mean"] <= row["gap_max"]
+
+
+class TestFig4:
+    def test_tasks_sweep_columns(self):
+        table = run_fig4_tasks(
+            Fig4Config(task_counts=(5, 10), repetitions=1, time_limit=5.0, fixed_m=2)
+        )
+        assert table.column("n_tasks") == [5, 10]
+        assert all(t >= 0 for t in table.column("approx_mean_s"))
+
+    def test_machines_sweep_and_mip_bound(self):
+        table = run_fig4_machines(
+            Fig4Config(machine_counts=(2,), fixed_n=6, repetitions=1, time_limit=20.0)
+        )
+        row = table.as_dicts()[0]
+        # the MIP (optimal or incumbent) should not do worse than APPROX
+        assert row["mip_acc_mean"] >= row["approx_acc_mean"] - 1e-6
+
+    def test_without_mip(self):
+        table = run_fig4_tasks(
+            Fig4Config(task_counts=(5,), repetitions=1, include_mip=False, fixed_m=2)
+        )
+        assert np.isnan(table.as_dicts()[0]["mip_mean_s"])
+
+
+class TestTable1:
+    def test_objectives_agree(self):
+        table = run_table1(Table1Config(task_counts=(20, 40), m=2, repetitions=1))
+        for row in table.as_dicts():
+            assert row["max_rel_objective_gap"] < 5e-3
+            assert row["fr_opt_s"] > 0 and row["lp_solver_s"] > 0
+
+
+class TestFig5:
+    def test_ordering_and_convergence(self):
+        table = run_fig5(Fig5Config(betas=(0.2, 1.0), n=30, repetitions=2))
+        rows = table.as_dicts()
+        tight, full = rows[0], rows[1]
+        # tight budget: UB >= APPROX >= 3LEVELS >= NOCOMP (with slack)
+        assert tight["DSCT-EA-UB"] >= tight["DSCT-EA-APPROX"] - 1e-9
+        assert tight["DSCT-EA-APPROX"] > tight["EDF-3COMPRESSIONLEVELS"]
+        assert tight["EDF-3COMPRESSIONLEVELS"] > tight["EDF-NOCOMPRESSION"]
+        # full budget: everything near a_max = 0.82
+        for col in ("DSCT-EA-APPROX", "EDF-3COMPRESSIONLEVELS", "EDF-NOCOMPRESSION"):
+            assert full[col] > 0.75
+
+
+class TestEnergyGain:
+    def test_savings_track_beta(self):
+        table = run_energy_gain(EnergyGainConfig(betas=(0.3, 0.7), n=30, repetitions=2))
+        rows = table.as_dicts()
+        assert rows[0]["energy_saving_pct"] > rows[1]["energy_saving_pct"]
+        # a looser budget never buys APPROX less accuracy (each β draws its
+        # own instances, so allow instance-to-instance noise)
+        assert rows[0]["approx_acc"] <= rows[1]["approx_acc"] + 0.02
+
+    def test_headline_helper(self):
+        table = run_energy_gain(EnergyGainConfig(betas=(0.3, 0.7), n=30, repetitions=2))
+        gain = headline_at_loss(table, max_loss_points=100.0)
+        assert gain == max(r["energy_saving_pct"] for r in table.as_dicts())
+        assert headline_at_loss(table, max_loss_points=-50.0) is None
+
+
+class TestFig6:
+    def test_uniform_tracks_naive(self):
+        table = run_fig6("uniform", Fig6Config(betas=(0.4,), n=30, repetitions=2))
+        row = table.as_dicts()[0]
+        assert row["profile_m1_s"] <= row["naive_m1_s"] + 1e-6
+
+    def test_earliest_deviates_toward_machine2(self):
+        table = run_fig6("earliest", Fig6Config(betas=(0.3,), n=30, repetitions=2))
+        row = table.as_dicts()[0]
+        # the paper's observation: workload moves to the fast machine
+        assert row["profile_m2_s"] > row["naive_m2_s"] + 1e-6
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            run_fig6("weird", Fig6Config(betas=(0.3,), n=5, repetitions=1))
+
+
+class TestAblations:
+    CFG = AblationConfig(n=24, repetitions=2)
+
+    def test_refine_never_hurts_fractional(self):
+        table = run_refine_ablation(self.CFG)
+        for row in table.as_dicts():
+            assert row["frac_gain_points"] >= -1e-6
+
+    def test_refine_helps_on_skewed_mix(self):
+        table = run_refine_ablation(self.CFG)
+        earliest = [r for r in table.as_dicts() if r["scenario"] == "earliest"]
+        # where the naive profile is wrong, refinement buys real accuracy
+        assert max(r["frac_gain_points"] for r in earliest) > 0.1
+
+    def test_more_segments_never_hurt_much(self):
+        table = run_segments_ablation(self.CFG, segment_counts=(1, 5))
+        rows = table.as_dicts()
+        assert rows[1]["approx_mean_acc"] >= rows[0]["approx_mean_acc"] - 0.01
+
+    def test_idle_power_erodes_saving(self):
+        table = run_idle_power_ablation(self.CFG, idle_fractions=(0.0, 0.5))
+        rows = table.as_dicts()
+        assert rows[1]["saving_pct"] <= rows[0]["saving_pct"] + 1e-6
+        assert rows[1]["saving_pct"] > 0  # but does not erase it

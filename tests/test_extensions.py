@@ -1,0 +1,188 @@
+"""Future-work extensions: renewable budgets and communication energy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler
+from repro.extensions import (
+    CommAwareScheduler,
+    CommunicationModel,
+    RenewablePlanner,
+    communication_energy,
+    solar_curve,
+)
+from repro.hardware import sample_uniform_cluster
+from repro.utils.errors import ValidationError
+from repro.workloads import TaskGenConfig, generate_tasks
+
+from conftest import make_instance
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return sample_uniform_cluster(2, seed=3)
+
+
+def epoch_tasks(cluster, epochs=4, n=8):
+    return [
+        generate_tasks(TaskGenConfig(n=n, theta_range=(0.1, 1.0), rho=0.8), cluster, seed=500 + e)
+        for e in range(epochs)
+    ]
+
+
+class TestSolarCurve:
+    def test_shape_and_support(self):
+        betas = solar_curve(24, 0.9)
+        assert betas.shape == (24,)
+        assert betas.max() == pytest.approx(0.9, rel=1e-2)
+        # night epochs harvest nothing
+        assert betas[0] == 0.0 and betas[-1] == 0.0
+        # symmetric around noon
+        assert betas[11] == pytest.approx(betas[12], rel=0.05)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            solar_curve(0, 0.5)
+        with pytest.raises(ValidationError):
+            solar_curve(4, -0.1)
+        with pytest.raises(ValidationError):
+            solar_curve(4, 0.5, sunrise_hour=20, sunset_hour=6)
+
+
+class TestRenewablePlanner:
+    def test_run_shapes(self, cluster):
+        planner = RenewablePlanner(cluster, ApproxScheduler())
+        tasks = epoch_tasks(cluster)
+        harvests = planner.harvests_from_betas([0.0, 0.5, 0.9, 0.2], tasks)
+        report = planner.run(tasks, harvests)
+        assert len(report.epochs) == 4
+        assert report.total_energy <= report.total_harvest + 1e-6
+
+    def test_zero_harvest_epoch_scores_floor(self, cluster):
+        planner = RenewablePlanner(cluster, ApproxScheduler())
+        tasks = epoch_tasks(cluster, epochs=1)
+        report = planner.run(tasks, [0.0])
+        floor = float(np.mean([t.a_min for t in tasks[0]]))
+        assert report.epochs[0].mean_accuracy == pytest.approx(floor)
+
+    def test_battery_helps_night_epochs(self, cluster):
+        tasks = epoch_tasks(cluster, epochs=3)
+        no_batt = RenewablePlanner(cluster, ApproxScheduler(), battery_capacity=0.0)
+        batt = RenewablePlanner(cluster, ApproxScheduler(), battery_capacity=math.inf)
+        harvests = no_batt.harvests_from_betas([2.0, 0.0, 0.0], tasks)  # surplus then night
+        plain = no_batt.run(tasks, harvests)
+        banked = batt.run(tasks, harvests)
+        assert banked.day_mean_accuracy > plain.day_mean_accuracy
+
+    def test_battery_capacity_respected(self, cluster):
+        tasks = epoch_tasks(cluster, epochs=2)
+        planner = RenewablePlanner(cluster, ApproxScheduler(), battery_capacity=5.0)
+        harvests = planner.harvests_from_betas([3.0, 0.0], tasks)
+        report = planner.run(tasks, harvests)
+        assert report.epochs[0].battery_after <= 5.0 + 1e-12
+
+    def test_battery_efficiency_discount(self, cluster):
+        tasks = epoch_tasks(cluster, epochs=1, n=2)
+        lossless = RenewablePlanner(cluster, ApproxScheduler(), battery_capacity=math.inf)
+        lossy = RenewablePlanner(
+            cluster, ApproxScheduler(), battery_capacity=math.inf, battery_efficiency=0.5
+        )
+        harvests = lossless.harvests_from_betas([5.0], tasks)
+        full = lossless.run(tasks, harvests).epochs[0].battery_after
+        half = lossy.run(tasks, harvests).epochs[0].battery_after
+        assert half == pytest.approx(full / 2, rel=1e-9)
+
+    def test_validation(self, cluster):
+        with pytest.raises(ValidationError):
+            RenewablePlanner(cluster, ApproxScheduler(), battery_capacity=-1.0)
+        with pytest.raises(ValidationError):
+            RenewablePlanner(cluster, ApproxScheduler(), battery_efficiency=0.0)
+        planner = RenewablePlanner(cluster, ApproxScheduler())
+        tasks = epoch_tasks(cluster, epochs=1)
+        with pytest.raises(ValidationError):
+            planner.run(tasks, [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            planner.run(tasks, [-1.0])
+
+
+class TestCommunicationModel:
+    def test_cost_matrix(self):
+        model = CommunicationModel(np.array([10.0, 20.0]), np.array([0.5, 1.0]))
+        costs = model.cost_matrix()
+        assert costs.shape == (2, 2)
+        assert costs[1, 1] == pytest.approx(20.0)
+
+    def test_worst_case_total(self):
+        model = CommunicationModel(np.array([10.0, 20.0]), np.array([0.5, 1.0]))
+        assert model.worst_case_total() == pytest.approx(10.0 + 20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CommunicationModel(np.array([-1.0]), np.array([1.0]))
+        with pytest.raises(ValidationError):
+            CommunicationModel(np.array([[1.0]]), np.array([1.0]))
+
+
+class TestCommAwareScheduler:
+    def make(self, seed=110, scale=1.0):
+        inst = make_instance(n=8, m=2, beta=0.4, seed=seed)
+        rng = np.random.default_rng(seed)
+        # size the bill as a meaningful fraction of the budget
+        per_task = inst.budget * scale / inst.n_tasks
+        model = CommunicationModel(
+            input_bytes=rng.uniform(0.5, 1.0, inst.n_tasks) * per_task,
+            joules_per_byte=rng.uniform(0.5, 1.5, inst.n_machines),
+        )
+        return inst, model
+
+    def test_joint_budget_respected(self):
+        inst, model = self.make(scale=0.3)
+        result = CommAwareScheduler(model).solve_with_info(inst)
+        total = result.schedule.total_energy + result.info.extra["comm_energy"]
+        assert total <= inst.budget * (1 + 1e-9)
+
+    def test_zero_comm_matches_plain_approx(self):
+        inst, _ = self.make()
+        model = CommunicationModel(np.zeros(inst.n_tasks), np.zeros(inst.n_machines))
+        plain = ApproxScheduler().solve(inst)
+        comm = CommAwareScheduler(model).solve(inst)
+        assert comm.total_accuracy == pytest.approx(plain.total_accuracy, rel=1e-9)
+
+    def test_comm_costs_reduce_accuracy(self):
+        inst, model = self.make(scale=0.5)
+        plain = ApproxScheduler().solve(inst)
+        comm = CommAwareScheduler(model).solve(inst)
+        assert comm.total_accuracy <= plain.total_accuracy + 1e-9
+
+    def test_communication_energy_skips_unassigned(self):
+        inst, model = self.make()
+        from repro.core.schedule import Schedule
+
+        empty = Schedule.empty(inst)
+        assert communication_energy(empty, model) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        inst, _ = self.make()
+        bad = CommunicationModel(np.ones(3), np.ones(inst.n_machines))
+        with pytest.raises(ValidationError):
+            CommAwareScheduler(bad).solve(inst)
+
+    def test_infinite_budget_passthrough(self):
+        inst, model = self.make()
+        inst = type(inst)(inst.tasks, inst.cluster, math.inf)
+        result = CommAwareScheduler(model).solve_with_info(inst)
+        assert result.info.extra["rounds"] == 1
+
+    def test_fallback_always_feasible(self):
+        """Huge bills force the conservative path, which must stay feasible."""
+        inst, _ = self.make()
+        rng = np.random.default_rng(0)
+        model = CommunicationModel(
+            input_bytes=np.full(inst.n_tasks, inst.budget / 4),
+            joules_per_byte=rng.uniform(0.9, 1.1, inst.n_machines),
+        )
+        result = CommAwareScheduler(model, max_rounds=2).solve_with_info(inst)
+        total = result.schedule.total_energy + result.info.extra["comm_energy"]
+        assert total <= inst.budget * (1 + 1e-9)

@@ -1,0 +1,123 @@
+"""Extreme-regime robustness: degenerate and out-of-band inputs.
+
+The algorithms must stay correct (feasible, within bounds) at the edges
+of the parameter space: single tasks, single machines, many machines,
+nearly-flat and nearly-vertical accuracy curves, many segments, huge and
+tiny work scales.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler, FractionalScheduler, performance_guarantee
+from repro.core import (
+    Cluster,
+    ExponentialAccuracy,
+    Machine,
+    PiecewiseLinearAccuracy,
+    ProblemInstance,
+    Task,
+    TaskSet,
+    fit_piecewise,
+)
+from repro.exact import solve_lp_relaxation
+from repro.utils import units
+
+from conftest import make_instance
+
+
+def solve_both(inst):
+    frac = FractionalScheduler().solve(inst)
+    approx = ApproxScheduler().solve(inst)
+    assert frac.feasibility().feasible
+    assert approx.feasibility(integral=True).feasible
+    assert approx.total_accuracy <= frac.total_accuracy + 1e-9
+    return frac, approx
+
+
+class TestDegenerateSizes:
+    def test_single_task_single_machine(self):
+        inst = make_instance(n=1, m=1, beta=0.5, seed=900)
+        frac, approx = solve_both(inst)
+        assert approx.total_accuracy == pytest.approx(frac.total_accuracy, rel=1e-9)
+
+    def test_single_task_many_machines(self):
+        inst = make_instance(n=1, m=8, beta=0.5, seed=901)
+        solve_both(inst)
+
+    def test_many_machines_few_tasks(self):
+        inst = make_instance(n=3, m=10, beta=0.5, seed=902)
+        frac, _ = solve_both(inst)
+        _, lp = solve_lp_relaxation(inst)
+        assert frac.total_accuracy >= lp * (1 - 2e-3)
+
+    def test_many_tasks_one_machine(self):
+        inst = make_instance(n=60, m=1, beta=0.5, seed=903)
+        frac, _ = solve_both(inst)
+        _, lp = solve_lp_relaxation(inst)
+        assert frac.total_accuracy == pytest.approx(lp, rel=1e-6)
+
+
+class TestExtremeCurves:
+    def test_many_segments(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=904, n_segments=40)
+        frac, _ = solve_both(inst)
+        _, lp = solve_lp_relaxation(inst)
+        assert frac.total_accuracy >= lp * (1 - 2e-3)
+
+    def test_single_segment_curves(self):
+        inst = make_instance(n=8, m=2, beta=0.5, seed=905, n_segments=1)
+        solve_both(inst)
+
+    def test_extreme_theta_spread(self):
+        inst = make_instance(n=10, m=2, beta=0.4, seed=906, theta_range=(0.01, 50.0))
+        frac, _ = solve_both(inst)
+        assert performance_guarantee(inst) > 0
+
+    def test_plateaued_curve(self):
+        """Curves with zero-slope tail segments (already at a_max early)."""
+        pla = PiecewiseLinearAccuracy([0.0, 1e12, 2e12], [0.0, 0.7, 0.7])
+        cluster = Cluster([Machine.from_tflops(2.0, 30.0)])
+        tasks = TaskSet([Task(5.0, pla), Task(6.0, pla)])
+        inst = ProblemInstance.with_beta(tasks, cluster, 1.0)
+        frac, approx = solve_both(inst)
+        # both tasks should stop at the plateau start — no wasted energy
+        assert frac.task_flops.max() <= 1e12 * (1 + 1e-6)
+
+    def test_tiny_and_huge_work_scales(self):
+        """MFLOP-scale and EFLOP-scale tasks in one consistent model."""
+        small = fit_piecewise(ExponentialAccuracy(1e-3 / units.gflop(1.0)), 5)
+        huge = fit_piecewise(ExponentialAccuracy(1e-3 / (1e18)), 5)
+        cluster = Cluster([Machine.from_tflops(10.0, 40.0)])
+        tasks = TaskSet([Task(1e-3, small), Task(1e6, huge)])
+        inst = ProblemInstance.with_beta(tasks, cluster, 0.5)
+        solve_both(inst)
+
+
+class TestExtremeBudgets:
+    @pytest.mark.parametrize("beta", [1e-6, 1e-3, 10.0, 1e3])
+    def test_budget_extremes(self, beta):
+        inst = make_instance(n=6, m=2, beta=beta, seed=907)
+        frac, approx = solve_both(inst)
+        if beta >= 10.0:
+            # huge budget: only deadlines bind; fractional matches the
+            # unbudgeted problem
+            unbudgeted = ProblemInstance(inst.tasks, inst.cluster, math.inf)
+            free = FractionalScheduler().solve(unbudgeted)
+            assert frac.total_accuracy == pytest.approx(free.total_accuracy, rel=1e-6)
+
+    def test_equal_deadlines_everywhere(self):
+        from repro.workloads import budget_sweep_instance
+
+        inst = budget_sweep_instance(0.5, n=12, seed=908)
+        solve_both(inst)
+
+    def test_identical_machines(self):
+        cluster = Cluster([Machine.from_tflops(5.0, 30.0)] * 4)
+        base = make_instance(n=10, m=1, beta=0.5, seed=909)
+        inst = ProblemInstance.with_beta(base.tasks, cluster, 0.4)
+        frac, _ = solve_both(inst)
+        _, lp = solve_lp_relaxation(inst)
+        assert frac.total_accuracy >= lp * (1 - 2e-3)

@@ -1,0 +1,106 @@
+"""Accuracy-curve fitting from measurements and the method matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import ExponentialAccuracy
+from repro.experiments import MethodMatrixConfig, run_method_matrix
+from repro.hardware import gpu_by_name
+from repro.models import (
+    SimulatedProfiler,
+    accuracy_from_measurements,
+    fit_exponential,
+    ofa_resnet50,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestFitExponential:
+    def make_samples(self, theta=2e-9, a_min=0.001, a_max=0.8, n=40, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        curve = ExponentialAccuracy(theta, a_min=a_min, a_max=a_max)
+        f = rng.uniform(0, curve.f_max, size=n)
+        a = curve.value_array(f) + rng.normal(0, noise, size=n)
+        return f, np.clip(a, 0.0, 1.0), curve
+
+    def test_recovers_theta_noiseless(self):
+        f, a, curve = self.make_samples()
+        fit = fit_exponential(f, a, a_min=0.001, a_max=0.8)
+        assert fit.theta == pytest.approx(curve.theta, rel=1e-6)
+        assert fit.rmse < 1e-9
+
+    def test_robust_to_noise(self):
+        f, a, curve = self.make_samples(noise=0.01, n=200)
+        fit = fit_exponential(f, a, a_min=0.001, a_max=0.8)
+        assert fit.theta == pytest.approx(curve.theta, rel=0.3)
+        assert fit.rmse < 0.05
+
+    def test_a_max_inferred_when_missing(self):
+        f, a, _ = self.make_samples()
+        fit = fit_exponential(f, a, a_min=0.001)
+        assert fit.a_max >= a.max()
+        assert fit.a_max <= 1.0
+
+    def test_piecewise_output_is_concave(self):
+        f, a, _ = self.make_samples()
+        pla = fit_exponential(f, a, a_min=0.001, a_max=0.8).piecewise(5)
+        slopes = pla.slopes
+        assert np.all(np.diff(slopes) <= 1e-20)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            fit_exponential([1.0], [0.5])
+        with pytest.raises(ValidationError):
+            fit_exponential([1.0, 1.0], [0.4, 0.5])  # one distinct f
+        with pytest.raises(ValidationError):
+            fit_exponential([1.0, 2.0], [0.5, 0.4, 0.3])
+        # increasing log-residuals (accuracy falling with flops) → no decay
+        with pytest.raises(ValidationError, match="decay"):
+            fit_exponential([0.0, 1e9, 2e9], [0.7, 0.4, 0.1], a_max=0.8)
+
+    def test_profiler_to_scheduler_pipeline(self):
+        fam = ofa_resnet50()
+        profiler = SimulatedProfiler(gpu_by_name("Tesla T4").to_machine(), noise=0.02, seed=3)
+        meas = profiler.sweep(fam, fam.sample_configs(40, seed=4))
+        pla, fit = accuracy_from_measurements(meas)
+        assert fit.n_points == 40
+        assert pla.n_segments == 5
+        assert 0.5 < pla.a_max <= 1.0
+        # the fitted curve should land near the family's envelope
+        grid = np.linspace(0, min(pla.f_max, fam.full_flops), 50)
+        err = np.abs(pla.value_array(grid) - fam._curve.value_array(grid)).max()
+        assert err < 0.12
+
+    def test_empty_measurements_raise(self):
+        with pytest.raises(ValidationError):
+            accuracy_from_measurements([])
+
+
+class TestMethodMatrix:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_method_matrix(
+            MethodMatrixConfig(
+                methods=("fractional", "approx", "edf-nocompression"),
+                betas=(0.3, 1.0),
+                n=12,
+                repetitions=2,
+            )
+        )
+
+    def test_grid_complete(self, table):
+        assert len(table.rows) == 3 * 2
+
+    def test_fractional_dominates_cellwise(self, table):
+        rows = table.as_dicts()
+        by = {(r["method"], r["beta"]): r["mean_accuracy"] for r in rows}
+        for beta in (0.3, 1.0):
+            assert by[("DSCT-EA-FR-OPT", beta)] >= by[("DSCT-EA-APPROX", beta)] - 1e-9
+            assert by[("DSCT-EA-APPROX", beta)] >= by[("EDF-NOCOMPRESSION", beta)] - 1e-9
+
+    def test_budget_utilisation_bounded(self, table):
+        for r in table.as_dicts():
+            assert r["budget_used_pct"] <= 100.0 + 1e-6
+
+    def test_runtimes_positive(self, table):
+        assert all(r["runtime_ms"] > 0 for r in table.as_dicts())

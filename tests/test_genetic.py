@@ -1,0 +1,99 @@
+"""Genetic-assignment baseline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import FractionalScheduler
+from repro.baselines import GeneticScheduler, solve_fixed_assignment
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+
+class TestFixedAssignmentLP:
+    def test_feasible_and_integral(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=810)
+        assignment = np.array([0, 1, 0, 1, 0, 1])
+        sched, objective = solve_fixed_assignment(inst, assignment)
+        assert sched.feasibility(integral=True).feasible
+        assert sched.total_accuracy == pytest.approx(objective, rel=1e-6)
+
+    def test_respects_assignment(self):
+        inst = make_instance(n=6, m=3, beta=0.5, seed=811)
+        assignment = np.array([2, 2, 0, 1, 1, 0])
+        sched, _ = solve_fixed_assignment(inst, assignment)
+        for j in range(6):
+            for r in range(3):
+                if r != assignment[j]:
+                    assert sched.times[j, r] == 0.0
+
+    def test_bounded_by_relaxation(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=812)
+        _, objective = solve_fixed_assignment(inst, np.zeros(6, dtype=int))
+        ub = FractionalScheduler().solve(inst)
+        assert objective <= ub.total_accuracy + 1e-6
+
+    def test_validates_assignment(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=813)
+        with pytest.raises(ValidationError):
+            solve_fixed_assignment(inst, np.array([0, 1]))
+        with pytest.raises(ValidationError):
+            solve_fixed_assignment(inst, np.array([0, 1, 2, 0]))
+
+
+class TestGeneticScheduler:
+    def make(self, **kw):
+        return GeneticScheduler(population=12, generations=6, seed=3, **kw)
+
+    def test_feasible(self):
+        inst = make_instance(n=8, m=2, beta=0.4, seed=820)
+        sched = self.make().solve(inst)
+        assert sched.feasibility(integral=True).feasible
+
+    def test_bounded_by_ub(self):
+        inst = make_instance(n=8, m=2, beta=0.4, seed=821)
+        sched = self.make().solve(inst)
+        ub = FractionalScheduler().solve(inst)
+        assert sched.total_accuracy <= ub.total_accuracy + 1e-6
+
+    def test_near_optimal_on_small_instances(self):
+        """With exact LP fitness, small searches land near the UB."""
+        inst = make_instance(n=6, m=2, beta=0.4, seed=822)
+        sched = GeneticScheduler(population=16, generations=12, seed=5).solve(inst)
+        ub = FractionalScheduler().solve(inst)
+        assert sched.total_accuracy >= 0.95 * ub.total_accuracy
+
+    def test_reproducible(self):
+        inst = make_instance(n=6, m=2, beta=0.4, seed=823)
+        a = GeneticScheduler(population=10, generations=5, seed=9).solve(inst)
+        b = GeneticScheduler(population=10, generations=5, seed=9).solve(inst)
+        assert np.allclose(a.times, b.times)
+
+    def test_more_generations_never_hurt(self):
+        inst = make_instance(n=6, m=2, beta=0.4, seed=824)
+        short = GeneticScheduler(population=10, generations=2, seed=4).solve(inst)
+        # elitism + same seed prefix: longer runs keep the best found
+        long = GeneticScheduler(population=10, generations=10, seed=4).solve(inst)
+        assert long.total_accuracy >= short.total_accuracy - 1e-9
+
+    def test_info_counts_lps(self):
+        inst = make_instance(n=6, m=2, beta=0.4, seed=825)
+        result = self.make().solve_with_info(inst)
+        assert result.info.extra["distinct_chromosomes"] >= 1
+        assert result.info.runtime_seconds > 0
+
+    def test_single_machine_trivial(self):
+        inst = make_instance(n=5, m=1, beta=0.5, seed=826)
+        sched = self.make().solve(inst)
+        ub = FractionalScheduler().solve(inst)
+        assert sched.total_accuracy == pytest.approx(ub.total_accuracy, rel=1e-6)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            GeneticScheduler(population=2)
+        with pytest.raises(ValidationError):
+            GeneticScheduler(mutation_rate=1.5)
+        with pytest.raises(ValidationError):
+            GeneticScheduler(population=8, tournament=10)
+        with pytest.raises(ValidationError):
+            GeneticScheduler(population=8, elite=8)

@@ -1,0 +1,68 @@
+"""Eq. (13)/(14) performance guarantee."""
+
+import math
+
+import pytest
+
+from repro.algorithms.guarantees import performance_guarantee, slope_extremes
+from repro.core import PiecewiseLinearAccuracy, ProblemInstance, Task, TaskSet
+from repro.utils.errors import ValidationError
+
+from conftest import make_cluster, make_instance
+
+
+def flat_task(deadline=1.0):
+    return Task(deadline, PiecewiseLinearAccuracy([0.0, 1e12], [0.0, 0.0]))
+
+
+def linear_task(slope, deadline=1.0, f_max=1e12, a_min=0.0):
+    return Task(deadline, PiecewiseLinearAccuracy.single_segment(slope, f_max, a_min))
+
+
+class TestSlopeExtremes:
+    def test_single_linear_task(self):
+        ts = TaskSet([linear_task(5e-13)])
+        lo, hi = slope_extremes(ts)
+        assert lo == pytest.approx(5e-13)
+        assert hi == pytest.approx(5e-13)
+
+    def test_across_tasks(self):
+        ts = TaskSet([linear_task(5e-13, 1.0), linear_task(1e-13, 2.0)])
+        lo, hi = slope_extremes(ts)
+        assert lo == pytest.approx(1e-13)
+        assert hi == pytest.approx(5e-13)
+
+    def test_ignores_zero_slopes(self):
+        pla = PiecewiseLinearAccuracy([0.0, 1e12, 2e12], [0.0, 0.5, 0.5])
+        ts = TaskSet([Task(1.0, pla)])
+        lo, hi = slope_extremes(ts)
+        assert lo == pytest.approx(0.5 / 1e12)
+
+    def test_all_flat_raises(self):
+        ts = TaskSet([flat_task()])
+        with pytest.raises(ValidationError):
+            slope_extremes(ts)
+
+
+class TestGuarantee:
+    def test_formula_single_slope(self):
+        """Uniform linear tasks: ratio 1 → G = m·(a_max − a_min)."""
+        ts = TaskSet([linear_task(5e-13), linear_task(5e-13, 2.0)])
+        cluster = make_cluster(m=3, seed=1)
+        inst = ProblemInstance(ts, cluster, math.inf)
+        expected = 3 * (5e-13 * 1e12 - 0.0)
+        assert performance_guarantee(inst) == pytest.approx(expected)
+
+    def test_grows_with_machines(self):
+        ts = TaskSet([linear_task(5e-13)])
+        g2 = performance_guarantee(ProblemInstance(ts, make_cluster(2), math.inf))
+        g4 = performance_guarantee(ProblemInstance(ts, make_cluster(4), math.inf))
+        assert g4 == pytest.approx(2 * g2)
+
+    def test_grows_with_heterogeneity(self):
+        inst_lo = make_instance(n=10, m=3, seed=50, theta_range=(0.1, 0.5))
+        inst_hi = make_instance(n=10, m=3, seed=50, theta_range=(0.1, 5.0))
+        assert performance_guarantee(inst_hi) > performance_guarantee(inst_lo)
+
+    def test_positive(self, instance):
+        assert performance_guarantee(instance) > 0

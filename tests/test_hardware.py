@@ -1,0 +1,94 @@
+"""GPU catalog and machine sampling."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    GPU_CATALOG,
+    PAPER_EFFICIENCY_RANGE_GFLOPSW,
+    PAPER_SPEED_RANGE_TFLOPS,
+    catalog_cluster,
+    efficiency_speed_series,
+    fit_efficiency_trend,
+    gpu_by_name,
+    sample_catalog_cluster,
+    sample_uniform_cluster,
+)
+from repro.utils import units
+from repro.utils.errors import ValidationError
+
+
+class TestCatalog:
+    def test_nonempty_and_unique_names(self):
+        names = [s.name for s in GPU_CATALOG]
+        assert len(names) >= 10
+        assert len(set(names)) == len(names)
+
+    def test_lookup(self):
+        spec = gpu_by_name("Tesla T4")
+        assert spec.year == 2018
+        assert spec.tflops_fp32 > 0
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ValidationError):
+            gpu_by_name("GTX 9999")
+
+    def test_efficiency_derived(self):
+        spec = gpu_by_name("Tesla T4")
+        assert spec.efficiency_gflops_per_watt == pytest.approx(
+            spec.tflops_fp32 * 1000 / spec.tdp_watts
+        )
+
+    def test_to_machine_units(self):
+        spec = gpu_by_name("Tesla V100")
+        m = spec.to_machine()
+        assert m.speed == pytest.approx(units.tflops(spec.tflops_fp32))
+        assert m.power == pytest.approx(spec.tdp_watts)
+
+    def test_series_shapes(self):
+        speeds, effs, names = efficiency_speed_series()
+        assert len(speeds) == len(effs) == len(names) == len(GPU_CATALOG)
+
+    def test_trend_is_positive(self):
+        """The paper's Fig. 1 observation: efficiency grows with speed."""
+        slope, _ = fit_efficiency_trend()
+        assert slope > 0
+
+    def test_catalog_cluster(self):
+        c = catalog_cluster(["Tesla T4", "A100 SXM"])
+        assert len(c) == 2
+        assert c[0].name == "Tesla T4"
+
+    def test_sample_catalog_cluster(self):
+        c = sample_catalog_cluster(5, seed=1)
+        assert len(c) == 5
+
+    def test_sample_catalog_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            sample_catalog_cluster(0)
+
+
+class TestUniformSampling:
+    def test_within_paper_ranges(self):
+        c = sample_uniform_cluster(50, seed=2)
+        speeds = c.speeds / units.TERA
+        effs = c.efficiencies / units.GIGA
+        assert np.all((speeds >= PAPER_SPEED_RANGE_TFLOPS[0]) & (speeds <= PAPER_SPEED_RANGE_TFLOPS[1]))
+        assert np.all(
+            (effs >= PAPER_EFFICIENCY_RANGE_GFLOPSW[0]) & (effs <= PAPER_EFFICIENCY_RANGE_GFLOPSW[1])
+        )
+
+    def test_reproducible(self):
+        a = sample_uniform_cluster(3, seed=4)
+        b = sample_uniform_cluster(3, seed=4)
+        assert np.allclose(a.speeds, b.speeds)
+
+    def test_custom_ranges(self):
+        c = sample_uniform_cluster(10, seed=5, speed_range_tflops=(2.0, 2.0))
+        assert np.allclose(c.speeds, units.tflops(2.0))
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValidationError):
+            sample_uniform_cluster(2, speed_range_tflops=(5.0, 1.0))
+        with pytest.raises(ValidationError):
+            sample_uniform_cluster(0)

@@ -1,0 +1,67 @@
+"""Problem instances and derived scenario ratios."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.instance import ProblemInstance, beta_of_budget, budget_for_beta
+from repro.utils.errors import ValidationError
+
+from conftest import make_cluster, make_instance, make_tasks
+
+
+class TestBudgetMapping:
+    def test_roundtrip(self, tasks, cluster):
+        budget = budget_for_beta(0.4, tasks, cluster)
+        assert beta_of_budget(budget, tasks, cluster) == pytest.approx(0.4)
+
+    def test_beta_one_covers_full_throttle(self, tasks, cluster):
+        budget = budget_for_beta(1.0, tasks, cluster)
+        assert budget == pytest.approx(tasks.d_max * cluster.total_power)
+
+    def test_rejects_negative(self, tasks, cluster):
+        with pytest.raises(ValidationError):
+            budget_for_beta(-0.1, tasks, cluster)
+
+
+class TestInstance:
+    def test_with_beta(self, tasks, cluster):
+        inst = ProblemInstance.with_beta(tasks, cluster, 0.25)
+        assert inst.beta == pytest.approx(0.25)
+
+    def test_sizes(self, instance):
+        assert instance.n_tasks == len(instance.tasks)
+        assert instance.n_machines == len(instance.cluster)
+
+    def test_rho_definition(self, instance):
+        expected = instance.tasks.d_max * instance.cluster.total_speed / instance.tasks.total_f_max
+        assert instance.rho == pytest.approx(expected)
+
+    def test_factory_hits_requested_rho(self):
+        inst = make_instance(rho=0.7, seed=3)
+        assert inst.rho == pytest.approx(0.7)
+
+    def test_mu_delegates(self, instance):
+        assert instance.mu == pytest.approx(instance.tasks.heterogeneity_mu)
+
+    def test_infinite_budget(self, tasks, cluster):
+        inst = ProblemInstance(tasks, cluster, math.inf)
+        assert math.isinf(inst.beta)
+
+    def test_rejects_negative_budget(self, tasks, cluster):
+        with pytest.raises(ValidationError):
+            ProblemInstance(tasks, cluster, -1.0)
+
+    def test_rejects_nan_budget(self, tasks, cluster):
+        with pytest.raises(ValidationError):
+            ProblemInstance(tasks, cluster, float("nan"))
+
+    def test_energy_of_times(self, instance):
+        times = np.full((instance.n_tasks, instance.n_machines), 0.1)
+        expected = 0.1 * instance.n_tasks * instance.cluster.total_power
+        assert instance.energy_of_times(times) == pytest.approx(expected)
+
+    def test_energy_of_times_rejects_bad_shape(self, instance):
+        with pytest.raises(ValidationError):
+            instance.energy_of_times(np.zeros((1, 1)))

@@ -1,0 +1,115 @@
+"""Cross-module integration: full pipelines at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler, FractionalScheduler, performance_guarantee
+from repro.algorithms.registry import available_schedulers, make_scheduler
+from repro.core import ProblemInstance, TaskSet
+from repro.exact import solve_lp_relaxation
+from repro.hardware import catalog_cluster
+from repro.models import ofa_resnet50
+from repro.simulator import ClusterSimulator
+from repro.workloads import (
+    budget_sweep_instance,
+    fig6_instance,
+    heterogeneity_instance,
+)
+
+
+class TestZooToSimulatorPipeline:
+    """The quickstart path: model zoo → tasks → schedule → simulate."""
+
+    @pytest.fixture(scope="class")
+    def instance(self):
+        cluster = catalog_cluster(["Tesla T4", "RTX A2000"])
+        family = ofa_resnet50()
+        tasks = TaskSet(
+            [
+                family.batch_task(batch_size=500 * (j + 1), deadline=0.5 * (j + 1))
+                for j in range(5)
+            ]
+        )
+        return ProblemInstance.with_beta(tasks, cluster, beta=0.5)
+
+    @pytest.mark.parametrize(
+        "name", ["approx", "fractional", "edf-nocompression", "edf-3levels", "greedy-energy", "random"]
+    )
+    def test_every_method_survives_simulation(self, instance, name):
+        scheduler = make_scheduler(name, seed=0) if name == "random" else make_scheduler(name)
+        schedule = scheduler.solve(instance)
+        report = ClusterSimulator(instance).run(schedule)
+        assert report.all_deadlines_met
+        assert report.within_budget
+        assert report.total_accuracy == pytest.approx(schedule.total_accuracy, rel=1e-9)
+
+    def test_approx_dominates_baselines(self, instance):
+        approx = make_scheduler("approx").solve(instance).total_accuracy
+        for name in ("edf-nocompression", "edf-3levels", "random"):
+            scheduler = make_scheduler(name, seed=0) if name == "random" else make_scheduler(name)
+            assert approx >= scheduler.solve(instance).total_accuracy - 1e-9
+
+
+class TestPaperScenarioOptimality:
+    """FR-OPT matches the LP optimum on the named paper scenarios."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: heterogeneity_instance(10.0, n=20, m=3, seed=7),
+            lambda: budget_sweep_instance(0.3, n=20, seed=7),
+            lambda: fig6_instance(0.3, "uniform", n=20, seed=7),
+            lambda: fig6_instance(0.3, "earliest", n=20, seed=7),
+        ],
+        ids=["fig3", "fig5", "fig6a", "fig6b"],
+    )
+    def test_fr_opt_vs_lp(self, build):
+        instance = build()
+        frac = FractionalScheduler().solve(instance)
+        _, lp_obj = solve_lp_relaxation(instance)
+        assert frac.total_accuracy <= lp_obj * (1 + 1e-7) + 1e-9
+        assert frac.total_accuracy >= lp_obj * (1 - 2e-3)
+
+
+class TestEndToEndGuarantee:
+    def test_sandwich_on_paper_scenarios(self):
+        for beta in (0.2, 0.6):
+            instance = budget_sweep_instance(beta, n=25, seed=11)
+            frac = FractionalScheduler().solve(instance)
+            approx = ApproxScheduler().solve(instance)
+            g = performance_guarantee(instance)
+            assert frac.total_accuracy - g - 1e-9 <= approx.total_accuracy
+            assert approx.total_accuracy <= frac.total_accuracy + 1e-9
+
+
+class TestBudgetScaling:
+    def test_accuracy_monotone_in_budget_all_methods(self):
+        """More budget never hurts (much), for every deterministic method.
+
+        The fractional optimum is exactly monotone; integral methods may
+        dip slightly because rounding/cutting is not monotone in the
+        budget, so they get a small tolerance.
+        """
+        for name, tolerance in [
+            ("fractional", 1e-9),
+            ("approx", 0.02),
+            ("edf-nocompression", 1e-9),
+            ("edf-3levels", 0.02),
+            ("greedy-energy", 0.02),
+        ]:
+            prev = -1.0
+            for beta in (0.1, 0.4, 0.8):
+                instance = budget_sweep_instance(beta, n=20, seed=13)
+                acc = make_scheduler(name).solve(instance).total_accuracy
+                assert acc >= prev - tolerance * max(prev, 1.0), name
+                prev = acc
+
+    def test_energy_never_exceeds_budget_sweep(self):
+        for beta in (0.05, 0.25, 0.75):
+            instance = budget_sweep_instance(beta, n=20, seed=17)
+            for name in available_schedulers():
+                if name in ("mip", "lp", "ub"):
+                    continue  # covered in test_exact; mip is slow
+                scheduler = make_scheduler(name, seed=0) if name == "random" else make_scheduler(name)
+                schedule = scheduler.solve(instance)
+                assert schedule.total_energy <= instance.budget * (1 + 1e-7), name

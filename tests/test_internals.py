@@ -1,0 +1,166 @@
+"""White-box tests of numerical internals.
+
+These pin down the pieces the black-box suites exercise only indirectly:
+the minimax segmentation math, the individual refine move types, and the
+exact coefficient structure of the LP matrix.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import (
+    ExponentialAccuracy,
+    _chord_sag,
+    _extend_segment,
+    _minimax_breakpoints,
+    fit_piecewise,
+)
+from repro.exact.model import build_relaxation
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+
+class TestChordSag:
+    def test_zero_width(self):
+        assert _chord_sag(1.0, 0.0, 0.0) == 0.0
+
+    def test_matches_numeric_maximum(self):
+        """Closed form vs brute force on 1 − e^{−x}."""
+        for x1, x2 in [(0.0, 1.0), (0.5, 3.0), (2.0, 2.5)]:
+            u = math.exp(-x1)
+            closed = _chord_sag(u, x1, x2)
+            xs = np.linspace(x1, x2, 20001)
+            curve = 1 - np.exp(-xs)
+            chord = np.interp(xs, [x1, x2], [1 - math.exp(-x1), 1 - math.exp(-x2)])
+            brute = float(np.max(curve - chord))
+            assert closed == pytest.approx(brute, abs=1e-8)
+
+    def test_monotone_in_width(self):
+        u = 1.0
+        sags = [_chord_sag(u, 0.0, w) for w in (0.5, 1.0, 2.0, 4.0)]
+        assert sags == sorted(sags)
+
+
+class TestExtendSegment:
+    def test_respects_sag_budget(self):
+        x2 = _extend_segment(0.0, 10.0, sag=0.01)
+        assert 0 < x2 < 10.0
+        assert _chord_sag(1.0, 0.0, x2) <= 0.01 + 1e-9
+
+    def test_large_budget_reaches_end(self):
+        assert _extend_segment(0.0, 2.0, sag=1.0) == 2.0
+
+
+class TestMinimaxBreakpoints:
+    def test_covers_interval_with_exact_count(self):
+        pts = _minimax_breakpoints(6.9, 5)
+        assert len(pts) == 6
+        assert pts[0] == 0.0 and pts[-1] == pytest.approx(6.9)
+        assert all(a < b for a, b in zip(pts, pts[1:]))
+
+    def test_equal_sag_across_segments(self):
+        """The minimax property: all interior segments share the max sag."""
+        pts = _minimax_breakpoints(6.9, 5)
+        sags = [
+            _chord_sag(math.exp(-a), a, b) for a, b in zip(pts, pts[1:])
+        ]
+        assert max(sags) == pytest.approx(min(sags), rel=1e-3)
+
+    def test_cache_returns_same_object(self):
+        assert _minimax_breakpoints(4.2, 4) is _minimax_breakpoints(4.2, 4)
+
+    def test_beats_any_uniform_split_on_max_sag(self):
+        x_total, k = 11.5, 5
+        pts = _minimax_breakpoints(x_total, k)
+        minimax_sag = max(
+            _chord_sag(math.exp(-a), a, b) for a, b in zip(pts, pts[1:])
+        )
+        uniform = np.linspace(0, x_total, k + 1)
+        uniform_sag = max(
+            _chord_sag(math.exp(-a), a, b) for a, b in zip(uniform, uniform[1:])
+        )
+        assert minimax_sag < uniform_sag
+
+
+class TestRefineMoveTypes:
+    def test_relocation_fires_for_capped_task(self):
+        """A task at f_max on an inefficient machine relocates to free energy."""
+        from repro.algorithms.refine_profile import refine_profile
+        from repro.core import (
+            Cluster,
+            Machine,
+            PiecewiseLinearAccuracy,
+            ProblemInstance,
+            Task,
+            TaskSet,
+        )
+
+        # machine 0 slow+inefficient, machine 1 fast+efficient
+        cluster = Cluster(
+            [Machine.from_tflops(1.0, 5.0), Machine.from_tflops(1.0, 50.0)]
+        )
+        acc = PiecewiseLinearAccuracy.single_segment(0.5 / 1e12, 1e12, 0.0)
+        tasks = TaskSet([Task(10.0, acc), Task(10.0, acc)])
+        # budget: enough for ~task0 at fmax on m0 only
+        inst = ProblemInstance(tasks, cluster, budget=1e12 / 5e9 + 1.0)
+        times = np.zeros((2, 2))
+        times[0, 0] = 1.0  # task 0 at f_max on the INEFFICIENT machine
+        result = refine_profile(inst, times)
+        from repro.core import Schedule
+
+        sched = Schedule(inst, result.times)
+        # relocation moved work to machine 1 and the freed energy funded task 1
+        assert sched.total_accuracy > 0.5 + 0.3
+        assert result.times[0, 0] < 1.0 - 1e-6
+
+    def test_growth_fires_with_leftover_budget(self):
+        from repro.algorithms.refine_profile import refine_profile
+        from repro.core import Schedule
+
+        inst = make_instance(n=5, m=2, beta=0.5, seed=830)
+        zero = np.zeros((5, 2))
+        result = refine_profile(inst, zero)
+        assert Schedule(inst, result.times).total_accuracy > Schedule.empty(inst).total_accuracy
+
+
+class TestRelaxationMatrix:
+    def test_coefficients_match_hand_computation(self):
+        inst = make_instance(n=2, m=2, beta=0.5, seed=831)
+        model = build_relaxation(inst)
+        a = model.a_ub.toarray()
+        layout = model.layout
+        tasks, cluster = inst.tasks, inst.cluster
+        k0 = tasks[0].accuracy.n_segments
+        k1 = tasks[1].accuracy.n_segments
+
+        # envelope rows: z_j coefficient 1, t_jr coefficient −α s_r
+        row0 = a[0]
+        alpha0 = tasks[0].accuracy.slopes[0]
+        assert row0[layout.z(0)] == 1.0
+        assert row0[layout.t(0, 0)] == pytest.approx(-alpha0 * cluster.speeds[0])
+        assert row0[layout.t(1, 0)] == 0.0
+
+        # first deadline row (machine 0, task 0): only t_00
+        d_start = k0 + k1
+        drow = a[d_start]
+        assert drow[layout.t(0, 0)] == 1.0
+        assert drow[layout.t(0, 1)] == 0.0
+        assert model.b_ub[d_start] == pytest.approx(tasks.deadlines[0])
+
+        # second deadline row (machine 0, task 1): prefix includes both
+        drow2 = a[d_start + 1]
+        assert drow2[layout.t(0, 0)] == 1.0 and drow2[layout.t(1, 0)] == 1.0
+
+        # work-cap rows scaled to rhs 1
+        cap_start = d_start + 2 * 2
+        crow = a[cap_start]
+        assert crow[layout.t(0, 0)] == pytest.approx(cluster.speeds[0] / tasks.f_max[0])
+        assert model.b_ub[cap_start] == 1.0
+
+        # budget row scaled by B
+        brow = a[-1]
+        assert brow[layout.t(0, 0)] == pytest.approx(cluster.powers[0] / inst.budget)
+        assert model.b_ub[-1] == 1.0

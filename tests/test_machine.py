@@ -1,0 +1,90 @@
+"""Machines and clusters."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import Cluster, Machine
+from repro.utils import units
+from repro.utils.errors import ValidationError
+
+
+class TestMachine:
+    def test_from_tflops(self):
+        m = Machine.from_tflops(10.0, 50.0)
+        assert m.speed == 10e12
+        assert m.efficiency == 50e9
+
+    def test_power(self):
+        m = Machine.from_tflops(10.0, 50.0)
+        assert m.power == pytest.approx(200.0)
+
+    def test_energy_for_time(self):
+        m = Machine.from_tflops(10.0, 50.0)
+        assert m.energy_for_time(2.0) == pytest.approx(400.0)
+
+    def test_energy_for_work(self):
+        m = Machine.from_tflops(10.0, 50.0)
+        assert m.energy_for_work(units.tflop(5.0)) == pytest.approx(100.0)
+
+    def test_time_for_work(self):
+        m = Machine.from_tflops(10.0, 50.0)
+        assert m.time_for_work(units.tflop(5.0)) == pytest.approx(0.5)
+
+    def test_consistency_time_energy(self):
+        m = Machine.from_tflops(3.0, 12.0)
+        flops = units.tflop(7.0)
+        assert m.time_for_work(flops) * m.power == pytest.approx(m.energy_for_work(flops))
+
+    @pytest.mark.parametrize("speed,eff", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0), (1.0, -5.0)])
+    def test_rejects_nonpositive(self, speed, eff):
+        with pytest.raises(ValidationError):
+            Machine(speed=speed, efficiency=eff)
+
+    def test_rejects_negative_idle_power(self):
+        with pytest.raises(ValidationError):
+            Machine(speed=1.0, efficiency=1.0, idle_power=-1.0)
+
+    def test_repr_contains_name(self):
+        m = Machine.from_tflops(1.0, 1.0, name="T4")
+        assert "T4" in repr(m)
+
+
+class TestCluster:
+    def test_vectors(self):
+        c = Cluster.from_tflops([1.0, 2.0], [10.0, 20.0])
+        assert np.allclose(c.speeds, [1e12, 2e12])
+        assert np.allclose(c.efficiencies, [10e9, 20e9])
+        assert np.allclose(c.powers, [100.0, 100.0])
+
+    def test_totals(self):
+        c = Cluster.from_tflops([1.0, 2.0], [10.0, 20.0])
+        assert c.total_speed == pytest.approx(3e12)
+        assert c.total_power == pytest.approx(200.0)
+
+    def test_len_iter_getitem(self):
+        c = Cluster.from_tflops([1.0, 2.0], [10.0, 20.0])
+        assert len(c) == 2
+        assert [m.speed for m in c] == [1e12, 2e12]
+        assert c[1].speed == 2e12
+
+    def test_efficiency_order(self):
+        c = Cluster.from_tflops([1.0, 2.0, 3.0], [30.0, 10.0, 20.0])
+        assert list(c.efficiency_order(descending=True)) == [0, 2, 1]
+        assert list(c.efficiency_order(descending=False)) == [1, 2, 0]
+
+    def test_efficiency_order_stable_on_ties(self):
+        c = Cluster.from_tflops([1.0, 2.0], [10.0, 10.0])
+        assert list(c.efficiency_order()) == [0, 1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Cluster([])
+
+    def test_from_tflops_rejects_mismatch(self):
+        with pytest.raises(ValidationError):
+            Cluster.from_tflops([1.0], [1.0, 2.0])
+
+    def test_vector_views_are_readonly(self):
+        c = Cluster.from_tflops([1.0], [10.0])
+        with pytest.raises(ValueError):
+            c.speeds[0] = 5.0

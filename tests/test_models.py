@@ -1,0 +1,142 @@
+"""Synthetic OFA families, zoo presets and the simulated profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import Task
+from repro.hardware import gpu_by_name
+from repro.models import (
+    MODEL_ZOO,
+    OnceForAllFamily,
+    SimulatedProfiler,
+    get_family,
+    ofa_mobilenet_v3,
+    ofa_resnet50,
+)
+from repro.models.ofa import SubnetworkConfig
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def family():
+    return ofa_resnet50()
+
+
+class TestFamily:
+    def test_mobilenet_space_exceeds_1e19(self):
+        """The paper's remark: >10^19 subnetworks for MobileNet."""
+        assert ofa_mobilenet_v3().count_subnetworks() > 1e19
+
+    def test_largest_config_costs_full_flops(self, family):
+        big = family.largest_config()
+        assert family.config_flops(big) == pytest.approx(family.full_flops)
+
+    def test_flops_within_bounds(self, family):
+        for config in family.sample_configs(50, seed=0):
+            f = family.config_flops(config)
+            assert 0 < f <= family.full_flops * (1 + 1e-12)
+
+    def test_accuracy_below_envelope(self, family):
+        for config in family.sample_configs(50, seed=1):
+            flops = family.config_flops(config)
+            assert family.config_accuracy(config) <= family._curve.value(flops) + 1e-12
+
+    def test_accuracy_deterministic(self, family):
+        config = family.sample_configs(1, seed=2)[0]
+        assert family.config_accuracy(config) == family.config_accuracy(config)
+
+    def test_bigger_is_better_on_envelope(self, family):
+        flops, accs = family.accuracy_curve(num=50)
+        assert np.all(np.diff(accs) >= -1e-12)
+        assert accs[0] == pytest.approx(family.a_min)
+
+    def test_accuracy_function_is_concave_fit(self, family):
+        pla = family.accuracy_function(5)
+        assert pla.n_segments == 5
+        assert pla.a_max == pytest.approx(family.a_max)
+        assert pla.f_max == pytest.approx(family.full_flops, rel=1e-6)
+
+    def test_batch_task_scales_work(self, family):
+        task = family.batch_task(batch_size=100, deadline=2.0)
+        single = family.accuracy_function(5)
+        assert isinstance(task, Task)
+        assert task.f_max == pytest.approx(100 * single.f_max)
+        assert task.accuracy.value(task.f_max / 2) == pytest.approx(single.value(single.f_max / 2))
+
+    def test_batch_task_rejects_zero(self, family):
+        with pytest.raises(ValidationError):
+            family.batch_task(batch_size=0, deadline=1.0)
+
+    def test_config_validation(self, family):
+        good = family.largest_config()
+        bad = SubnetworkConfig(depths=good.depths[:-1], options=good.options, width_index=0, resolution_index=0)
+        with pytest.raises(ValidationError):
+            family.config_flops(bad)
+        bad_depth = SubnetworkConfig(
+            depths=(99,) * family.n_stages, options=good.options, width_index=0, resolution_index=0
+        )
+        with pytest.raises(ValidationError):
+            family.config_flops(bad_depth)
+
+    def test_scatter_profiles(self, family):
+        profiles = family.scatter(10, seed=3)
+        assert len(profiles) == 10
+        for p in profiles:
+            assert p.flops == family.config_flops(p.config)
+
+
+class TestZoo:
+    def test_all_presets_instantiable(self):
+        for name in MODEL_ZOO:
+            fam = get_family(name)
+            assert isinstance(fam, OnceForAllFamily)
+            assert fam.name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_family("alexnet")
+
+    def test_resnet_matches_paper_extremes(self):
+        fam = ofa_resnet50()
+        assert fam.a_min == pytest.approx(0.001)
+        assert fam.a_max == pytest.approx(0.82)
+
+
+class TestProfiler:
+    def test_noiseless_is_analytic(self):
+        machine = gpu_by_name("Tesla T4").to_machine()
+        fam = ofa_resnet50()
+        profiler = SimulatedProfiler(machine, noise=0.0)
+        config = fam.largest_config()
+        m = profiler.measure(fam, config)
+        assert m.latency_seconds == pytest.approx(fam.full_flops / machine.speed)
+        assert m.energy_joules == pytest.approx(fam.full_flops / machine.efficiency)
+
+    def test_batch_scales_linearly(self):
+        machine = gpu_by_name("Tesla T4").to_machine()
+        fam = ofa_resnet50()
+        profiler = SimulatedProfiler(machine)
+        config = fam.largest_config()
+        one = profiler.measure(fam, config, batch_size=1)
+        ten = profiler.measure(fam, config, batch_size=10)
+        assert ten.latency_seconds == pytest.approx(10 * one.latency_seconds)
+
+    def test_noise_reproducible(self):
+        machine = gpu_by_name("Tesla T4").to_machine()
+        fam = ofa_resnet50()
+        config = fam.largest_config()
+        a = SimulatedProfiler(machine, noise=0.1, seed=9).measure(fam, config)
+        b = SimulatedProfiler(machine, noise=0.1, seed=9).measure(fam, config)
+        assert a.latency_seconds == b.latency_seconds
+
+    def test_sweep(self):
+        machine = gpu_by_name("Tesla T4").to_machine()
+        fam = ofa_resnet50()
+        configs = fam.sample_configs(4, seed=1)
+        out = SimulatedProfiler(machine).sweep(fam, configs)
+        assert len(out) == 4
+
+    def test_rejects_negative_noise(self):
+        machine = gpu_by_name("Tesla T4").to_machine()
+        with pytest.raises(ValidationError):
+            SimulatedProfiler(machine, noise=-0.1)

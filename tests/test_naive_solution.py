@@ -1,0 +1,156 @@
+"""Algorithm 2 — ComputeNaiveSolution and the water-filling map."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.naive_solution import WaterFiller, compute_naive_solution
+from repro.core.profiles import EnergyProfile, naive_profile
+from repro.core.schedule import Schedule
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+
+class TestWaterFiller:
+    def test_inverse_property(self):
+        speeds = np.array([2.0, 5.0, 1.0])
+        caps = np.array([3.0, 1.0, 2.0])
+        wf = WaterFiller(speeds, caps)
+        for work in np.linspace(0, wf.capacity, 23):
+            tau = wf.tau(work)
+            delivered = float(np.sum(speeds * np.minimum(tau, caps)))
+            assert delivered == pytest.approx(work, rel=1e-9, abs=1e-9)
+
+    def test_zero_and_capacity(self):
+        wf = WaterFiller(np.array([1.0]), np.array([2.0]))
+        assert wf.tau(0.0) == 0.0
+        assert wf.tau(wf.capacity) == pytest.approx(2.0)
+
+    def test_monotone(self):
+        wf = WaterFiller(np.array([3.0, 1.0]), np.array([1.0, 4.0]))
+        works = np.linspace(0, wf.capacity, 17)
+        taus = [wf.tau(w) for w in works]
+        assert all(a <= b + 1e-12 for a, b in zip(taus, taus[1:]))
+
+    def test_duplicate_caps(self):
+        wf = WaterFiller(np.array([1.0, 2.0]), np.array([1.5, 1.5]))
+        assert wf.tau(1.5) == pytest.approx(0.5)
+
+    def test_zero_caps(self):
+        wf = WaterFiller(np.array([1.0, 2.0]), np.array([0.0, 1.0]))
+        assert wf.capacity == pytest.approx(2.0)
+        assert wf.tau(1.0) == pytest.approx(0.5)
+
+    def test_overshoot_raises(self):
+        wf = WaterFiller(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValidationError):
+            wf.tau(2.0)
+
+    def test_small_overshoot_clamped(self):
+        wf = WaterFiller(np.array([1.0]), np.array([1.0]))
+        assert wf.tau(1.0 + 1e-12) == pytest.approx(1.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            WaterFiller(np.array([1.0]), np.array([1.0, 2.0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(0.1, 10.0), min_size=1, max_size=6),
+        st.lists(st.floats(0.0, 5.0), min_size=1, max_size=6),
+        st.floats(0.0, 1.0),
+    )
+    def test_property_inverse(self, speeds, caps, frac):
+        k = min(len(speeds), len(caps))
+        speeds, caps = np.array(speeds[:k]), np.array(caps[:k])
+        wf = WaterFiller(speeds, caps)
+        work = frac * wf.capacity
+        tau = wf.tau(work)
+        delivered = float(np.sum(speeds * np.minimum(tau, caps)))
+        assert delivered == pytest.approx(work, rel=1e-7, abs=1e-9)
+
+
+class TestComputeNaiveSolution:
+    def test_feasible(self):
+        inst = make_instance(n=10, m=3, beta=0.4, seed=6)
+        naive = compute_naive_solution(inst)
+        sched = Schedule(inst, naive.times)
+        assert sched.feasibility().feasible
+
+    def test_respects_profile(self):
+        inst = make_instance(n=10, m=3, beta=0.4, seed=6)
+        naive = compute_naive_solution(inst)
+        loads = naive.times.sum(axis=0)
+        assert naive.profile.admits(loads)
+
+    def test_work_matches_single_machine_solution(self):
+        inst = make_instance(n=10, m=3, beta=0.4, seed=6)
+        naive = compute_naive_solution(inst)
+        per_task = naive.times @ inst.cluster.speeds
+        assert np.allclose(per_task, naive.work, rtol=1e-9, atol=1.0)
+
+    def test_custom_profile(self):
+        inst = make_instance(n=6, m=2, beta=1.0, seed=7)
+        profile = EnergyProfile(np.array([0.0, inst.tasks.d_max]))
+        naive = compute_naive_solution(inst, profile)
+        assert naive.times[:, 0].sum() == 0.0
+
+    def test_profile_length_mismatch_raises(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=7)
+        with pytest.raises(ValidationError):
+            compute_naive_solution(inst, EnergyProfile(np.array([1.0])))
+
+    def test_zero_budget_schedules_nothing(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=7)
+        inst = type(inst)(inst.tasks, inst.cluster, 0.0)
+        naive = compute_naive_solution(inst)
+        assert np.allclose(naive.times, 0.0)
+
+    def test_single_machine_reduction(self):
+        """With one machine, Alg. 2 must match Alg. 1 directly."""
+        from repro.algorithms.single_machine import solve_single_machine
+        from repro.core.segments import build_segment_list
+
+        inst = make_instance(n=8, m=1, beta=0.6, seed=8)
+        naive = compute_naive_solution(inst)
+        cap = float(naive_profile(inst).limits[0])
+        segments = build_segment_list(inst.tasks)
+        direct = solve_single_machine(
+            inst.tasks.deadlines, float(inst.cluster.speeds[0]), segments, total_cap=cap
+        )
+        assert np.allclose(naive.times[:, 0], direct, rtol=1e-9, atol=1e-12)
+
+    def test_optimal_for_its_profile_vs_lp(self):
+        """Alg. 2 is the optimum among schedules bounded by its profile."""
+        from scipy.optimize import linprog
+        from repro.exact.model import build_relaxation
+
+        inst = make_instance(n=5, m=3, beta=0.45, seed=11)
+        naive = compute_naive_solution(inst)
+        profile = naive.profile
+
+        model = build_relaxation(inst)
+        # add per-machine profile rows: sum_j t_jr <= p_r
+        import scipy.sparse as sp
+
+        extra_rows = []
+        for r in range(inst.n_machines):
+            row = np.zeros(model.layout.n_cols)
+            for j in range(inst.n_tasks):
+                row[model.layout.t(j, r)] = 1.0
+            extra_rows.append(row)
+        a_ub = sp.vstack([model.a_ub, sp.csr_matrix(np.array(extra_rows))])
+        b_ub = np.concatenate([model.b_ub, profile.limits])
+        res = linprog(
+            model.c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            bounds=np.column_stack([model.lower, model.upper]),
+            method="highs",
+        )
+        assert res.status == 0
+        lp_acc = -res.fun
+        alg2_acc = Schedule(inst, naive.times).total_accuracy
+        assert alg2_acc == pytest.approx(lp_acc, rel=1e-7)

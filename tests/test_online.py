@@ -1,0 +1,83 @@
+"""Rolling-horizon online planner."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler
+from repro.baselines import EDFNoCompressionScheduler
+from repro.hardware import sample_uniform_cluster
+from repro.online import RollingHorizonPlanner
+from repro.utils.errors import ValidationError
+from repro.workloads import PoissonArrivals, Request
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return sample_uniform_cluster(2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return PoissonArrivals(
+        4.0, slo_range=(0.5, 1.5), theta_range=(0.2, 1.0), seed=2
+    ).generate(12.0)
+
+
+class TestPlanner:
+    def test_window_budget(self, cluster):
+        planner = RollingHorizonPlanner(
+            cluster, ApproxScheduler(), window_seconds=2.0, power_cap_fraction=0.25
+        )
+        assert planner.window_budget == pytest.approx(0.25 * 2.0 * cluster.total_power)
+
+    def test_run_covers_all_requests(self, cluster, stream):
+        planner = RollingHorizonPlanner(cluster, ApproxScheduler(), window_seconds=2.0)
+        report = planner.run(stream)
+        assert report.n_requests == len(stream)
+        assert 0.0 <= report.mean_accuracy <= 1.0
+        assert 0.0 <= report.on_time_fraction <= 1.0
+
+    def test_windows_respect_budget(self, cluster, stream):
+        planner = RollingHorizonPlanner(
+            cluster, ApproxScheduler(), window_seconds=2.0, power_cap_fraction=0.3
+        )
+        report = planner.run(stream)
+        for window in report.windows:
+            assert window.energy <= planner.window_budget * (1 + 1e-9)
+
+    def test_approx_beats_nocompression_under_cap(self, cluster, stream):
+        """The library's online claim: compression rescues tight caps."""
+        cap = 0.25
+        approx = RollingHorizonPlanner(
+            cluster, ApproxScheduler(), window_seconds=2.0, power_cap_fraction=cap
+        ).run(stream)
+        nocomp = RollingHorizonPlanner(
+            cluster, EDFNoCompressionScheduler(), window_seconds=2.0, power_cap_fraction=cap
+        ).run(stream)
+        assert approx.mean_accuracy > nocomp.mean_accuracy
+        assert approx.on_time_fraction >= nocomp.on_time_fraction
+
+    def test_empty_stream(self, cluster):
+        planner = RollingHorizonPlanner(cluster, ApproxScheduler())
+        report = planner.run([])
+        assert report.n_requests == 0
+        assert report.mean_accuracy == 0.0
+        assert report.total_energy == 0.0
+
+    def test_plan_window_rejects_empty(self, cluster):
+        planner = RollingHorizonPlanner(cluster, ApproxScheduler())
+        with pytest.raises(ValidationError):
+            planner.plan_window(0.0, [])
+
+    def test_rejects_bad_params(self, cluster):
+        with pytest.raises(ValidationError):
+            RollingHorizonPlanner(cluster, ApproxScheduler(), window_seconds=0.0)
+        with pytest.raises(ValidationError):
+            RollingHorizonPlanner(cluster, ApproxScheduler(), power_cap_fraction=0.0)
+
+    def test_single_request_window(self, cluster):
+        planner = RollingHorizonPlanner(cluster, ApproxScheduler(), window_seconds=2.0)
+        request = Request(arrival_time=0.5, slo_seconds=1.0, theta_per_tflop=0.3)
+        outcome = planner.plan_window(0.0, [request])
+        assert outcome.n_requests == 1
+        assert outcome.schedule.feasibility().feasible

@@ -1,0 +1,89 @@
+"""Event-driven online serving simulation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler, FractionalScheduler
+from repro.baselines import EDFNoCompressionScheduler
+from repro.hardware import sample_uniform_cluster
+from repro.simulator import OnlineSimulation
+from repro.utils.errors import SimulationError
+from repro.workloads import PoissonArrivals, Request
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return sample_uniform_cluster(2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return PoissonArrivals(3.0, slo_range=(1.0, 2.5), theta_range=(0.2, 1.0), seed=6).generate(10.0)
+
+
+class TestOnlineSimulation:
+    def test_all_requests_recorded(self, cluster, stream):
+        sim = OnlineSimulation(cluster, ApproxScheduler(), power_cap_fraction=0.4)
+        report = sim.run(stream)
+        assert report.n_requests == len(stream)
+
+    def test_empty_stream(self, cluster):
+        report = OnlineSimulation(cluster, ApproxScheduler()).run([])
+        assert report.n_requests == 0
+        assert report.energy == 0.0
+
+    def test_records_are_causal(self, cluster, stream):
+        report = OnlineSimulation(cluster, ApproxScheduler(), power_cap_fraction=0.4).run(stream)
+        for rec in report.records:
+            if rec.served:
+                assert rec.planned_window is not None
+                assert rec.start is not None and rec.finish is not None
+                # execution cannot start before planning, nor before arrival
+                assert rec.start >= rec.planned_window - 1e-12
+                assert rec.planned_window >= rec.request.arrival_time - 2.0 - 1e-9
+                assert rec.finish > rec.start
+
+    def test_machines_never_overlap(self, cluster, stream):
+        report = OnlineSimulation(cluster, ApproxScheduler(), power_cap_fraction=0.4).run(stream)
+        by_machine = {}
+        for rec in report.records:
+            if rec.served:
+                by_machine.setdefault(rec.machine, []).append((rec.start, rec.finish))
+        for spans in by_machine.values():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-9
+
+    def test_energy_matches_busy_time(self, cluster, stream):
+        report = OnlineSimulation(cluster, ApproxScheduler(), power_cap_fraction=0.4).run(stream)
+        assert report.energy == pytest.approx(float(report.machine_busy @ cluster.powers))
+
+    def test_slo_attainment_below_planner_claim(self, cluster, stream):
+        """The simulation charges queueing delay that the algebraic view
+        misses, so measured SLO attainment can only be ≤ the served rate."""
+        report = OnlineSimulation(cluster, ApproxScheduler(), power_cap_fraction=0.4).run(stream)
+        assert report.slo_attainment <= report.served_fraction + 1e-12
+
+    def test_compression_beats_no_compression(self, cluster, stream):
+        approx = OnlineSimulation(cluster, ApproxScheduler(), power_cap_fraction=0.3).run(stream)
+        nocomp = OnlineSimulation(cluster, EDFNoCompressionScheduler(), power_cap_fraction=0.3).run(stream)
+        assert approx.mean_accuracy > nocomp.mean_accuracy
+
+    def test_rejects_fractional_scheduler(self, cluster):
+        # A fractional scheduler can split one request over machines, which
+        # the execution semantics reject explicitly.
+        reqs = [Request(arrival_time=0.1 * i, slo_seconds=5.0, theta_per_tflop=0.1) for i in range(6)]
+        sim = OnlineSimulation(cluster, FractionalScheduler(), power_cap_fraction=2.0)
+        with pytest.raises(SimulationError):
+            sim.run(reqs)
+
+    def test_deterministic(self, cluster, stream):
+        a = OnlineSimulation(cluster, ApproxScheduler(), power_cap_fraction=0.4).run(stream)
+        b = OnlineSimulation(cluster, ApproxScheduler(), power_cap_fraction=0.4).run(stream)
+        assert a.mean_accuracy == b.mean_accuracy
+        assert a.energy == b.energy
+
+    def test_higher_cap_serves_better(self, cluster, stream):
+        low = OnlineSimulation(cluster, ApproxScheduler(), power_cap_fraction=0.1).run(stream)
+        high = OnlineSimulation(cluster, ApproxScheduler(), power_cap_fraction=0.9).run(stream)
+        assert high.mean_accuracy >= low.mean_accuracy - 1e-9

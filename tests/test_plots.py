@@ -1,0 +1,62 @@
+"""ASCII plotting utilities."""
+
+import pytest
+
+from repro.experiments.plots import ascii_plot, plot_table
+from repro.experiments.records import ResultTable
+from repro.utils.errors import ValidationError
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot([0, 1, 2], {"a": [0.0, 0.5, 1.0]})
+        lines = out.splitlines()
+        assert any("o" in line for line in lines)
+        assert "a" in out  # legend
+
+    def test_extremes_on_correct_rows(self):
+        out = ascii_plot([0, 1], {"a": [0.0, 1.0]}, height=8, width=10)
+        lines = out.splitlines()
+        assert "o" in lines[0]  # max at the top row
+        assert "o" in lines[7]  # min at the bottom row
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_plot([0, 1], {"a": [0, 1], "b": [1, 0]})
+        assert "o=a" in out and "x=b" in out
+
+    def test_constant_series_ok(self):
+        out = ascii_plot([0, 1, 2], {"flat": [3.0, 3.0, 3.0]})
+        assert "o" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot([0, 1], {"a": [0, 1]}, x_label="beta", y_label="accuracy")
+        assert "beta" in out and "accuracy" in out
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ascii_plot([0], {"a": [1]})
+        with pytest.raises(ValidationError):
+            ascii_plot([0, 1], {})
+        with pytest.raises(ValidationError):
+            ascii_plot([0, 1], {"a": [1, 2, 3]})
+        too_many = {f"s{i}": [0, 1] for i in range(9)}
+        with pytest.raises(ValidationError):
+            ascii_plot([0, 1], too_many)
+
+
+class TestPlotTable:
+    def test_from_result_table(self):
+        table = ResultTable("demo", ["beta", "acc"])
+        table.add_row(0.1, 0.2)
+        table.add_row(0.5, 0.6)
+        table.add_row(1.0, 0.8)
+        out = plot_table(table, "beta", ["acc"])
+        assert "acc" in out
+        assert "beta" in out
+
+    def test_unknown_column_raises(self):
+        table = ResultTable("demo", ["x", "y"])
+        table.add_row(0, 1)
+        table.add_row(1, 2)
+        with pytest.raises(ValidationError):
+            plot_table(table, "x", ["nope"])

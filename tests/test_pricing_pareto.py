@@ -1,0 +1,158 @@
+"""Inverse budget solving, Pareto frontiers, distributions, parallel map."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler, FractionalScheduler
+from repro.experiments import ParetoConfig, frontier_area, parallel_map, run_pareto, seeded_items
+from repro.extensions import cheapest_budget_for_accuracy, cheapest_cost_for_accuracy
+from repro.extensions.pricing import JOULES_PER_KWH
+from repro.hardware import sample_uniform_cluster
+from repro.utils.errors import InfeasibleError, ValidationError
+from repro.workloads import (
+    DistributionalConfig,
+    available_distributions,
+    generate_distributional_tasks,
+    sample_distribution,
+)
+
+from conftest import make_instance
+
+
+class TestPricing:
+    @pytest.fixture(scope="class")
+    def inst(self):
+        return make_instance(n=8, m=2, beta=0.5, rho=1.5, seed=330)
+
+    def test_budget_achieves_target(self, inst):
+        target = 0.55
+        budget = cheapest_budget_for_accuracy(inst, target, rel_tol=1e-5)
+        from repro.core import ProblemInstance
+
+        check = FractionalScheduler().solve(ProblemInstance(inst.tasks, inst.cluster, budget))
+        assert check.mean_accuracy >= target - 1e-4
+
+    def test_budget_is_minimal(self, inst):
+        target = 0.55
+        budget = cheapest_budget_for_accuracy(inst, target, rel_tol=1e-5)
+        from repro.core import ProblemInstance
+
+        shaved = FractionalScheduler().solve(
+            ProblemInstance(inst.tasks, inst.cluster, budget * 0.98)
+        )
+        assert shaved.mean_accuracy < target
+
+    def test_monotone_in_target(self, inst):
+        b1 = cheapest_budget_for_accuracy(inst, 0.4)
+        b2 = cheapest_budget_for_accuracy(inst, 0.6)
+        assert b1 <= b2
+
+    def test_floor_target_costs_nothing(self, inst):
+        floor = float(np.mean([t.a_min for t in inst.tasks]))
+        assert cheapest_budget_for_accuracy(inst, floor) == 0.0
+
+    def test_unreachable_target_raises(self, inst):
+        with pytest.raises(InfeasibleError):
+            cheapest_budget_for_accuracy(inst, 0.999)
+
+    def test_cost_conversion(self, inst):
+        cost, budget = cheapest_cost_for_accuracy(inst, 0.5, price_per_kwh=0.25)
+        assert cost == pytest.approx(budget / JOULES_PER_KWH * 0.25)
+
+
+class TestPareto:
+    def test_frontier_area_basic(self):
+        area = frontier_area([0.0, 1.0], [0.0, 1.0])
+        assert area == pytest.approx(0.5)
+
+    def test_frontier_area_unsorted_input(self):
+        a1 = frontier_area([1.0, 0.0], [1.0, 0.0])
+        a2 = frontier_area([0.0, 1.0], [0.0, 1.0])
+        assert a1 == pytest.approx(a2)
+
+    def test_frontier_area_validation(self):
+        with pytest.raises(ValidationError):
+            frontier_area([1.0], [1.0])
+
+    def test_run_pareto_ranks_methods(self):
+        table = run_pareto(ParetoConfig(betas=(0.1, 0.4, 1.0), n=15, repetitions=1))
+        # parse the frontier areas out of the notes
+        areas = {}
+        for note in table.notes:
+            name, rest = note.split(":", 1)
+            areas[name] = float(rest.rsplit("=", 1)[1])
+        assert areas["approx"] > areas["edf-nocompression"]
+
+    def test_run_pareto_rows_complete(self):
+        cfg = ParetoConfig(methods=("approx",), betas=(0.2, 0.8), n=10, repetitions=1)
+        table = run_pareto(cfg)
+        assert len(table.rows) == 2
+        assert all(r["energy_J"] > 0 for r in table.as_dicts())
+
+
+class TestDistributions:
+    def test_registry(self):
+        names = available_distributions()
+        assert {"uniform", "lognormal", "pareto", "bimodal"} <= set(names)
+
+    @pytest.mark.parametrize("name", ["uniform", "lognormal", "pareto", "bimodal"])
+    def test_within_range(self, name):
+        rng = np.random.default_rng(1)
+        vals = sample_distribution(name, rng, 500, 0.2, 0.9)
+        assert np.all((vals >= 0.2) & (vals <= 0.9))
+
+    def test_unknown_raises(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValidationError):
+            sample_distribution("zipf", rng, 10, 0.1, 1.0)
+
+    def test_bimodal_is_bimodal(self):
+        rng = np.random.default_rng(2)
+        vals = sample_distribution("bimodal", rng, 2000, 0.1, 1.0)
+        middle = np.sum((vals > 0.4) & (vals < 0.7))
+        assert middle < 0.05 * vals.size
+
+    def test_generate_tasks_schedulable(self):
+        cluster = sample_uniform_cluster(2, seed=3)
+        for dist in available_distributions():
+            tasks = generate_distributional_tasks(
+                DistributionalConfig(n=10, theta_distribution=dist), cluster, seed=4
+            )
+            from repro.core import ProblemInstance
+
+            inst = ProblemInstance.with_beta(tasks, cluster, 0.4)
+            sched = ApproxScheduler().solve(inst)
+            assert sched.feasibility(integral=True).feasible
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            DistributionalConfig(theta_distribution="nope")
+
+
+def _square(pair):  # module-level: picklable for the process pool
+    value, seed = pair
+    return value * value + seed * 0
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [(1, 0), (2, 0)], n_jobs=1) == [1, 4]
+
+    def test_parallel_matches_serial(self):
+        items = seeded_items(list(range(8)), seed=5)
+        serial = parallel_map(_square, items, n_jobs=1)
+        parallel = parallel_map(_square, items, n_jobs=2)
+        assert serial == parallel
+
+    def test_seeded_items_deterministic(self):
+        a = seeded_items([1, 2, 3], seed=9)
+        b = seeded_items([1, 2, 3], seed=9)
+        assert a == b
+
+    def test_rejects_unpicklable(self):
+        with pytest.raises(ValidationError, match="picklable"):
+            parallel_map(lambda x: x, [1, 2], n_jobs=2)
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValidationError):
+            parallel_map(_square, [(1, 0)], n_jobs=0)

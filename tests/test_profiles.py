@@ -1,0 +1,87 @@
+"""Energy profiles and the naive profile of Algorithm 2."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import EnergyProfile, naive_profile
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+
+class TestEnergyProfile:
+    def test_energy(self):
+        p = EnergyProfile(np.array([1.0, 2.0]))
+        assert p.energy(np.array([10.0, 5.0])) == pytest.approx(20.0)
+
+    def test_fits_budget(self):
+        p = EnergyProfile(np.array([1.0, 1.0]))
+        powers = np.array([5.0, 5.0])
+        assert p.fits_budget(powers, 10.0)
+        assert not p.fits_budget(powers, 9.0)
+
+    def test_admits(self):
+        p = EnergyProfile(np.array([1.0, 2.0]))
+        assert p.admits(np.array([1.0, 1.5]))
+        assert not p.admits(np.array([1.1, 0.0]))
+
+    def test_rejects_negative_limits(self):
+        with pytest.raises(ValidationError):
+            EnergyProfile(np.array([-0.1]))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError):
+            EnergyProfile(np.zeros((2, 2)))
+
+    def test_energy_rejects_mismatched_powers(self):
+        p = EnergyProfile(np.array([1.0]))
+        with pytest.raises(ValidationError):
+            p.energy(np.array([1.0, 2.0]))
+
+    def test_getitem_len(self):
+        p = EnergyProfile(np.array([1.0, 2.0]))
+        assert len(p) == 2
+        assert p[1] == 2.0
+
+
+class TestNaiveProfile:
+    def test_respects_budget_exactly(self):
+        inst = make_instance(n=6, m=3, beta=0.3, seed=4)
+        profile = naive_profile(inst)
+        assert profile.energy(inst.cluster.powers) == pytest.approx(inst.budget)
+
+    def test_caps_at_dmax_when_budget_large(self):
+        inst = make_instance(n=6, m=3, beta=5.0, seed=4)
+        profile = naive_profile(inst)
+        assert np.all(profile.limits <= inst.tasks.d_max + 1e-12)
+
+    def test_most_efficient_first(self):
+        inst = make_instance(n=6, m=3, beta=0.2, seed=4)
+        profile = naive_profile(inst)
+        order = inst.cluster.efficiency_order(descending=True)
+        # once a machine gets zero, every less efficient machine is zero too
+        seen_zero = False
+        for r in order:
+            if profile[int(r)] == 0.0:
+                seen_zero = True
+            elif seen_zero:
+                pytest.fail("less efficient machine funded before a more efficient one")
+
+    def test_infinite_budget_fills_horizon(self):
+        inst = make_instance(n=6, m=3, beta=1.0, seed=4)
+        inst = type(inst)(inst.tasks, inst.cluster, math.inf)
+        profile = naive_profile(inst)
+        assert np.allclose(profile.limits, inst.tasks.d_max)
+
+    def test_zero_budget_gives_zero_profile(self):
+        inst = make_instance(n=6, m=3, beta=1.0, seed=4)
+        inst = type(inst)(inst.tasks, inst.cluster, 0.0)
+        profile = naive_profile(inst)
+        assert np.allclose(profile.limits, 0.0)
+
+    def test_custom_horizon(self):
+        inst = make_instance(n=6, m=3, beta=10.0, seed=4)
+        profile = naive_profile(inst, horizon=0.123)
+        assert np.all(profile.limits <= 0.123 + 1e-12)

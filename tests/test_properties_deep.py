@@ -1,0 +1,133 @@
+"""Deep cross-cutting property tests (hypothesis).
+
+These tie subsystems together: whatever random instance is drawn, the
+algebra, the simulator, the serializer and the certificates must agree.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ApproxScheduler, FractionalScheduler
+from repro.algorithms.registry import make_scheduler
+from repro.core import Schedule, instance_from_dict, instance_to_dict
+from repro.core.analysis import describe
+from repro.exact import certify
+from repro.simulator import ClusterSimulator
+from repro.simulator.failures import FailureModel, Outage, replay_with_failures
+
+from conftest import make_instance
+
+
+def draw_instance(seed, n, m, beta, rho):
+    return make_instance(n=n, m=m, beta=beta, rho=rho, seed=seed)
+
+
+INSTANCE_ARGS = (
+    st.integers(0, 10_000),
+    st.integers(1, 8),
+    st.integers(1, 4),
+    st.floats(0.05, 1.2),
+    st.floats(0.1, 1.8),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(*INSTANCE_ARGS)
+def test_simulator_agrees_with_algebra(seed, n, m, beta, rho):
+    """Replaying any APPROX schedule measures exactly the algebraic values."""
+    inst = draw_instance(seed, n, m, beta, rho)
+    sched = ApproxScheduler().solve(inst)
+    report = ClusterSimulator(inst).run(sched)
+    assert report.total_accuracy == pytest.approx(sched.total_accuracy, rel=1e-9, abs=1e-9)
+    assert report.energy == pytest.approx(sched.total_energy, rel=1e-9, abs=1e-9)
+    assert report.all_deadlines_met
+
+
+@settings(max_examples=20, deadline=None)
+@given(*INSTANCE_ARGS)
+def test_serialization_preserves_solutions(seed, n, m, beta, rho):
+    """Solving a round-tripped instance gives the identical schedule."""
+    inst = draw_instance(seed, n, m, beta, rho)
+    clone = instance_from_dict(instance_to_dict(inst))
+    a = ApproxScheduler().solve(inst)
+    b = ApproxScheduler().solve(clone)
+    assert np.allclose(a.times, b.times)
+
+
+@settings(max_examples=15, deadline=None)
+@given(*INSTANCE_ARGS)
+def test_fr_opt_certifies(seed, n, m, beta, rho):
+    """Every FR-OPT output passes the Sec. 3.2 KKT certificate."""
+    inst = draw_instance(seed, n, m, beta, rho)
+    frac = FractionalScheduler().solve(inst)
+    report = certify(frac, tolerance=1e-5)
+    assert report.certified, report.summary()
+
+
+@settings(max_examples=15, deadline=None)
+@given(*INSTANCE_ARGS, st.floats(0.0, 1.0))
+def test_failures_never_gain_accuracy(seed, n, m, beta, rho, frac):
+    """Any single outage yields at most the nominal accuracy."""
+    inst = draw_instance(seed, n, m, beta, rho)
+    sched = ApproxScheduler().solve(inst)
+    r = int(np.argmax(sched.machine_loads))
+    at = frac * float(sched.machine_loads[r])
+    report = replay_with_failures(inst, sched, FailureModel(outages=(Outage(r, at),)))
+    assert report.total_accuracy <= sched.total_accuracy + 1e-9
+    assert report.energy <= sched.total_energy + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(*INSTANCE_ARGS)
+def test_analysis_invariants(seed, n, m, beta, rho):
+    """describe() quantities are internally consistent for any schedule."""
+    inst = draw_instance(seed, n, m, beta, rho)
+    sched = ApproxScheduler().solve(inst)
+    a = describe(sched)
+    assert np.all((a.compression_ratios >= 0) & (a.compression_ratios <= 1 + 1e-12))
+    assert np.all(a.accuracy_headroom >= -1e-12)
+    total_work = a.machine_work_share.sum()
+    assert total_work == pytest.approx(1.0) or total_work == 0.0
+    # unscheduled ∩ fully_processed = ∅
+    assert not (set(a.unscheduled_tasks) & set(a.fully_processed_tasks))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.integers(2, 6),
+    st.integers(2, 3),
+    st.sampled_from(["approx", "edf-nocompression", "edf-3levels", "greedy-energy"]),
+)
+def test_every_method_feasible_and_bounded(seed, n, m, method):
+    """All integral methods respect the model and the UB, always."""
+    inst = draw_instance(seed, n, m, 0.5, 0.8)
+    scheduler = make_scheduler(method)
+    sched = scheduler.solve(inst)
+    assert sched.feasibility(integral=True).feasible
+    ub = FractionalScheduler().solve(inst)
+    assert sched.total_accuracy <= ub.total_accuracy + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000), st.integers(2, 6), st.floats(0.1, 1.0))
+def test_re_rounding_stays_feasible_and_bounded(seed, n, beta):
+    """Feeding an integral schedule back through the rounding pass keeps
+    it feasible, within the original loads' energy, and under the UB.
+
+    (Re-rounding is NOT a projection: the least-loaded placement may
+    reshuffle tasks onto faster machines and even *improve* accuracy —
+    what is guaranteed is feasibility and the load caps.)"""
+    from repro.algorithms.approx import round_fractional
+    from repro.algorithms.fractional import FractionalScheduler
+
+    inst = draw_instance(seed, n, 2, beta, 0.5)
+    sched = ApproxScheduler().solve(inst)
+    again = round_fractional(inst, sched)
+    assert again.feasibility(integral=True).feasible
+    # per-machine loads capped by the input schedule's loads
+    assert np.all(again.machine_loads <= sched.machine_loads * (1 + 1e-9) + 1e-12)
+    ub = FractionalScheduler().solve(inst)
+    assert again.total_accuracy <= ub.total_accuracy + 1e-6

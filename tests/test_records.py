@@ -1,0 +1,111 @@
+"""ResultTable and experiment plumbing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.records import ResultTable
+from repro.experiments.runner import Aggregate, evaluate_schedulers, repeat
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+
+class TestResultTable:
+    def make(self):
+        t = ResultTable("demo", ["x", "y"])
+        t.add_row(1, 2.5)
+        t.add_row(2, 3.5)
+        return t
+
+    def test_add_and_column(self):
+        t = self.make()
+        assert t.column("y") == [2.5, 3.5]
+
+    def test_add_row_arity_checked(self):
+        t = self.make()
+        with pytest.raises(ValidationError):
+            t.add_row(1)
+
+    def test_unknown_column(self):
+        with pytest.raises(ValidationError):
+            self.make().column("z")
+
+    def test_as_dicts(self):
+        assert self.make().as_dicts()[0] == {"x": 1, "y": 2.5}
+
+    def test_format_contains_header_and_notes(self):
+        t = self.make()
+        t.notes.append("hello note")
+        out = t.format()
+        assert "demo" in out and "x" in out and "hello note" in out
+
+    def test_format_small_and_large_floats(self):
+        t = ResultTable("f", ["v"])
+        t.add_row(1e-9)
+        t.add_row(123456.0)
+        t.add_row(0.0)
+        out = t.format()
+        assert "e-09" in out and "e+05" in out
+
+    def test_csv_roundtrip(self, tmp_path):
+        t = self.make()
+        path = tmp_path / "t.csv"
+        t.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "x,y"
+        assert len(lines) == 3
+
+    def test_json_export(self, tmp_path):
+        t = self.make()
+        path = tmp_path / "t.json"
+        t.to_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["columns"] == ["x", "y"]
+        assert payload["rows"] == [[1, 2.5], [2, 3.5]]
+
+
+class TestRunner:
+    def test_aggregate(self):
+        agg = Aggregate.of([1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert agg.minimum == 1.0
+        assert agg.maximum == 3.0
+        assert agg.count == 3
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValidationError):
+            Aggregate.of([])
+
+    def test_repeat_deterministic(self):
+        a = repeat(lambda rng: float(rng.random()), 5, seed=3)
+        b = repeat(lambda rng: float(rng.random()), 5, seed=3)
+        assert a == b
+
+    def test_repeat_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            repeat(lambda rng: 0.0, 0)
+
+    def test_evaluate_schedulers(self):
+        from repro.algorithms import ApproxScheduler, FractionalScheduler
+
+        inst = make_instance(n=5, m=2, beta=0.5, seed=91)
+        out = evaluate_schedulers(inst, [ApproxScheduler(), FractionalScheduler()])
+        assert set(out) == {"DSCT-EA-APPROX", "DSCT-EA-FR-OPT"}
+
+    def test_evaluate_schedulers_audits(self):
+        from repro.algorithms.base import Scheduler
+        from repro.core.schedule import Schedule
+
+        class Broken(Scheduler):
+            name = "BROKEN"
+
+            def solve(self, instance):
+                times = np.zeros((instance.n_tasks, instance.n_machines))
+                times[0, 0] = instance.tasks.deadlines[0] * 10
+                return Schedule(instance, times)
+
+        inst = make_instance(n=4, m=2, beta=0.5, seed=92)
+        with pytest.raises(ValidationError, match="BROKEN"):
+            evaluate_schedulers(inst, [Broken()])

@@ -1,0 +1,118 @@
+"""Algorithm 3 — RefineProfile and the deadline-slack helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.naive_solution import compute_naive_solution
+from repro.algorithms.refine_profile import deadline_slack, refine_profile
+from repro.core.schedule import Schedule
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+
+class TestDeadlineSlack:
+    def test_empty_schedule_slack_is_deadline_suffix_min(self):
+        deadlines = np.array([1.0, 2.0, 3.0])
+        slack = deadline_slack(np.zeros((3, 2)), deadlines)
+        # for task j the binding constraint is min_{i>=j} d_i = d_j here
+        assert np.allclose(slack[:, 0], deadlines)
+
+    def test_later_task_tightens_earlier_slack(self):
+        deadlines = np.array([5.0, 6.0])
+        times = np.array([[0.0], [5.5]])
+        slack = deadline_slack(times, deadlines)
+        # growing task 0 shifts task 1, whose completion is already 5.5
+        assert slack[0, 0] == pytest.approx(0.5)
+
+    def test_clamped_at_zero(self):
+        deadlines = np.array([1.0])
+        times = np.array([[2.0]])
+        slack = deadline_slack(times, deadlines)
+        assert slack[0, 0] == 0.0
+
+    def test_growth_by_slack_is_feasible(self):
+        inst = make_instance(n=7, m=2, beta=0.5, seed=12)
+        naive = compute_naive_solution(inst)
+        slack = deadline_slack(naive.times, inst.tasks.deadlines)
+        j, r = 2, 0
+        grown = naive.times.copy()
+        grown[j, r] += slack[j, r]
+        completion = np.cumsum(grown, axis=0)
+        assert np.all(completion[:, r] <= inst.tasks.deadlines + 1e-9)
+
+
+class TestRefine:
+    def test_never_decreases_accuracy(self):
+        for seed in range(8):
+            inst = make_instance(n=8, m=3, beta=0.5, seed=100 + seed)
+            naive = compute_naive_solution(inst)
+            before = Schedule(inst, naive.times).total_accuracy
+            result = refine_profile(inst, naive.times)
+            after = Schedule(inst, result.times).total_accuracy
+            assert after >= before - 1e-9
+
+    def test_preserves_feasibility(self):
+        for seed in range(8):
+            inst = make_instance(n=8, m=3, beta=0.5, seed=200 + seed)
+            naive = compute_naive_solution(inst)
+            result = refine_profile(inst, naive.times)
+            assert Schedule(inst, result.times).feasibility().feasible
+
+    def test_converges(self):
+        inst = make_instance(n=10, m=3, beta=0.5, seed=13)
+        naive = compute_naive_solution(inst)
+        result = refine_profile(inst, naive.times)
+        assert result.converged
+
+    def test_idempotent_at_fixpoint(self):
+        inst = make_instance(n=8, m=3, beta=0.5, seed=14)
+        naive = compute_naive_solution(inst)
+        first = refine_profile(inst, naive.times)
+        second = refine_profile(inst, first.times)
+        acc1 = Schedule(inst, first.times).total_accuracy
+        acc2 = Schedule(inst, second.times).total_accuracy
+        assert acc2 == pytest.approx(acc1, rel=1e-9)
+
+    def test_input_not_mutated(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=15)
+        naive = compute_naive_solution(inst)
+        snapshot = naive.times.copy()
+        refine_profile(inst, naive.times)
+        assert np.array_equal(naive.times, snapshot)
+
+    def test_iteration_limit_reported(self):
+        inst = make_instance(n=8, m=3, beta=0.5, seed=16)
+        naive = compute_naive_solution(inst)
+        result = refine_profile(inst, naive.times, max_iterations=1)
+        assert result.iterations == 1
+
+    def test_rejects_bad_shape(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=17)
+        with pytest.raises(ValidationError):
+            refine_profile(inst, np.zeros((2, 2)))
+
+    def test_fig6b_moves_load_to_fast_machine(self):
+        """The paper's qualitative Fig. 6b claim as a regression test."""
+        from repro.workloads.scenarios import fig6_instance
+
+        inst = fig6_instance(0.3, "earliest", n=40, seed=5)
+        naive = compute_naive_solution(inst)
+        result = refine_profile(inst, naive.times)
+        naive_loads = naive.times.sum(axis=0)
+        final_loads = result.times.sum(axis=0)
+        # machine 2 (index 1, less efficient but faster) gains workload
+        assert final_loads[1] > naive_loads[1] + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(0.1, 1.1), st.floats(0.1, 1.5))
+    def test_property_refine_feasible_and_monotone(self, seed, beta, rho):
+        inst = make_instance(n=6, m=3, beta=beta, rho=rho, seed=seed)
+        naive = compute_naive_solution(inst)
+        before = Schedule(inst, naive.times).total_accuracy
+        result = refine_profile(inst, naive.times)
+        sched = Schedule(inst, result.times)
+        assert sched.feasibility().feasible
+        assert sched.total_accuracy >= before - 1e-9

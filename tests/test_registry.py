@@ -1,0 +1,47 @@
+"""Scheduler registry."""
+
+import pytest
+
+from repro.algorithms.base import Scheduler
+from repro.algorithms.registry import available_schedulers, make_scheduler, register
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+
+def test_builtins_registered():
+    names = available_schedulers()
+    for expected in ("approx", "fractional", "ub", "lp", "mip", "edf-nocompression", "edf-3levels"):
+        assert expected in names
+
+
+def test_make_scheduler_case_insensitive():
+    assert make_scheduler("APPROX").name == "DSCT-EA-APPROX"
+
+
+def test_make_scheduler_kwargs_forwarded():
+    sched = make_scheduler("mip", time_limit=5.0)
+    assert sched.time_limit == 5.0
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ValidationError, match="unknown scheduler"):
+        make_scheduler("quantum-annealer")
+
+
+def test_duplicate_registration_raises():
+    with pytest.raises(ValidationError, match="already registered"):
+        register("approx", lambda: None)
+
+
+def test_registered_methods_solve():
+    inst = make_instance(n=5, m=2, beta=0.5, seed=100)
+    for name in ("approx", "fractional", "edf-nocompression", "edf-3levels", "greedy-energy"):
+        scheduler = make_scheduler(name)
+        assert isinstance(scheduler, Scheduler)
+        sched = scheduler.solve(inst)
+        assert sched.feasibility().feasible
+
+
+def test_ub_alias_is_fractional():
+    assert make_scheduler("ub").name == "DSCT-EA-FR-OPT"

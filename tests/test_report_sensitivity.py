@@ -1,0 +1,104 @@
+"""Report generator, θ-sensitivity study, SVG Gantt export."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.algorithms import ApproxScheduler
+from repro.experiments import (
+    ReportConfig,
+    SensitivityConfig,
+    generate_report,
+    run_theta_sensitivity,
+    write_report,
+)
+from repro.simulator import ClusterSimulator
+
+from conftest import make_instance
+
+
+class TestSensitivity:
+    def test_zero_sigma_retains_everything(self):
+        table = run_theta_sensitivity(SensitivityConfig(sigmas=(0.0,), n=12, repetitions=2))
+        row = table.as_dicts()[0]
+        assert row["retained_pct"] == pytest.approx(100.0, abs=1e-6)
+        assert row["realised_mean_acc"] == pytest.approx(row["oracle_mean_acc"], rel=1e-9)
+
+    def test_noise_degrades_gracefully(self):
+        table = run_theta_sensitivity(
+            SensitivityConfig(sigmas=(0.0, 0.5), n=12, repetitions=2)
+        )
+        rows = table.as_dicts()
+        assert rows[1]["retained_pct"] <= rows[0]["retained_pct"] + 1e-6
+        # misestimation hurts but the plan is still useful (shared
+        # deadlines/budget keep it feasible)
+        assert rows[1]["retained_pct"] > 70.0
+
+    def test_realised_never_exceeds_oracle(self):
+        table = run_theta_sensitivity(
+            SensitivityConfig(sigmas=(0.3,), n=12, repetitions=3)
+        )
+        row = table.as_dicts()[0]
+        assert row["realised_mean_acc"] <= row["oracle_mean_acc"] + 1e-6
+
+
+class TestReport:
+    def test_smoke_report_contains_all_sections(self, tmp_path):
+        cfg = ReportConfig(scale="smoke", include_runtime_artefacts=False)
+        text = generate_report(cfg)
+        for section in (
+            "Fig. 1",
+            "Fig. 2",
+            "Fig. 3",
+            "Fig. 5",
+            "Energy Gain",
+            "Fig. 6a",
+            "Fig. 6b",
+            "RefineProfile",
+            "segment count",
+            "idle power",
+            "Headline",
+        ):
+            assert section in text, section
+        assert "Table 1" not in text  # runtime artefacts disabled
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "r.md", ReportConfig(scale="smoke", include_runtime_artefacts=False))
+        assert path.exists()
+        assert path.read_text().startswith("# DSCT-EA reproduction report")
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError):
+            ReportConfig(scale="gigantic")
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        generate_report(
+            ReportConfig(scale="smoke", include_runtime_artefacts=False),
+            progress=seen.append,
+        )
+        assert "Fig. 5" in seen
+
+
+class TestSvgGantt:
+    def test_well_formed_and_complete(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=620)
+        report = ClusterSimulator(inst).run(ApproxScheduler().solve(inst))
+        svg = report.trace.to_svg()
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        shares = sum(1 for rec in report.trace.records)
+        assert len(rects) == shares + 1  # one per share + background
+
+    def test_empty_trace_renders(self):
+        from repro.simulator import ExecutionTrace
+
+        svg = ExecutionTrace(1, 2).to_svg()
+        ET.fromstring(svg)
+
+    def test_titles_carry_task_info(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=621)
+        report = ClusterSimulator(inst).run(ApproxScheduler().solve(inst))
+        svg = report.trace.to_svg()
+        assert "task 0" in svg and "FLOP" in svg

@@ -1,0 +1,106 @@
+"""The local HTTP scheduling service."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import instance_to_dict, schedule_from_dict
+from repro.server import make_server
+
+from conftest import make_instance
+
+
+@pytest.fixture(scope="module")
+def base_url():
+    server = make_server()
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def get(url):
+    return json.load(urllib.request.urlopen(url, timeout=10))
+
+
+def post(url, payload):
+    body = json.dumps(payload).encode()
+    req = urllib.request.Request(url, data=body, method="POST")
+    return json.load(urllib.request.urlopen(req, timeout=30))
+
+
+class TestRoutes:
+    def test_health(self, base_url):
+        resp = get(base_url + "/health")
+        assert resp["status"] == "ok"
+        assert "version" in resp
+
+    def test_schedulers(self, base_url):
+        resp = get(base_url + "/schedulers")
+        assert "approx" in resp["schedulers"]
+
+    def test_unknown_path_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(base_url + "/nope")
+        assert err.value.code == 404
+
+
+class TestSolve:
+    def test_solve_roundtrip(self, base_url):
+        inst = make_instance(n=5, m=2, beta=0.4, seed=610)
+        resp = post(base_url + "/solve?scheduler=approx", instance_to_dict(inst))
+        assert resp["feasible"]
+        assert resp["scheduler"] == "DSCT-EA-APPROX"
+        sched = schedule_from_dict(resp["schedule"], inst)
+        assert sched.mean_accuracy == pytest.approx(resp["metrics"]["mean_accuracy"])
+        assert sched.total_energy <= inst.budget * (1 + 1e-9)
+
+    def test_default_scheduler(self, base_url):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=611)
+        resp = post(base_url + "/solve", instance_to_dict(inst))
+        assert resp["scheduler"] == "DSCT-EA-APPROX"
+
+    def test_alternative_scheduler(self, base_url):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=612)
+        resp = post(base_url + "/solve?scheduler=edf-nocompression", instance_to_dict(inst))
+        assert resp["scheduler"] == "EDF-NOCOMPRESSION"
+
+    def test_bad_json_400(self, base_url):
+        req = urllib.request.Request(base_url + "/solve", data=b"{nope", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+
+    def test_bad_document_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(base_url + "/solve", {"format": "something"})
+        assert err.value.code == 400
+
+    def test_unknown_scheduler_400(self, base_url):
+        inst = make_instance(n=3, m=2, beta=0.5, seed=613)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(base_url + "/solve?scheduler=warpdrive", instance_to_dict(inst))
+        assert err.value.code == 400
+
+    def test_concurrent_requests(self, base_url):
+        """ThreadingHTTPServer: parallel solves do not corrupt each other."""
+        inst = make_instance(n=5, m=2, beta=0.4, seed=614)
+        doc = instance_to_dict(inst)
+        results = [None] * 4
+
+        def worker(i):
+            results[i] = post(base_url + "/solve", doc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        accs = {r["metrics"]["mean_accuracy"] for r in results}
+        assert len(accs) == 1  # identical deterministic answers

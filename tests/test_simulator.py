@@ -1,0 +1,206 @@
+"""Discrete-event engine, cluster simulator, power model, traces."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.approx import ApproxScheduler
+from repro.algorithms.fractional import FractionalScheduler
+from repro.core.schedule import Schedule
+from repro.simulator import (
+    ClusterSimulator,
+    EventQueue,
+    ExecutionTrace,
+    PowerModel,
+    TaskFinished,
+    TaskRecord,
+    TaskStarted,
+)
+from repro.utils.errors import SimulationError, ValidationError
+
+from conftest import make_instance
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_at(2.0, lambda: seen.append("b"))
+        q.schedule_at(1.0, lambda: seen.append("a"))
+        q.run()
+        assert seen == ["a", "b"]
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_at(1.0, lambda: seen.append(1))
+        q.schedule_at(1.0, lambda: seen.append(2))
+        q.run()
+        assert seen == [1, 2]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        times = []
+        q.schedule_at(0.5, lambda: times.append(q.now))
+        q.schedule_at(1.5, lambda: times.append(q.now))
+        end = q.run()
+        assert times == [0.5, 1.5]
+        assert end == 1.5
+
+    def test_schedule_in_callback(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_at(1.0, lambda: q.schedule_in(0.5, lambda: seen.append(q.now)))
+        q.run()
+        assert seen == [1.5]
+
+    def test_run_until_leaves_events(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_at(1.0, lambda: seen.append("early"))
+        q.schedule_at(5.0, lambda: seen.append("late"))
+        q.run(until=2.0)
+        assert seen == ["early"]
+        assert len(q) == 1
+        assert q.now == 2.0
+
+    def test_rejects_past(self):
+        q = EventQueue()
+        q.schedule_at(1.0, lambda: None)
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule_at(0.5, lambda: None)
+
+    def test_rejects_negative_delay_and_nan(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule_in(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            q.schedule_at(float("nan"), lambda: None)
+
+
+class TestPowerModel:
+    def test_busy_only(self):
+        inst = make_instance(n=3, m=2, seed=80)
+        pm = PowerModel(inst.cluster)
+        busy = np.array([1.0, 2.0])
+        assert pm.energy(busy) == pytest.approx(float(busy @ inst.cluster.powers))
+
+    def test_idle_adds_energy(self):
+        inst = make_instance(n=3, m=2, seed=80)
+        pm = PowerModel(inst.cluster, idle_fraction=0.5, account_idle=True)
+        busy = np.array([1.0, 0.0])
+        energy = pm.energy(busy, horizon=2.0)
+        busy_part = 1.0 * inst.cluster.powers[0]
+        idle_part = 1.0 * 0.5 * inst.cluster.powers[0] + 2.0 * 0.5 * inst.cluster.powers[1]
+        assert energy == pytest.approx(busy_part + idle_part)
+
+    def test_explicit_idle_power_overrides(self):
+        from repro.core.machine import Cluster, Machine
+
+        cluster = Cluster([Machine(1e12, 1e10, idle_power=7.0)])
+        pm = PowerModel(cluster, idle_fraction=0.5, account_idle=True)
+        energy = pm.energy(np.array([0.0]), horizon=3.0)
+        assert energy == pytest.approx(21.0)
+
+    def test_horizon_shorter_than_busy_raises(self):
+        inst = make_instance(n=3, m=2, seed=80)
+        pm = PowerModel(inst.cluster, account_idle=True)
+        with pytest.raises(ValidationError):
+            pm.energy(np.array([2.0, 0.0]), horizon=1.0)
+
+    def test_rejects_bad_fraction(self):
+        inst = make_instance(n=3, m=2, seed=80)
+        with pytest.raises(ValidationError):
+            PowerModel(inst.cluster, idle_fraction=1.5)
+
+
+class TestTrace:
+    def test_aggregations(self):
+        trace = ExecutionTrace(2, 2)
+        trace.add(TaskRecord(0, 0, 0.0, 1.0, 5.0))
+        trace.add(TaskRecord(0, 1, 0.0, 0.5, 2.0))
+        trace.add(TaskRecord(1, 0, 1.0, 3.0, 4.0))
+        assert np.allclose(trace.task_flops(), [7.0, 4.0])
+        assert np.allclose(trace.task_completion(), [1.0, 3.0])
+        assert np.allclose(trace.machine_busy(), [3.0, 0.5])
+        assert trace.makespan() == 3.0
+
+    def test_rejects_out_of_range(self):
+        trace = ExecutionTrace(1, 1)
+        with pytest.raises(ValidationError):
+            trace.add(TaskRecord(5, 0, 0.0, 1.0, 1.0))
+
+    def test_gantt_empty(self):
+        assert "empty" in ExecutionTrace(1, 1).gantt()
+
+    def test_gantt_renders_rows(self):
+        trace = ExecutionTrace(1, 2)
+        trace.add(TaskRecord(0, 0, 0.0, 1.0, 5.0))
+        out = trace.gantt(width=20)
+        assert out.count("\n") == 2
+        assert "0" in out.splitlines()[0]
+
+
+class TestClusterSimulator:
+    def test_matches_schedule_algebra(self):
+        inst = make_instance(n=10, m=3, beta=0.5, seed=81)
+        sched = ApproxScheduler().solve(inst)
+        report = ClusterSimulator(inst).run(sched)
+        assert report.total_accuracy == pytest.approx(sched.total_accuracy, rel=1e-9)
+        assert report.energy == pytest.approx(sched.total_energy, rel=1e-9)
+        assert np.allclose(report.machine_busy, sched.machine_loads)
+
+    def test_fractional_schedules_supported(self):
+        inst = make_instance(n=8, m=3, beta=0.5, seed=82)
+        sched = FractionalScheduler().solve(inst)
+        report = ClusterSimulator(inst).run(sched)
+        assert report.all_deadlines_met
+        assert report.total_accuracy == pytest.approx(sched.total_accuracy, rel=1e-9)
+
+    def test_detects_deadline_miss(self):
+        inst = make_instance(n=3, m=2, beta=1.0, seed=83)
+        times = np.zeros((3, 2))
+        times[0, 0] = inst.tasks.deadlines[0] * 2
+        report = ClusterSimulator(inst).run(Schedule(inst, times))
+        assert not report.all_deadlines_met
+        assert report.deadline_misses[0][0] == 0
+
+    def test_budget_audit(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=84)
+        sched = ApproxScheduler().solve(inst)
+        report = ClusterSimulator(inst).run(sched)
+        assert report.within_budget
+
+    def test_events_collected(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=85)
+        sched = ApproxScheduler().solve(inst)
+        report = ClusterSimulator(inst).run(sched, collect_events=True)
+        starts = [e for e in report.events if isinstance(e, TaskStarted)]
+        finishes = [e for e in report.events if isinstance(e, TaskFinished)]
+        assert len(starts) == len(finishes) > 0
+
+    def test_empty_schedule(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=86)
+        report = ClusterSimulator(inst).run(Schedule.empty(inst))
+        assert report.energy == 0.0
+        assert report.makespan == 0.0
+        assert report.mean_accuracy == pytest.approx(
+            float(np.mean([t.a_min for t in inst.tasks]))
+        )
+
+    def test_rejects_foreign_schedule(self):
+        a = make_instance(n=4, m=2, beta=0.5, seed=87)
+        b = make_instance(n=4, m=2, beta=0.5, seed=88)
+        sched = ApproxScheduler().solve(a)
+        with pytest.raises(SimulationError):
+            ClusterSimulator(b).run(sched)
+
+    def test_utilization_bounded(self):
+        inst = make_instance(n=10, m=2, beta=0.8, seed=89)
+        report = ClusterSimulator(inst).run(ApproxScheduler().solve(inst))
+        assert np.all(report.utilization <= 1.0 + 1e-9)
+
+    def test_summary_mentions_accuracy(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=90)
+        report = ClusterSimulator(inst).run(ApproxScheduler().solve(inst))
+        assert "mean accuracy" in report.summary()

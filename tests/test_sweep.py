@@ -1,0 +1,89 @@
+"""Generic parameter-grid sweeps."""
+
+import pytest
+
+from repro.experiments import grid_points, run_sweep
+from repro.utils.errors import ValidationError
+
+
+class TestGridPoints:
+    def test_cartesian(self):
+        points = grid_points({"a": [1, 2], "b": ["x"]})
+        assert points == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_preserves_order(self):
+        points = grid_points({"b": [1], "a": [2]})
+        assert list(points[0]) == ["b", "a"]
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValidationError):
+            grid_points({})
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValidationError):
+            grid_points({"a": []})
+
+
+class TestRunSweep:
+    def test_basic(self):
+        table = run_sweep(
+            {"x": [1.0, 2.0]},
+            lambda params, rng: {"double": 2 * params["x"]},
+            seed=0,
+        )
+        assert table.columns == ["x", "double"]
+        assert table.column("double") == [2.0, 4.0]
+
+    def test_repetitions_average(self):
+        table = run_sweep(
+            {"x": [0.0]},
+            lambda params, rng: {"draw": float(rng.random())},
+            repetitions=50,
+            seed=1,
+        )
+        assert 0.3 < table.column("draw")[0] < 0.7
+
+    def test_reproducible(self):
+        fn = lambda params, rng: {"v": float(rng.random())}
+        a = run_sweep({"x": [1, 2]}, fn, repetitions=2, seed=5)
+        b = run_sweep({"x": [1, 2]}, fn, repetitions=2, seed=5)
+        assert a.rows == b.rows
+
+    def test_adding_points_preserves_earlier(self):
+        fn = lambda params, rng: {"v": float(rng.random())}
+        short = run_sweep({"x": [1, 2]}, fn, seed=9)
+        longer = run_sweep({"x": [1, 2, 3]}, fn, seed=9)
+        assert longer.rows[:2] == short.rows
+
+    def test_inconsistent_metrics_raise(self):
+        state = {"calls": 0}
+
+        def fn(params, rng):
+            state["calls"] += 1
+            return {"a": 1.0} if state["calls"] == 1 else {"b": 1.0}
+
+        with pytest.raises(ValidationError, match="metrics"):
+            run_sweep({"x": [1, 2]}, fn, seed=0)
+
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ValidationError):
+            run_sweep({"x": [1]}, lambda p, r: {"v": 0.0}, repetitions=0)
+
+    def test_real_scheduling_sweep(self):
+        """End-to-end: a tiny accuracy-vs-β×ρ study."""
+        from repro.algorithms import ApproxScheduler
+        from repro.core import ProblemInstance
+        from repro.hardware import sample_uniform_cluster
+        from repro.workloads import TaskGenConfig, generate_tasks
+
+        def experiment(params, rng):
+            cluster = sample_uniform_cluster(2, rng)
+            tasks = generate_tasks(TaskGenConfig(n=8, rho=params["rho"]), cluster, rng)
+            inst = ProblemInstance.with_beta(tasks, cluster, params["beta"])
+            return {"accuracy": ApproxScheduler().solve(inst).mean_accuracy}
+
+        table = run_sweep(
+            {"beta": [0.2, 0.8], "rho": [0.5]}, experiment, repetitions=2, seed=11
+        )
+        accs = table.column("accuracy")
+        assert accs[1] >= accs[0] - 0.05  # more budget ⇒ roughly more accuracy

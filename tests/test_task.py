@@ -1,0 +1,84 @@
+"""Tasks and task sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.task import Task, TaskSet
+from repro.utils.errors import ValidationError
+
+from conftest import simple_pla
+
+
+def make_task(deadline=1.0, **kw):
+    return Task(deadline=deadline, accuracy=simple_pla(**kw))
+
+
+class TestTask:
+    def test_properties(self):
+        t = make_task()
+        assert t.f_max == pytest.approx(3e12)
+        assert t.a_min == 0.0
+        assert t.efficiency_theta == pytest.approx(2e-13)
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValidationError):
+            make_task(deadline=0.0)
+
+    def test_rejects_non_pla_accuracy(self):
+        with pytest.raises(ValidationError):
+            Task(deadline=1.0, accuracy="not a function")  # type: ignore[arg-type]
+
+    def test_repr_contains_name(self):
+        t = Task(deadline=1.0, accuracy=simple_pla(), name="batch-7")
+        assert "batch-7" in repr(t)
+
+
+class TestTaskSet:
+    def test_sorts_by_deadline(self):
+        ts = TaskSet([make_task(3.0), make_task(1.0), make_task(2.0)])
+        assert list(ts.deadlines) == [1.0, 2.0, 3.0]
+
+    def test_assume_sorted_validates(self):
+        with pytest.raises(ValidationError):
+            TaskSet([make_task(2.0), make_task(1.0)], assume_sorted=True)
+
+    def test_assume_sorted_accepts_sorted(self):
+        ts = TaskSet([make_task(1.0), make_task(2.0)], assume_sorted=True)
+        assert len(ts) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            TaskSet([])
+
+    def test_d_max_and_totals(self):
+        ts = TaskSet([make_task(1.0), make_task(4.0)])
+        assert ts.d_max == 4.0
+        assert ts.total_f_max == pytest.approx(2 * 3e12)
+
+    def test_theta_extremes_and_mu(self):
+        a = Task(1.0, simple_pla(slopes=(4e-13, 1e-13)))
+        b = Task(2.0, simple_pla(slopes=(2e-13, 1e-13)))
+        ts = TaskSet([a, b])
+        assert ts.theta_max == pytest.approx(4e-13)
+        assert ts.theta_min == pytest.approx(2e-13)
+        assert ts.heterogeneity_mu == pytest.approx(2.0)
+
+    def test_accuracies_vector(self):
+        ts = TaskSet([make_task(1.0), make_task(2.0)])
+        accs = ts.accuracies([0.0, 3e12])
+        assert accs[0] == pytest.approx(0.0)
+        assert accs[1] == pytest.approx(ts[1].a_max)
+
+    def test_accuracies_rejects_bad_shape(self):
+        ts = TaskSet([make_task(1.0)])
+        with pytest.raises(ValidationError):
+            ts.accuracies([1.0, 2.0])
+
+    def test_max_accuracy_sum(self):
+        ts = TaskSet([make_task(1.0), make_task(2.0)])
+        assert ts.max_accuracy_sum() == pytest.approx(2 * ts[0].a_max)
+
+    def test_deadline_view_readonly(self):
+        ts = TaskSet([make_task(1.0)])
+        with pytest.raises(ValueError):
+            ts.deadlines[0] = 9.0

@@ -1,0 +1,43 @@
+"""Wall-clock measurement helpers."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Timer, TimingResult, repeat_call, time_call
+
+
+def test_timer_measures_nonnegative():
+    with Timer() as t:
+        pass
+    assert t.elapsed >= 0.0
+
+
+def test_timer_measures_sleep():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_time_call_returns_result():
+    value, elapsed = time_call(lambda: 41 + 1)
+    assert value == 42
+    assert elapsed >= 0.0
+
+
+def test_repeat_call_counts():
+    result = repeat_call(lambda: None, repetitions=4)
+    assert len(result.seconds) == 4
+    assert result.best <= result.mean <= result.worst
+
+
+def test_repeat_call_rejects_zero():
+    with pytest.raises(ValueError):
+        repeat_call(lambda: None, repetitions=0)
+
+
+def test_timing_result_empty():
+    empty = TimingResult()
+    assert empty.mean == 0.0
+    assert empty.best == 0.0
+    assert empty.worst == 0.0

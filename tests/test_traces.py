@@ -1,0 +1,106 @@
+"""Synthetic production traces and CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ValidationError
+from repro.workloads import (
+    DiurnalTraceConfig,
+    generate_diurnal_trace,
+    load_trace,
+    save_trace,
+)
+from repro.workloads.arrivals import Request
+
+
+class TestDiurnalGeneration:
+    def test_within_horizon_and_sorted_fields(self):
+        cfg = DiurnalTraceConfig(horizon_seconds=300.0, base_rate=1.0)
+        trace = generate_diurnal_trace(cfg, seed=1)
+        assert all(0 <= r.arrival_time < 300.0 for r in trace)
+        assert all(r.slo_seconds > 0 and r.theta_per_tflop > 0 for r in trace)
+
+    def test_reproducible(self):
+        cfg = DiurnalTraceConfig(horizon_seconds=120.0)
+        a = generate_diurnal_trace(cfg, seed=7)
+        b = generate_diurnal_trace(cfg, seed=7)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+    def test_diurnal_shape(self):
+        """Peak-phase window carries more arrivals than the trough."""
+        cfg = DiurnalTraceConfig(
+            horizon_seconds=4000.0, base_rate=3.0, amplitude=0.9, period_seconds=4000.0, peak_phase=0.25
+        )
+        trace = generate_diurnal_trace(cfg, seed=3)
+        times = np.array([r.arrival_time for r in trace])
+        # rate(t) = base·(1 + A·sin(2π(t/T − 0.25))): peak at t = T/2,
+        # trough at t = 0 and t = T.
+        peak_count = np.sum((times > 1500) & (times < 2500))
+        trough_count = np.sum(times < 500) + np.sum(times > 3500)
+        assert peak_count > 2 * trough_count
+
+    def test_bursts_add_requests(self):
+        base_cfg = DiurnalTraceConfig(horizon_seconds=600.0, base_rate=1.0, amplitude=0.0)
+        burst_cfg = DiurnalTraceConfig(
+            horizon_seconds=600.0, base_rate=1.0, amplitude=0.0, burst_rate_boost=20.0, burst_mean_length=60.0
+        )
+        base = len(generate_diurnal_trace(base_cfg, seed=4))
+        burst = len(generate_diurnal_trace(burst_cfg, seed=4))
+        assert burst > base
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            DiurnalTraceConfig(horizon_seconds=0.0)
+        with pytest.raises(ValidationError):
+            DiurnalTraceConfig(amplitude=1.0)
+        with pytest.raises(ValidationError):
+            DiurnalTraceConfig(slo_range=(2.0, 1.0))
+
+
+class TestCsvIO:
+    def make_trace(self):
+        return [
+            Request(arrival_time=0.5, slo_seconds=1.0, theta_per_tflop=0.3),
+            Request(arrival_time=0.1, slo_seconds=2.0, theta_per_tflop=0.7),
+        ]
+
+    def test_roundtrip_sorted(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace(self.make_trace(), path)
+        loaded = load_trace(path)
+        assert [r.arrival_time for r in loaded] == [0.1, 0.5]
+        assert loaded[0].theta_per_tflop == 0.7
+
+    def test_roundtrip_exact_floats(self, tmp_path):
+        trace = generate_diurnal_trace(DiurnalTraceConfig(horizon_seconds=60.0), seed=5)
+        path = tmp_path / "t.csv"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        originals = sorted(trace, key=lambda r: r.arrival_time)
+        for a, b in zip(originals, loaded):
+            assert a.arrival_time == b.arrival_time  # repr() round-trips floats
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValidationError, match="header"):
+            load_trace(path)
+
+    def test_rejects_bad_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("arrival_time,slo_seconds,theta_per_tflop\n1.0,2.0\n")
+        with pytest.raises(ValidationError, match="3 columns"):
+            load_trace(path)
+
+    def test_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("arrival_time,slo_seconds,theta_per_tflop\n1.0,x,0.3\n")
+        with pytest.raises(ValidationError, match="non-numeric"):
+            load_trace(path)
+
+    def test_rejects_out_of_range(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("arrival_time,slo_seconds,theta_per_tflop\n-1.0,1.0,0.3\n")
+        with pytest.raises(ValidationError, match="out of range"):
+            load_trace(path)

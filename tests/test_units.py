@@ -1,0 +1,45 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.utils import units
+
+
+def test_tflop_roundtrip():
+    assert units.as_tflop(units.tflop(3.5)) == pytest.approx(3.5)
+
+
+def test_tflops_scale():
+    assert units.tflops(1.0) == 1e12
+    assert units.gflops(1.0) == 1e9
+
+
+def test_gflop():
+    assert units.gflop(2.0) == 2e9
+
+
+def test_efficiency_roundtrip():
+    assert units.as_gflops_per_watt(units.gflops_per_watt(42.0)) == pytest.approx(42.0)
+
+
+def test_power_identity():
+    # A machine at s FLOP/s and E FLOP/J draws s/E watts.
+    speed = units.tflops(10.0)
+    eff = units.gflops_per_watt(50.0)
+    assert speed / eff == pytest.approx(200.0)  # watts
+
+
+def test_watt_hours():
+    assert units.watt_hours(1.0) == 3600.0
+    assert units.as_watt_hours(7200.0) == pytest.approx(2.0)
+
+
+def test_joules_identity():
+    assert units.joules(123.0) == 123.0
+
+
+def test_prefix_constants():
+    assert units.KILO == 1e3
+    assert units.MEGA == 1e6
+    assert units.GIGA == 1e9
+    assert units.TERA == 1e12

@@ -1,0 +1,93 @@
+"""Argument validators and the exception hierarchy."""
+
+import math
+
+import pytest
+
+from repro.utils.errors import (
+    InfeasibleError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    ValidationError,
+)
+from repro.utils.validation import (
+    check_finite,
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+    check_sorted,
+    require,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ValidationError, InfeasibleError, SolverError, SimulationError):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValidationError, match="boom"):
+            require(False, "boom")
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.nan, math.inf])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_positive(bad, "x")
+
+    def test_nonnegative_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_nonnegative(-0.1, "x")
+
+    def test_finite_rejects_nan_and_inf(self):
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValidationError):
+                check_finite(bad, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_fraction_accepts(self, value):
+        assert check_fraction(value, "x") == value
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, math.nan])
+    def test_fraction_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_fraction(bad, "x")
+
+
+class TestSequenceChecks:
+    def test_sorted_accepts_ties(self):
+        check_sorted([1.0, 1.0, 2.0], "x")
+
+    def test_sorted_strict_rejects_ties(self):
+        with pytest.raises(ValidationError):
+            check_sorted([1.0, 1.0], "x", strict=True)
+
+    def test_sorted_rejects_decrease(self):
+        with pytest.raises(ValidationError):
+            check_sorted([2.0, 1.0], "x")
+
+    def test_sorted_empty_and_singleton_ok(self):
+        check_sorted([], "x")
+        check_sorted([5.0], "x", strict=True)
+
+    def test_same_length(self):
+        check_same_length("a", [1, 2], "b", [3, 4])
+        with pytest.raises(ValidationError):
+            check_same_length("a", [1], "b", [1, 2])
