@@ -27,9 +27,16 @@ Baselines (``repro.baselines``), workload generation
 OFA model zoo (``repro.models``), discrete-event simulator
 (``repro.simulator``) and the experiment drivers behind every paper
 table/figure (``repro.experiments``).
+
+Observability (``repro.telemetry``):
+    :class:`~repro.telemetry.registry.MetricsRegistry` (counters,
+    gauges, histograms, phase spans),
+    :func:`~repro.telemetry.context.collector` activation, and
+    JSON-lines/CSV/Prometheus exporters — every solver and serving path
+    is instrumented.
 """
 
-from . import core, utils
+from . import core, telemetry, utils
 from .core import (
     Cluster,
     ExponentialAccuracy,
@@ -46,6 +53,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "core",
+    "telemetry",
     "utils",
     "Cluster",
     "ExponentialAccuracy",

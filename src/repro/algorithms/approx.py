@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
+from ..telemetry import get_collector
 from .base import Scheduler, SolveInfo, SolveResult
 from .fractional import solve_fractional
 
@@ -39,42 +40,47 @@ _FULL_RTOL = 1e-9
 
 def round_fractional(instance: ProblemInstance, fractional: Schedule) -> Schedule:
     """Steps 2–3 of Algorithm 5: round a fractional schedule integrally."""
-    n, m = instance.n_tasks, instance.n_machines
-    speeds = instance.cluster.speeds
-    deadlines = instance.tasks.deadlines
-    f_caps = instance.tasks.f_max
+    tele = get_collector()
+    with tele.span("approx.round"):
+        n, m = instance.n_tasks, instance.n_machines
+        speeds = instance.cluster.speeds
+        deadlines = instance.tasks.deadlines
+        f_caps = instance.tasks.f_max
 
-    w_max = fractional.machine_loads.copy()  # per-machine caps (seconds)
-    task_time = fractional.times.sum(axis=1)  # Σ_r t^f_jr
+        w_max = fractional.machine_loads.copy()  # per-machine caps (seconds)
+        task_time = fractional.times.sum(axis=1)  # Σ_r t^f_jr
 
-    times = np.zeros((n, m))
-    loads = np.zeros(m)
-    full = w_max <= _FULL_RTOL * np.maximum(w_max, 1.0)
+        times = np.zeros((n, m))
+        loads = np.zeros(m)
+        full = w_max <= _FULL_RTOL * np.maximum(w_max, 1.0)
 
-    for j in range(n):
-        if np.all(full):
-            break
-        candidates = np.where(~full, loads, np.inf)
-        r = int(np.argmin(candidates))
-        grant = min(task_time[j], w_max[r] - loads[r], f_caps[j] / speeds[r])
-        grant = max(grant, 0.0)
-        times[j, r] = grant
-        loads[r] += grant
-        if loads[r] >= w_max[r] - _FULL_RTOL * max(w_max[r], 1.0):
-            full[r] = True
-
-    # Cut-and-shift: enforce deadlines machine by machine.  Tasks execute
-    # in EDF (index) order, so starts are running sums; cutting a task
-    # automatically shifts its followers forward.
-    for r in range(m):
-        start = 0.0
         for j in range(n):
-            if times[j, r] <= 0.0:
-                continue
-            allowed = max(deadlines[j] - start, 0.0)
-            if times[j, r] > allowed:
-                times[j, r] = allowed
-            start += times[j, r]
+            if np.all(full):
+                break
+            candidates = np.where(~full, loads, np.inf)
+            r = int(np.argmin(candidates))
+            grant = min(task_time[j], w_max[r] - loads[r], f_caps[j] / speeds[r])
+            grant = max(grant, 0.0)
+            times[j, r] = grant
+            loads[r] += grant
+            if loads[r] >= w_max[r] - _FULL_RTOL * max(w_max[r], 1.0):
+                full[r] = True
+
+        # Cut-and-shift: enforce deadlines machine by machine.  Tasks execute
+        # in EDF (index) order, so starts are running sums; cutting a task
+        # automatically shifts its followers forward.
+        truncated = 0
+        for r in range(m):
+            start = 0.0
+            for j in range(n):
+                if times[j, r] <= 0.0:
+                    continue
+                allowed = max(deadlines[j] - start, 0.0)
+                if times[j, r] > allowed:
+                    times[j, r] = allowed
+                    truncated += 1
+                start += times[j, r]
+        tele.counter("approx_tasks_truncated_total").add(truncated)
 
     return Schedule(instance, times)
 
@@ -93,13 +99,20 @@ class ApproxScheduler(Scheduler):
             self.name = "DSCT-EA-APPROX-NAIVE"
 
     def solve(self, instance: ProblemInstance) -> Schedule:
-        fractional, _ = solve_fractional(instance, refine=self.refine)
-        return round_fractional(instance, fractional)
+        tele = get_collector()
+        with tele.span("approx.solve"):
+            fractional, _ = solve_fractional(instance, refine=self.refine)
+            schedule = round_fractional(instance, fractional)
+        tele.counter("solver_runs_total", solver="approx").inc()
+        return schedule
 
     def solve_with_info(self, instance: ProblemInstance) -> SolveResult:
+        tele = get_collector()
         start = time.perf_counter()
-        fractional, meta = solve_fractional(instance, refine=self.refine)
-        schedule = round_fractional(instance, fractional)
+        with tele.span("approx.solve"):
+            fractional, meta = solve_fractional(instance, refine=self.refine)
+            schedule = round_fractional(instance, fractional)
+        tele.counter("solver_runs_total", solver="approx").inc()
         elapsed = time.perf_counter() - start
         info = SolveInfo(
             solver=self.name,

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.instance import ProblemInstance
 from ..core.profiles import EnergyProfile
 from ..core.schedule import Schedule
+from ..telemetry import get_collector
 from .base import Scheduler, SolveInfo, SolveResult
 from .naive_solution import compute_naive_solution
 from .refine_profile import refine_profile
@@ -232,28 +233,37 @@ def solve_fractional(
     but closes the residual stall gaps to solver precision — use it when
     quality matters more than runtime.
     """
-    naive = compute_naive_solution(instance, profile)
-    meta: dict = {
-        "naive_profile": naive.profile.limits.copy(),
-        "refine_iterations": 0,
-        "refine_converged": True,
-        "polish_rounds": 0,
-    }
-    times = naive.times
-    schedule = Schedule(instance, times)
-    if refine:
-        result = refine_profile(instance, times)
-        meta["refine_iterations"] = result.iterations
-        meta["refine_converged"] = result.converged
-        schedule = Schedule(instance, result.times)
-        if polish_rounds > 0:
-            schedule, rounds = _polish_profiles(
-                instance, schedule, max_rounds=polish_rounds, thorough=thorough
-            )
-            meta["polish_rounds"] = rounds
-    # The *final* energy profile: the busy time actually placed on each
-    # machine (what Fig. 6 plots).
-    meta["final_profile"] = schedule.machine_loads.copy()
+    tele = get_collector()
+    with tele.span("fractional.solve"):
+        with tele.span("fractional.naive"):
+            naive = compute_naive_solution(instance, profile)
+        meta: dict = {
+            "naive_profile": naive.profile.limits.copy(),
+            "refine_iterations": 0,
+            "refine_converged": True,
+            "polish_rounds": 0,
+        }
+        times = naive.times
+        schedule = Schedule(instance, times)
+        if refine:
+            with tele.span("fractional.refine"):
+                result = refine_profile(instance, times)
+            meta["refine_iterations"] = result.iterations
+            meta["refine_converged"] = result.converged
+            tele.counter("refine_iterations_total").add(result.iterations)
+            schedule = Schedule(instance, result.times)
+            if polish_rounds > 0:
+                with tele.span("fractional.polish"):
+                    schedule, rounds = _polish_profiles(
+                        instance, schedule, max_rounds=polish_rounds, thorough=thorough
+                    )
+                meta["polish_rounds"] = rounds
+                tele.counter("polish_rounds_total").add(rounds)
+        # The *final* energy profile: the busy time actually placed on each
+        # machine (what Fig. 6 plots).
+        meta["final_profile"] = schedule.machine_loads.copy()
+    tele.counter("solver_runs_total", solver="fractional").inc()
+    tele.gauge("last_solve_accuracy", solver="fractional").set(schedule.total_accuracy)
     return schedule, meta
 
 

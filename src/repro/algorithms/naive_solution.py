@@ -28,6 +28,7 @@ from ..core.instance import ProblemInstance
 from ..core.profiles import EnergyProfile, naive_profile
 from ..core.schedule import Schedule
 from ..core.segments import SegmentState, build_segment_list
+from ..telemetry import get_collector
 from ..utils.errors import ValidationError
 from .single_machine import solve_single_machine
 
@@ -108,6 +109,7 @@ def compute_naive_solution(
     profile: Optional[EnergyProfile] = None,
 ) -> NaiveSolution:
     """Run Algorithm 2 on ``instance`` (optionally with a custom profile)."""
+    tele = get_collector()
     tasks, cluster = instance.tasks, instance.cluster
     if profile is None:
         profile = naive_profile(instance)
@@ -121,16 +123,19 @@ def compute_naive_solution(
     # D_j = Σ_r s_r · min(d_j, cap_r); non-decreasing since d_j is.
     temp_deadlines = (speeds * np.minimum(deadlines[:, None], caps[None, :])).sum(axis=1)
 
-    segments = build_segment_list(tasks)
+    with tele.span("naive.segments"):
+        segments = build_segment_list(tasks)
     # A degenerate all-zero capacity (budget 0) would make deadline 0 — the
     # greedy then allocates nothing, which is correct.
-    work = solve_single_machine(temp_deadlines, 1.0, segments)
+    with tele.span("naive.single_machine"):
+        work = solve_single_machine(temp_deadlines, 1.0, segments)
 
     # Map back to machines with water-filling on cumulative work.
-    filler = WaterFiller(speeds, caps)
-    cumulative_work = np.cumsum(work)
-    taus = np.array([filler.tau(w) for w in cumulative_work])
-    cumulative_times = np.minimum(taus[:, None], caps[None, :])
-    times = np.diff(cumulative_times, axis=0, prepend=0.0)
-    np.clip(times, 0.0, None, out=times)  # float dust from the diff
+    with tele.span("naive.water_fill"):
+        filler = WaterFiller(speeds, caps)
+        cumulative_work = np.cumsum(work)
+        taus = np.array([filler.tau(w) for w in cumulative_work])
+        cumulative_times = np.minimum(taus[:, None], caps[None, :])
+        times = np.diff(cumulative_times, axis=0, prepend=0.0)
+        np.clip(times, 0.0, None, out=times)  # float dust from the diff
     return NaiveSolution(times=times, work=work, profile=profile, segments=segments)

@@ -22,14 +22,23 @@ Commands
     Run the local JSON-over-HTTP scheduling service (see repro.server).
 ``report``
     Regenerate the full reproduction report into one Markdown file.
+``telemetry``
+    Inspect a metrics file written by ``--metrics-out`` (counters,
+    histograms and the solver-phase span tree).
+
+``solve``, ``compare`` and ``serve`` accept ``--metrics-out PATH``:
+the run executes under an active telemetry collector and the collected
+metrics/spans are exported to PATH (format from the suffix: ``.jsonl``,
+``.csv``, or ``.prom``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from .algorithms.registry import available_schedulers, make_scheduler
 from .core.instance import ProblemInstance
@@ -69,6 +78,31 @@ def _make_instance(args: argparse.Namespace) -> ProblemInstance:
     return ProblemInstance.with_beta(tasks, cluster, args.beta)
 
 
+def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="collect telemetry and export it here (.jsonl/.csv/.prom)",
+    )
+
+
+@contextlib.contextmanager
+def _metrics_scope(args: argparse.Namespace) -> Iterator[None]:
+    """Collect and export telemetry when ``--metrics-out`` was given."""
+    path = getattr(args, "metrics_out", None)
+    if path is None:
+        yield
+        return
+    from .telemetry import collector, export_file
+
+    with collector() as registry:
+        yield
+    out = export_file(registry, path)
+    print(f"telemetry written to {out}")
+
+
 def _add_instance_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tasks", "-n", type=int, default=50, help="number of tasks")
     parser.add_argument("--machines", "-m", type=int, default=3, help="number of machines")
@@ -80,6 +114,11 @@ def _add_instance_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    with _metrics_scope(args):
+        return _run_solve(args)
+
+
+def _run_solve(args: argparse.Namespace) -> int:
     if args.load is not None:
         import json
 
@@ -120,6 +159,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    with _metrics_scope(args):
+        return _run_compare(args)
+
+
+def _run_compare(args: argparse.Namespace) -> int:
     instance = _make_instance(args)
     table = ResultTable(
         title=f"method comparison on {instance}",
@@ -206,7 +250,57 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .server import serve
 
-    serve(args.host, args.port)
+    serve(args.host, args.port, metrics_out=args.metrics_out)
+    return 0
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """Summarise an exported metrics file: series tables + span tree."""
+    from .telemetry import TelemetryError, load_file
+
+    try:
+        snap = load_file(args.path, format=args.format)
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except (TelemetryError, ValueError, KeyError) as exc:
+        fmt = args.format or "auto-detected"
+        print(f"error: {args.path} does not parse as {fmt} telemetry: {exc}", file=sys.stderr)
+        return 2
+    scalars = [m for m in snap["metrics"] if m["kind"] in ("counter", "gauge")]
+    histograms = [m for m in snap["metrics"] if m["kind"] == "histogram"]
+    spans = snap["spans"]
+
+    if scalars:
+        print(f"-- counters / gauges ({len(scalars)} series)")
+        for m in scalars:
+            print(f"  {m['kind']:<8} {m['name']}{_format_labels(m['labels'])} = {m['value']:g}")
+    if histograms:
+        print(f"-- histograms ({len(histograms)} series)")
+        for m in histograms:
+            mean = m["sum"] / m["count"] if m["count"] else 0.0
+            # Prometheus exposition carries no min/max, so they may be absent.
+            has_extremes = m.get("count") and m.get("min") is not None and m.get("max") is not None
+            extremes = f"  min={m['min']:.6g} max={m['max']:.6g}" if has_extremes else ""
+            print(
+                f"  {m['name']}{_format_labels(m['labels'])}: "
+                f"count={m['count']} sum={m['sum']:.6g} mean={mean:.6g}{extremes}"
+            )
+    if spans:
+        shown = spans if args.spans is None else spans[: args.spans]
+        print(f"-- spans ({len(spans)} recorded, showing {len(shown)})")
+        for s in shown:
+            duration = "open" if s["duration"] is None else f"{s['duration'] * 1e3:.3f} ms"
+            indent = "  " * s["depth"]
+            print(f"  {s['start']:9.4f}s  {indent}{s['name']}{_format_labels(s['labels'])}  {duration}")
+    if not (scalars or histograms or spans):
+        print("(no telemetry in file)")
     return 0
 
 
@@ -262,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--analyze", action="store_true", help="print compression/energy analytics")
     p_solve.add_argument("--save", type=Path, default=None, help="save the schedule (with instance) as JSON")
     p_solve.add_argument("--load", type=Path, default=None, help="load the instance from a JSON file instead of generating")
+    _add_metrics_arg(p_solve)
     p_solve.set_defaults(fn=_cmd_solve)
 
     p_cmp = sub.add_parser("compare", help="compare methods on one instance")
@@ -272,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["fractional", "approx", "edf-3levels", "edf-nocompression"],
         help="method names to compare",
     )
+    _add_metrics_arg(p_cmp)
     p_cmp.set_defaults(fn=_cmd_compare)
 
     p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
@@ -303,7 +399,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv = sub.add_parser("serve", help="run the local HTTP scheduling service")
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port", type=int, default=8080)
+    _add_metrics_arg(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)
+
+    p_tel = sub.add_parser("telemetry", help="inspect a metrics file written by --metrics-out")
+    p_tel.add_argument("path", type=Path, help="metrics file (.jsonl/.csv/.prom)")
+    p_tel.add_argument(
+        "--format",
+        choices=("jsonl", "csv", "prometheus"),
+        default=None,
+        help="override format detection by suffix",
+    )
+    p_tel.add_argument("--spans", type=int, default=None, help="show at most N spans")
+    p_tel.set_defaults(fn=_cmd_telemetry)
 
     return parser
 

@@ -15,6 +15,7 @@ from scipy.optimize import linprog
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
 from ..algorithms.base import Scheduler, SolveInfo, SolveResult
+from ..telemetry import get_collector
 from ..utils.errors import SolverError
 from .model import build_relaxation, extract_times
 
@@ -23,16 +24,23 @@ __all__ = ["LPFractionalScheduler", "solve_lp_relaxation"]
 
 def solve_lp_relaxation(instance: ProblemInstance) -> tuple[Schedule, float]:
     """Solve the LP relaxation; returns (schedule, optimal total accuracy)."""
-    model = build_relaxation(instance)
-    res = linprog(
-        model.c,
-        A_ub=model.a_ub,
-        b_ub=model.b_ub,
-        bounds=np.column_stack([model.lower, model.upper]),
-        method="highs",
-    )
+    tele = get_collector()
+    with tele.span("lp.solve_relaxation"):
+        with tele.span("lp.build_model"):
+            model = build_relaxation(instance)
+        with tele.span("lp.solve"):
+            res = linprog(
+                model.c,
+                A_ub=model.a_ub,
+                b_ub=model.b_ub,
+                bounds=np.column_stack([model.lower, model.upper]),
+                method="highs",
+            )
+    tele.counter("solver_runs_total", solver="lp").inc()
     if res.status != 0:
+        tele.counter("solver_failures_total", solver="lp").inc()
         raise SolverError(f"LP relaxation failed: status={res.status} ({res.message})")
+    tele.gauge("last_solve_accuracy", solver="lp").set(float(-res.fun))
     times = extract_times(model.layout, res.x)
     # Objective is −Σ z_j; total accuracy is its negation.
     return Schedule(instance, times), float(-res.fun)

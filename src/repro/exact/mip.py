@@ -18,6 +18,7 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
 from ..algorithms.base import Scheduler, SolveInfo, SolveResult
+from ..telemetry import get_collector
 from ..utils.errors import SolverError
 from .model import build_mip, extract_times
 
@@ -36,7 +37,9 @@ def solve_mip(
     (which cannot happen for valid instances — t = 0, arbitrary
     assignment is always feasible — so it signals a modelling bug).
     """
-    model = build_mip(instance)
+    tele = get_collector()
+    with tele.span("mip.build_model"):
+        model = build_mip(instance)
     constraints = [LinearConstraint(model.a_ub, -np.inf, model.b_ub)]
     if model.a_eq is not None:
         constraints.append(LinearConstraint(model.a_eq, model.b_eq, model.b_eq))
@@ -44,15 +47,18 @@ def solve_mip(
     if time_limit is not None:
         options["time_limit"] = float(time_limit)
     start = time.perf_counter()
-    res = milp(
-        model.c,
-        constraints=constraints,
-        integrality=model.integrality,
-        bounds=Bounds(model.lower, model.upper),
-        options=options,
-    )
+    with tele.span("mip.solve"):
+        res = milp(
+            model.c,
+            constraints=constraints,
+            integrality=model.integrality,
+            bounds=Bounds(model.lower, model.upper),
+            options=options,
+        )
     elapsed = time.perf_counter() - start
+    tele.counter("solver_runs_total", solver="mip").inc()
     if res.x is None:
+        tele.counter("solver_failures_total", solver="mip").inc()
         raise SolverError(f"MIP solver returned no solution: status={res.status} ({res.message})")
     times = extract_times(model.layout, res.x)
     # HiGHS leaves tolerance-level dust on machines whose assignment binary
@@ -63,6 +69,11 @@ def solve_mip(
     times = np.where(assign >= 0.5, times, 0.0)
     schedule = Schedule(instance, times)
     timed_out = res.status == 1  # iteration/time limit
+    if timed_out:
+        tele.counter("mip_timeouts_total").inc()
+    gap = getattr(res, "mip_gap", None)
+    if gap is not None and math.isfinite(gap):
+        tele.gauge("mip_last_gap").set(float(gap))
     info = SolveInfo(
         solver="DSCT-EA-OPT-MIP",
         optimal=res.status == 0,

@@ -62,7 +62,9 @@ def _sweep(
         timeouts = 0
         for rng in point_seed.spawn(config.repetitions):
             instance = make_instance(size, rng)
-            schedule, elapsed = time_call(lambda: approx.solve(instance))
+            schedule, elapsed = time_call(
+                lambda: approx.solve(instance), metric="experiment_solve_seconds", solver="approx"
+            )
             approx_times.append(elapsed)
             approx_accs.append(schedule.total_accuracy)
             if config.include_mip:

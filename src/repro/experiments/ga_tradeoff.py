@@ -63,7 +63,9 @@ def run_ga_tradeoff(config: GATradeoffConfig = GATradeoffConfig()) -> ResultTabl
             child = rng.spawn(2)
             inst = runtime_instance(int(n), config.m, seed=child[0])
             ub_a.append(ub.solve(inst).total_accuracy)
-            sched, elapsed = time_call(lambda: approx.solve(inst))
+            sched, elapsed = time_call(
+                lambda: approx.solve(inst), metric="experiment_solve_seconds", solver="approx"
+            )
             ap_a.append(sched.total_accuracy)
             ap_t.append(elapsed)
             ga = GeneticScheduler(
@@ -71,7 +73,9 @@ def run_ga_tradeoff(config: GATradeoffConfig = GATradeoffConfig()) -> ResultTabl
                 generations=config.generations,
                 seed=child[1],
             )
-            sched, elapsed = time_call(lambda: ga.solve(inst))
+            sched, elapsed = time_call(
+                lambda: ga.solve(inst), metric="experiment_solve_seconds", solver="genetic"
+            )
             ga_a.append(sched.total_accuracy)
             ga_t.append(elapsed)
         ap_ms, ga_ms = 1000 * float(np.mean(ap_t)), 1000 * float(np.mean(ga_t))

@@ -45,8 +45,12 @@ def run_table1(config: Table1Config = Table1Config()) -> ResultTable:
         fr_times, lp_times, gaps = [], [], []
         for rng in point_seed.spawn(config.repetitions):
             instance = runtime_instance(int(n), config.m, seed=rng)
-            (fr_schedule, _), fr_elapsed = time_call(lambda: solve_fractional(instance))
-            (lp_schedule, lp_obj), lp_elapsed = time_call(lambda: solve_lp_relaxation(instance))
+            (fr_schedule, _), fr_elapsed = time_call(
+                lambda: solve_fractional(instance), metric="experiment_solve_seconds", solver="fr-opt"
+            )
+            (lp_schedule, lp_obj), lp_elapsed = time_call(
+                lambda: solve_lp_relaxation(instance), metric="experiment_solve_seconds", solver="lp"
+            )
             fr_times.append(fr_elapsed)
             lp_times.append(lp_elapsed)
             gaps.append(abs(lp_obj - fr_schedule.total_accuracy) / max(lp_obj, 1e-12))

@@ -23,6 +23,7 @@ from ..algorithms.base import Scheduler
 from ..core.instance import ProblemInstance
 from ..core.machine import Cluster
 from ..core.schedule import Schedule
+from ..telemetry import get_collector
 from ..utils.errors import ValidationError
 from ..utils.validation import check_positive
 from ..workloads.arrivals import Request, window_batches
@@ -114,15 +115,28 @@ class RollingHorizonPlanner:
         """Solve one window's batch; returns the outcome."""
         if not batch:
             raise ValidationError("cannot plan an empty window")
-        deadlines = [max(r.deadline - start, 1e-3) for r in batch]
-        thetas = [r.theta_per_tflop for r in batch]
-        order = np.argsort(deadlines, kind="stable")
-        tasks = tasks_from_thetas([thetas[i] for i in order], [deadlines[i] for i in order])
-        instance = ProblemInstance(tasks, self.cluster, self.window_budget)
-        schedule = self.scheduler.solve(instance)
-        completion = schedule.completion_times.max(axis=1)
-        served = schedule.task_flops > 0
-        on_time = int(np.sum(served & (completion <= tasks.deadlines + 1e-9)))
+        tele = get_collector()
+        with tele.span("planner.window"):
+            deadlines = [max(r.deadline - start, 1e-3) for r in batch]
+            thetas = [r.theta_per_tflop for r in batch]
+            order = np.argsort(deadlines, kind="stable")
+            tasks = tasks_from_thetas([thetas[i] for i in order], [deadlines[i] for i in order])
+            instance = ProblemInstance(tasks, self.cluster, self.window_budget)
+            with tele.span("planner.window.solve"):
+                schedule = self.scheduler.solve(instance)
+            completion = schedule.completion_times.max(axis=1)
+            served = schedule.task_flops > 0
+            on_time = int(np.sum(served & (completion <= tasks.deadlines + 1e-9)))
+        tele.counter("planner_windows_total").inc()
+        tele.counter("planner_requests_total").add(len(batch))
+        tele.counter("planner_on_time_total").add(on_time)
+        tele.histogram("planner_window_requests", buckets=(1, 2, 5, 10, 20, 50, 100, 200, 500)).observe(
+            len(batch)
+        )
+        tele.histogram(
+            "planner_window_energy_joules",
+            buckets=(1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6),
+        ).observe(schedule.total_energy)
         return WindowOutcome(
             start=start,
             n_requests=len(batch),
@@ -135,6 +149,7 @@ class RollingHorizonPlanner:
     def run(self, requests: Sequence[Request]) -> ServingReport:
         """Plan an entire stream; empty streams yield an empty report."""
         outcomes: List[WindowOutcome] = []
-        for start, batch in window_batches(list(requests), self.window_seconds):
-            outcomes.append(self.plan_window(start, batch))
+        with get_collector().span("planner.run"):
+            for start, batch in window_batches(list(requests), self.window_seconds):
+                outcomes.append(self.plan_window(start, batch))
         return ServingReport(tuple(outcomes))

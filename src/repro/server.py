@@ -5,6 +5,8 @@ MLaaS control plane would embed:
 
 * ``GET  /health``            — liveness and version;
 * ``GET  /schedulers``        — registered method names;
+* ``GET  /metrics``           — Prometheus text exposition of the
+  server's telemetry registry (request counters, solve-phase spans);
 * ``POST /solve?scheduler=X`` — body: an instance document (the
   ``repro.core.serialization`` format); response: the schedule document
   plus headline metrics and the feasibility audit.
@@ -28,6 +30,7 @@ from urllib.parse import parse_qs, urlparse
 from . import __version__
 from .algorithms.registry import available_schedulers, make_scheduler
 from .core.serialization import instance_from_dict, schedule_to_dict
+from .telemetry import MetricsRegistry, collector, export_file, prometheus_text
 from .utils.errors import ReproError
 
 __all__ = ["make_server", "serve"]
@@ -55,17 +58,31 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ----------------------------------------------------------------
 
+    @property
+    def _telemetry(self) -> MetricsRegistry:
+        return self.server.telemetry  # type: ignore[attr-defined]
+
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
         path = urlparse(self.path).path
+        self._telemetry.counter("server_requests_total", path=path).inc()
         if path == "/health":
             self._send_json({"status": "ok", "version": __version__})
         elif path == "/schedulers":
             self._send_json({"schedulers": available_schedulers()})
+        elif path == "/metrics":
+            body = prometheus_text(self._telemetry).encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._send_error_json(f"unknown path {path!r}", 404)
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
         parsed = urlparse(self.path)
+        tele = self._telemetry
+        tele.counter("server_requests_total", path=parsed.path).inc()
         if parsed.path != "/solve":
             self._send_error_json(f"unknown path {parsed.path!r}", 404)
             return
@@ -76,17 +93,23 @@ class _Handler(BaseHTTPRequestHandler):
             raw = self.rfile.read(length)
             data = json.loads(raw.decode())
         except (ValueError, UnicodeDecodeError) as exc:
+            tele.counter("server_errors_total", status="400").inc()
             self._send_error_json(f"invalid JSON body: {exc}", 400)
             return
         try:
             instance = instance_from_dict(data)
             scheduler = make_scheduler(name)
         except ReproError as exc:
+            tele.counter("server_errors_total", status="400").inc()
             self._send_error_json(str(exc), 400)
             return
         try:
-            result = scheduler.solve_with_info(instance)
+            # Activate the server's registry for this handler thread so the
+            # solver's own spans/counters land in it, and trace the solve.
+            with collector(tele), tele.span("server.solve", scheduler=name):
+                result = scheduler.solve_with_info(instance)
         except ReproError as exc:
+            tele.counter("server_errors_total", status="500").inc()
             self._send_error_json(f"solve failed: {exc}", 500)
             return
         schedule = result.schedule
@@ -108,15 +131,31 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
 
-def make_server(host: str = "127.0.0.1", port: int = 0, *, verbose: bool = False) -> ThreadingHTTPServer:
-    """Build (but do not start) the HTTP server; port 0 picks a free port."""
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+    telemetry: Optional[MetricsRegistry] = None,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server; port 0 picks a free port.
+
+    Every server carries a :class:`~repro.telemetry.MetricsRegistry`
+    (``server.telemetry``; pass one to share it) that backs ``GET
+    /metrics`` and collects per-request solve traces.
+    """
     server = ThreadingHTTPServer((host, port), _Handler)
     server.verbose = verbose  # type: ignore[attr-defined]
+    server.telemetry = telemetry if telemetry is not None else MetricsRegistry()  # type: ignore[attr-defined]
     return server
 
 
-def serve(host: str = "127.0.0.1", port: int = 8080) -> None:
-    """Run the service until interrupted (the CLI's ``serve`` command)."""
+def serve(host: str = "127.0.0.1", port: int = 8080, *, metrics_out: Optional[str] = None) -> None:
+    """Run the service until interrupted (the CLI's ``serve`` command).
+
+    ``metrics_out`` exports the accumulated telemetry on shutdown (the
+    live view is always available at ``GET /metrics``).
+    """
     server = make_server(host, port, verbose=True)
     print(f"repro scheduling service on http://{host}:{server.server_address[1]}")
     print(f"methods: {', '.join(available_schedulers())}")
@@ -126,3 +165,6 @@ def serve(host: str = "127.0.0.1", port: int = 8080) -> None:
         pass
     finally:
         server.server_close()
+        if metrics_out is not None:
+            path = export_file(server.telemetry, metrics_out)  # type: ignore[attr-defined]
+            print(f"telemetry written to {path}")

@@ -15,6 +15,7 @@ import itertools
 import math
 from typing import Callable, List, Optional, Tuple
 
+from ..telemetry import get_collector
 from ..utils.errors import SimulationError
 
 __all__ = ["EventQueue"]
@@ -57,6 +58,9 @@ class EventQueue:
         if self._running:
             raise SimulationError("EventQueue.run is not reentrant")
         self._running = True
+        # Telemetry is batched: events are counted locally and reported
+        # once per run() so the per-event hot path stays untouched.
+        dispatched = 0
         try:
             while self._heap:
                 time, _, callback = self._heap[0]
@@ -65,12 +69,16 @@ class EventQueue:
                     return self._now
                 heapq.heappop(self._heap)
                 self._now = time
+                dispatched += 1
                 callback()
             if until is not None:
                 self._now = max(self._now, until)
             return self._now
         finally:
             self._running = False
+            tele = get_collector()
+            tele.counter("sim_events_total").add(dispatched)
+            tele.gauge("sim_clock_seconds").set(self._now)
 
     def __len__(self) -> int:
         return len(self._heap)

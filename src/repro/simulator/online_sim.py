@@ -29,6 +29,7 @@ import numpy as np
 from ..algorithms.base import Scheduler
 from ..core.instance import ProblemInstance
 from ..core.machine import Cluster
+from ..telemetry import get_collector
 from ..utils.errors import SimulationError
 from ..utils.validation import check_positive, require
 from ..workloads.arrivals import Request
@@ -124,6 +125,14 @@ class OnlineSimulation:
 
     def run(self, requests: Sequence[Request]) -> OnlineSimReport:
         """Simulate the full stream; returns measured per-request records."""
+        with get_collector().span("online_sim.run"):
+            report = self._run(requests)
+        tele = get_collector()
+        tele.counter("online_sim_requests_total").add(report.n_requests)
+        tele.counter("online_sim_slo_met_total").add(sum(r.met_slo for r in report.records))
+        return report
+
+    def _run(self, requests: Sequence[Request]) -> OnlineSimReport:
         records = [ServedRequest(request=r) for r in sorted(requests, key=lambda r: r.arrival_time)]
         if not records:
             return OnlineSimReport((), np.zeros(len(self.cluster)), 0.0, 0.0)
@@ -174,6 +183,7 @@ class OnlineSimulation:
         queue: EventQueue,
     ) -> None:
         """Solve the batched instance and enqueue execution of the shares."""
+        tele = get_collector()
         reqs = [records[i].request for i in batch]
         # Deadlines relative to the *planning instant*; a request that has
         # already burnt part of its SLO waiting gets only the remainder.
@@ -184,7 +194,9 @@ class OnlineSimulation:
             [deadlines[i] for i in order],
         )
         instance = ProblemInstance(tasks, self.cluster, self.window_budget)
-        schedule = self.scheduler.solve(instance)
+        with tele.span("online_sim.window.plan"):
+            schedule = self.scheduler.solve(instance)
+        tele.counter("online_sim_windows_total").inc()
         times = schedule.times
         flops = schedule.task_flops
         accs = schedule.task_accuracies
@@ -211,6 +223,8 @@ class OnlineSimulation:
             busy[r] += duration
             rec.machine = r
             rec.start = start
+            tele.counter("online_sim_dispatched_total").inc()
+            tele.histogram("online_sim_queue_delay_seconds").observe(start - window_start)
 
             def finish(rec=rec, end=start + duration) -> None:
                 rec.finish = end

@@ -1,0 +1,360 @@
+"""Serialize a metrics registry — JSON-lines, CSV, Prometheus text.
+
+All three exporters work from the plain-data
+:meth:`~repro.telemetry.registry.MetricsRegistry.snapshot` shape and
+each has a matching parser, so a written file reads back to the same
+snapshot (Prometheus, a metrics-only wire format, round-trips every
+counter/gauge/histogram but drops spans and histogram min/max).
+
+Format is normally inferred from the file suffix via
+:func:`export_file` / :func:`load_file`:
+
+========================  ==========
+suffix                    format
+========================  ==========
+``.jsonl`` / ``.json``    JSON-lines
+``.csv``                  CSV
+``.prom`` / ``.txt``      Prometheus
+========================  ==========
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .registry import MetricsRegistry, TelemetryError
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "write_csv",
+    "read_csv",
+    "write_prometheus",
+    "parse_prometheus",
+    "export_file",
+    "load_file",
+    "detect_format",
+]
+
+Snapshot = Dict[str, list]
+
+_CSV_COLUMNS = [
+    "kind",
+    "name",
+    "labels",
+    "value",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "buckets",
+    "bucket_counts",
+    "span_id",
+    "parent_id",
+    "depth",
+    "start",
+    "duration",
+]
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LINE_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$")
+_PROM_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def _snap(source: Union[MetricsRegistry, Snapshot]) -> Snapshot:
+    return source.snapshot() if isinstance(source, MetricsRegistry) else source
+
+
+# -- JSON-lines ------------------------------------------------------------------
+
+
+def write_jsonl(source: Union[MetricsRegistry, Snapshot], path: Union[str, Path]) -> Path:
+    """One JSON object per metric series and per span."""
+    snap = _snap(source)
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for entry in snap["metrics"]:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        for span in snap["spans"]:
+            fh.write(json.dumps({"kind": "span", **span}, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> Snapshot:
+    """Parse a JSON-lines export back into a snapshot."""
+    metrics: List[dict] = []
+    spans: List[dict] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        if entry.get("kind") == "span":
+            entry.pop("kind")
+            spans.append(entry)
+        else:
+            metrics.append(entry)
+    return {"metrics": metrics, "spans": spans}
+
+
+# -- CSV -------------------------------------------------------------------------
+
+
+def write_csv(source: Union[MetricsRegistry, Snapshot], path: Union[str, Path]) -> Path:
+    """Wide CSV: one row per series/span, JSON-encoded structured cells."""
+    snap = _snap(source)
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_CSV_COLUMNS)
+        writer.writeheader()
+        for entry in snap["metrics"]:
+            row = {k: entry[k] for k in ("kind", "name") }
+            row["labels"] = json.dumps(entry["labels"], sort_keys=True)
+            for key in ("value", "count", "sum", "min", "max"):
+                if key in entry:
+                    row[key] = repr(entry[key])
+            for key in ("buckets", "bucket_counts"):
+                if key in entry:
+                    row[key] = json.dumps(entry[key])
+            writer.writerow(row)
+        for span in snap["spans"]:
+            writer.writerow(
+                {
+                    "kind": "span",
+                    "name": span["name"],
+                    "labels": json.dumps(span["labels"], sort_keys=True),
+                    "span_id": span["span_id"],
+                    "parent_id": "" if span["parent_id"] is None else span["parent_id"],
+                    "depth": span["depth"],
+                    "start": repr(span["start"]),
+                    "duration": "" if span["duration"] is None else repr(span["duration"]),
+                }
+            )
+    return path
+
+
+def _num(text: str) -> float:
+    return float(text)
+
+
+def read_csv(path: Union[str, Path]) -> Snapshot:
+    """Parse a CSV export back into a snapshot."""
+    metrics: List[dict] = []
+    spans: List[dict] = []
+    with Path(path).open("r", encoding="utf-8", newline="") as fh:
+        for row in csv.DictReader(fh):
+            labels = json.loads(row["labels"]) if row.get("labels") else {}
+            if row["kind"] == "span":
+                spans.append(
+                    {
+                        "span_id": int(row["span_id"]),
+                        "parent_id": int(row["parent_id"]) if row["parent_id"] else None,
+                        "name": row["name"],
+                        "depth": int(row["depth"]),
+                        "start": _num(row["start"]),
+                        "duration": _num(row["duration"]) if row["duration"] else None,
+                        "labels": labels,
+                    }
+                )
+                continue
+            entry: dict = {"kind": row["kind"], "name": row["name"], "labels": labels}
+            if row["kind"] == "histogram":
+                entry["buckets"] = json.loads(row["buckets"])
+                entry["bucket_counts"] = json.loads(row["bucket_counts"])
+                entry["count"] = int(row["count"])
+                entry["sum"] = _num(row["sum"])
+                if row.get("min"):
+                    entry["min"] = _num(row["min"])
+                if row.get("max"):
+                    entry["max"] = _num(row["max"])
+            else:
+                entry["value"] = _num(row["value"])
+            metrics.append(entry)
+    return {"metrics": metrics, "spans": spans}
+
+
+# -- Prometheus text format ------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    name = _PROM_NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for key in sorted(merged):
+        value = str(merged[key]).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        parts.append(f'{_prom_name(key)}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_float(value: float) -> str:
+    return repr(float(value))
+
+
+def write_prometheus(source: Union[MetricsRegistry, Snapshot], path: Union[str, Path]) -> Path:
+    """Prometheus exposition text (metrics only; spans are not exported)."""
+    Path(path).write_text(prometheus_text(source), encoding="utf-8")
+    return Path(path)
+
+
+def prometheus_text(source: Union[MetricsRegistry, Snapshot]) -> str:
+    """Render the snapshot in Prometheus text exposition format."""
+    snap = _snap(source)
+    out = io.StringIO()
+    typed: set = set()
+    for entry in snap["metrics"]:
+        name = _prom_name(entry["name"])
+        labels = entry["labels"]
+        if name not in typed:
+            out.write(f"# TYPE {name} {entry['kind']}\n")
+            typed.add(name)
+        if entry["kind"] == "histogram":
+            cumulative = 0
+            for bound, count in zip(entry["buckets"], entry["bucket_counts"]):
+                cumulative += count
+                out.write(
+                    f"{name}_bucket{_prom_labels(labels, {'le': _prom_float(bound)})} {cumulative}\n"
+                )
+            cumulative += entry["bucket_counts"][-1]
+            out.write(f'{name}_bucket{_prom_labels(labels, {"le": "+Inf"})} {cumulative}\n')
+            out.write(f"{name}_sum{_prom_labels(labels)} {_prom_float(entry['sum'])}\n")
+            out.write(f"{name}_count{_prom_labels(labels)} {entry['count']}\n")
+        else:
+            out.write(f"{name}{_prom_labels(labels)} {_prom_float(entry['value'])}\n")
+    return out.getvalue()
+
+
+def _parse_prom_labels(text: Optional[str]) -> Dict[str, str]:
+    if not text:
+        return {}
+    labels: Dict[str, str] = {}
+    for match in _PROM_LABEL_RE.finditer(text):
+        value = match.group("value")
+        value = value.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+        labels[match.group("key")] = value
+    return labels
+
+
+def parse_prometheus(path_or_text: Union[str, Path]) -> Snapshot:
+    """Parse exposition text (a path or the text itself) into a snapshot.
+
+    Histograms are re-assembled from their ``_bucket``/``_sum``/``_count``
+    series; spans and histogram min/max are not part of the wire format.
+    """
+    if isinstance(path_or_text, Path) or "\n" not in str(path_or_text) and Path(str(path_or_text)).exists():
+        text = Path(path_or_text).read_text(encoding="utf-8")
+    else:
+        text = str(path_or_text)
+
+    kinds: Dict[str, str] = {}
+    scalars: List[dict] = []
+    # histogram assembly: (name, labels-json) -> partial entry
+    partial: Dict[tuple, dict] = {}
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                kinds[parts[2]] = parts[3]
+            continue
+        match = _PROM_LINE_RE.match(line)
+        if not match:
+            raise TelemetryError(f"unparseable Prometheus line: {line!r}")
+        name = match.group("name")
+        labels = _parse_prom_labels(match.group("labels"))
+        value = float(match.group("value").replace("+Inf", "inf"))
+        base, suffix = name, None
+        for cand in ("_bucket", "_sum", "_count"):
+            if name.endswith(cand) and kinds.get(name[: -len(cand)]) == "histogram":
+                base, suffix = name[: -len(cand)], cand
+                break
+        if suffix is None:
+            scalars.append(
+                {"kind": kinds.get(name, "gauge"), "name": name, "labels": labels, "value": value}
+            )
+            continue
+        le = labels.pop("le", None)
+        key = (base, json.dumps(labels, sort_keys=True))
+        entry = partial.setdefault(
+            key,
+            {"kind": "histogram", "name": base, "labels": labels, "buckets": [], "cumulative": []},
+        )
+        if suffix == "_bucket":
+            if le != "+Inf":
+                entry["buckets"].append(float(le))
+            entry["cumulative"].append(int(value))
+        elif suffix == "_sum":
+            entry["sum"] = value
+        else:
+            entry["count"] = int(value)
+
+    metrics: List[dict] = list(scalars)
+    for entry in partial.values():
+        cumulative = entry.pop("cumulative")
+        counts = [cumulative[0]] if cumulative else []
+        counts.extend(b - a for a, b in zip(cumulative, cumulative[1:]))
+        entry["bucket_counts"] = counts
+        entry.setdefault("sum", 0.0)
+        entry.setdefault("count", cumulative[-1] if cumulative else 0)
+        metrics.append(entry)
+    return {"metrics": metrics, "spans": []}
+
+
+# -- auto-dispatch ---------------------------------------------------------------
+
+_FORMATS = {
+    ".jsonl": "jsonl",
+    ".json": "jsonl",
+    ".csv": "csv",
+    ".prom": "prometheus",
+    ".txt": "prometheus",
+    ".prometheus": "prometheus",
+}
+
+
+def detect_format(path: Union[str, Path]) -> str:
+    """Map a file suffix to an exporter name (default: jsonl)."""
+    return _FORMATS.get(Path(path).suffix.lower(), "jsonl")
+
+
+def export_file(
+    source: Union[MetricsRegistry, Snapshot], path: Union[str, Path], format: Optional[str] = None
+) -> Path:
+    """Write ``source`` to ``path`` in ``format`` (inferred when omitted)."""
+    fmt = format or detect_format(path)
+    if fmt == "jsonl":
+        return write_jsonl(source, path)
+    if fmt == "csv":
+        return write_csv(source, path)
+    if fmt == "prometheus":
+        return write_prometheus(source, path)
+    raise TelemetryError(f"unknown telemetry export format {fmt!r}")
+
+
+def load_file(path: Union[str, Path], format: Optional[str] = None) -> Snapshot:
+    """Read ``path`` back into a snapshot (format inferred when omitted)."""
+    fmt = format or detect_format(path)
+    if fmt == "jsonl":
+        return read_jsonl(path)
+    if fmt == "csv":
+        return read_csv(path)
+    if fmt == "prometheus":
+        return parse_prometheus(Path(path))
+    raise TelemetryError(f"unknown telemetry export format {fmt!r}")

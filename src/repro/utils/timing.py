@@ -3,6 +3,12 @@
 The paper compares algorithm execution times; these helpers keep the
 measurement convention (``perf_counter``, best-of / mean-of repetitions)
 in one place so all experiments time things the same way.
+
+All helpers optionally report into the active telemetry collector
+(:mod:`repro.telemetry`): pass ``metric="some_histogram_name"`` (plus
+labels) and every measured duration is also observed into that
+histogram — with no collector active the report is a no-op.  The
+original positional API is unchanged.
 """
 
 from __future__ import annotations
@@ -10,6 +16,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, TypeVar
+
+from ..telemetry import get_collector
 
 __all__ = ["Timer", "TimingResult", "time_call", "repeat_call"]
 
@@ -23,11 +31,19 @@ class Timer:
     ...     _ = sum(range(1000))
     >>> t.elapsed >= 0
     True
+
+    With ``metric`` (and optional labels), the elapsed time is also
+    observed into that histogram of the active telemetry collector::
+
+        with Timer(metric="experiment_solve_seconds", solver="approx"):
+            scheduler.solve(instance)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metric: Optional[str] = None, **labels) -> None:
         self._start: Optional[float] = None
         self.elapsed: float = 0.0
+        self._metric = metric
+        self._labels = labels
 
     def __enter__(self) -> "Timer":
         self._start = time.perf_counter()
@@ -36,6 +52,8 @@ class Timer:
     def __exit__(self, *exc) -> None:
         assert self._start is not None
         self.elapsed = time.perf_counter() - self._start
+        if self._metric is not None:
+            get_collector().histogram(self._metric, **self._labels).observe(self.elapsed)
 
 
 @dataclass
@@ -60,19 +78,28 @@ class TimingResult:
         return max(self.seconds) if self.seconds else 0.0
 
 
-def time_call(fn: Callable[[], T]) -> tuple[T, float]:
-    """Call ``fn`` once, returning ``(result, elapsed_seconds)``."""
+def time_call(fn: Callable[[], T], *, metric: Optional[str] = None, **labels) -> tuple[T, float]:
+    """Call ``fn`` once, returning ``(result, elapsed_seconds)``.
+
+    ``metric``/labels forward to the active telemetry collector exactly
+    like :class:`Timer`.
+    """
     start = time.perf_counter()
     result = fn()
-    return result, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    if metric is not None:
+        get_collector().histogram(metric, **labels).observe(elapsed)
+    return result, elapsed
 
 
-def repeat_call(fn: Callable[[], T], repetitions: int = 3) -> TimingResult:
+def repeat_call(
+    fn: Callable[[], T], repetitions: int = 3, *, metric: Optional[str] = None, **labels
+) -> TimingResult:
     """Time ``fn`` several times (paper experiments average over instances)."""
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
     result = TimingResult()
     for _ in range(repetitions):
-        _, elapsed = time_call(fn)
+        _, elapsed = time_call(fn, metric=metric, **labels)
         result.seconds.append(elapsed)
     return result
