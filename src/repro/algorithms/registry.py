@@ -70,5 +70,9 @@ def _register_builtins() -> None:
     register("discrete-mip", DiscreteLevelsMIPScheduler)
     register("consolidated", ConsolidatingScheduler)
 
+    from ..resilience.fallback import FallbackChain
+
+    register("fallback", FallbackChain.default)
+
 
 _register_builtins()

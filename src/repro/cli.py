@@ -19,7 +19,15 @@ Commands
     Cross-check DSCT-EA-FR-OPT against the exact LP on random instances
     (the library's own optimality audit; useful after modifications).
 ``serve``
-    Run the local JSON-over-HTTP scheduling service (see repro.server).
+    Run the local JSON-over-HTTP scheduling service (see repro.server);
+    ``--solver-timeout``/``--fallback``/``--max-in-flight`` arm the
+    resilience layer (admission control, deadlines, fallback chain).
+``robustness``
+    Failure-injection sweeps: ``--sweep outage`` (most-loaded machine
+    dies mid-horizon) or ``--sweep slowdown`` (uniform throttling).
+``resilience``
+    Online-serving outage demo comparing the stale plan against
+    failure-aware replanning (see repro.resilience).
 ``report``
     Regenerate the full reproduction report into one Markdown file.
 ``telemetry``
@@ -132,8 +140,21 @@ def _run_solve(args: argparse.Namespace) -> int:
         instance = instance_from_dict(data)
     else:
         instance = _make_instance(args)
-    scheduler = make_scheduler(args.scheduler)
-    result = scheduler.solve_with_info(instance)
+    if args.fallback:
+        from .resilience import FallbackChain
+
+        scheduler = FallbackChain.default(deadline_seconds=args.solver_timeout, first=args.scheduler)
+        result = scheduler.solve_with_info(instance)
+    else:
+        scheduler = make_scheduler(args.scheduler)
+        if args.solver_timeout is not None:
+            from .resilience import run_with_deadline
+
+            result = run_with_deadline(
+                lambda: scheduler.solve_with_info(instance), args.solver_timeout, solver=scheduler.name
+            )
+        else:
+            result = scheduler.solve_with_info(instance)
     schedule = result.schedule
     report = ClusterSimulator(
         instance,
@@ -141,6 +162,8 @@ def _run_solve(args: argparse.Namespace) -> int:
     ).run(schedule)
     print(f"instance: {instance}")
     print(f"method:   {scheduler.name}" + (f"  ({result.info.runtime_seconds:.4f}s)" if result.info.runtime_seconds else ""))
+    if "tier" in result.info.extra:
+        print(f"served by fallback tier: {result.info.extra['tier']} (index {result.info.extra['tier_index']})")
     print(report.summary())
     audit = schedule.feasibility()
     print(f"model feasibility: {audit.summary()}")
@@ -250,8 +273,92 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .server import serve
 
-    serve(args.host, args.port, metrics_out=args.metrics_out)
+    serve(
+        args.host,
+        args.port,
+        metrics_out=args.metrics_out,
+        solver_timeout=args.solver_timeout,
+        fallback=args.fallback,
+        max_in_flight=args.max_in_flight,
+    )
     return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from .experiments.robustness import RobustnessConfig, run_outage_sweep, run_slowdown_sweep
+
+    config = RobustnessConfig(
+        n=args.tasks, m=args.machines, beta=args.beta, repetitions=args.repetitions, seed=args.seed
+    )
+    runner = run_outage_sweep if args.sweep == "outage" else run_slowdown_sweep
+    table = runner(config)
+    print(table.format())
+    if args.out is not None:
+        table.to_csv(args.out)
+        print(f"csv written to {args.out}")
+    return 0
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    """The headline resilience demo: stale plan vs failure-aware replanning."""
+    with _metrics_scope(args):
+        return _run_resilience(args)
+
+
+def _run_resilience(args: argparse.Namespace) -> int:
+    from .experiments.records import ResultTable
+    from .simulator.failures import FailureModel, Outage
+    from .simulator.online_sim import OnlineSimulation
+    from .workloads.arrivals import PoissonArrivals
+
+    cluster = sample_uniform_cluster(args.machines, seed=args.seed)
+    requests = PoissonArrivals(args.rate, seed=args.seed + 1).generate(args.horizon)
+    if not requests:
+        print("the arrival process generated no requests; raise --rate or --horizon", file=sys.stderr)
+        return 2
+    # The most efficient machine carries the most planned load under the
+    # paper's energy-greedy policies, so killing machine 0 mid-stream is
+    # the worst single outage.
+    failures = FailureModel(outages=(Outage(machine=0, at=args.outage_at * args.horizon),))
+    scheduler = make_scheduler(args.scheduler)
+
+    def run(replan: bool):
+        sim = OnlineSimulation(
+            cluster,
+            scheduler,
+            window_seconds=args.window,
+            failures=failures,
+            replan=replan,
+        )
+        return sim.run(requests)
+
+    stale, aware = run(False), run(True)
+    table = ResultTable(
+        title=(
+            f"Resilience — outage of machine 0 at t={args.outage_at * args.horizon:.1f}s, "
+            f"{len(requests)} requests over {args.horizon:.0f}s ({scheduler.name})"
+        ),
+        columns=["mode", "mean_accuracy", "served_pct", "slo_pct", "disrupted", "energy_J"],
+    )
+    for mode, rep in (("stale plan", stale), ("replanned", aware)):
+        table.add_row(
+            mode,
+            rep.mean_accuracy,
+            100.0 * rep.served_fraction,
+            100.0 * rep.slo_attainment,
+            rep.disrupted_count,
+            rep.energy,
+        )
+    recovered = aware.mean_accuracy - stale.mean_accuracy
+    table.notes.append(
+        f"replanning recovered {recovered:.4g} mean accuracy "
+        f"({100.0 * recovered / max(stale.mean_accuracy, 1e-12):.1f}% over the stale plan)"
+    )
+    print(table.format())
+    if args.out is not None:
+        table.to_csv(args.out)
+        print(f"csv written to {args.out}")
+    return 0 if aware.mean_accuracy >= stale.mean_accuracy else 1
 
 
 def _format_labels(labels: dict) -> str:
@@ -356,6 +463,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--analyze", action="store_true", help="print compression/energy analytics")
     p_solve.add_argument("--save", type=Path, default=None, help="save the schedule (with instance) as JSON")
     p_solve.add_argument("--load", type=Path, default=None, help="load the instance from a JSON file instead of generating")
+    p_solve.add_argument(
+        "--solver-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for the solve (SolverTimeoutError past it)",
+    )
+    p_solve.add_argument(
+        "--fallback",
+        action="store_true",
+        help="serve through the MIP→LP→approx→greedy fallback chain (with --scheduler pinned first)",
+    )
     _add_metrics_arg(p_solve)
     p_solve.set_defaults(fn=_cmd_solve)
 
@@ -399,8 +518,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv = sub.add_parser("serve", help="run the local HTTP scheduling service")
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port", type=int, default=8080)
+    p_srv.add_argument(
+        "--solver-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request solver wall-clock deadline (503 past it)",
+    )
+    p_srv.add_argument(
+        "--fallback",
+        action="store_true",
+        help="serve every request through the fallback chain (requested scheduler first)",
+    )
+    p_srv.add_argument("--max-in-flight", type=int, default=8, help="concurrent solve bound (503 beyond it)")
     _add_metrics_arg(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)
+
+    p_rob = sub.add_parser("robustness", help="failure-injection sweeps (outage / slowdown)")
+    p_rob.add_argument("--sweep", choices=("outage", "slowdown"), required=True)
+    p_rob.add_argument("--tasks", "-n", type=int, default=50, help="tasks per instance")
+    p_rob.add_argument("--machines", "-m", type=int, default=3, help="machines per instance")
+    p_rob.add_argument("--beta", type=float, default=0.5, help="energy budget ratio β")
+    p_rob.add_argument("--repetitions", type=int, default=5)
+    p_rob.add_argument("--seed", type=int, default=2024)
+    p_rob.add_argument("--out", type=Path, default=None, help="also write the table as CSV")
+    p_rob.set_defaults(fn=_cmd_robustness)
+
+    p_res = sub.add_parser(
+        "resilience", help="online-serving outage demo: stale plan vs failure-aware replanning"
+    )
+    p_res.add_argument("--machines", "-m", type=int, default=3)
+    p_res.add_argument("--rate", type=float, default=6.0, help="Poisson arrival rate (req/s)")
+    p_res.add_argument("--horizon", type=float, default=12.0, help="stream length (s)")
+    p_res.add_argument("--window", type=float, default=2.0, help="planning window (s)")
+    p_res.add_argument(
+        "--outage-at", type=float, default=0.4, help="outage instant as a fraction of the horizon"
+    )
+    p_res.add_argument("--scheduler", default="approx", help="planning method (see `schedulers`)")
+    p_res.add_argument("--seed", type=int, default=7)
+    p_res.add_argument("--out", type=Path, default=None, help="also write the table as CSV")
+    _add_metrics_arg(p_res)
+    p_res.set_defaults(fn=_cmd_resilience)
 
     p_tel = sub.add_parser("telemetry", help="inspect a metrics file written by --metrics-out")
     p_tel.add_argument("path", type=Path, help="metrics file (.jsonl/.csv/.prom)")

@@ -153,3 +153,63 @@ class RollingHorizonPlanner:
             for start, batch in window_batches(list(requests), self.window_seconds):
                 outcomes.append(self.plan_window(start, batch))
         return ServingReport(tuple(outcomes))
+
+    def run_with_failures(
+        self,
+        requests: Sequence[Request],
+        failures,
+        *,
+        replan: bool = True,
+    ) -> ServingReport:
+        """Plan the stream, then *execute* each window under failures.
+
+        ``failures`` is a :class:`~repro.simulator.failures.FailureModel`
+        on the stream's absolute clock; each window replays its schedule
+        against the failures expressed in window-local time
+        (:meth:`~repro.simulator.failures.FailureModel.shifted`), so a
+        machine that died in an earlier window stays dead.  With
+        ``replan=True`` every in-window failure triggers a residual
+        replan onto survivors
+        (:func:`~repro.resilience.replan.replay_with_replanning`); with
+        ``replan=False`` the stale schedule runs as planned and loses the
+        dead machine's queue — the baseline.  Reported accuracies,
+        on-time counts and energy are the *realised* ones.
+        """
+        from ..resilience.replan import replay_with_replanning
+        from ..simulator.failures import replay_with_failures
+
+        tele = get_collector()
+        outcomes: List[WindowOutcome] = []
+        with tele.span("planner.run_with_failures"):
+            for start, batch in window_batches(list(requests), self.window_seconds):
+                deadlines = [max(r.deadline - start, 1e-3) for r in batch]
+                thetas = [r.theta_per_tflop for r in batch]
+                order = np.argsort(deadlines, kind="stable")
+                tasks = tasks_from_thetas([thetas[i] for i in order], [deadlines[i] for i in order])
+                instance = ProblemInstance(tasks, self.cluster, self.window_budget)
+                with tele.span("planner.window.solve"):
+                    schedule = self.scheduler.solve(instance)
+                local = failures.shifted(start)
+                if replan:
+                    report = replay_with_replanning(
+                        instance, self.scheduler, local, schedule=schedule
+                    )
+                else:
+                    report = replay_with_failures(instance, schedule, local)
+                served = report.task_flops > 0
+                missed = set(report.deadline_misses)
+                on_time = int(sum(1 for j in range(len(batch)) if served[j] and j not in missed))
+                tele.counter("planner_windows_total").inc()
+                tele.counter("planner_requests_total").add(len(batch))
+                tele.counter("planner_on_time_total").add(on_time)
+                outcomes.append(
+                    WindowOutcome(
+                        start=start,
+                        n_requests=len(batch),
+                        schedule=schedule,
+                        accuracies=report.task_accuracies,
+                        on_time=on_time,
+                        energy=report.energy,
+                    )
+                )
+        return ServingReport(tuple(outcomes))

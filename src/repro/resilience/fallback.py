@@ -1,0 +1,261 @@
+"""Solver fallback chains: degrade MIP → LP → approx → greedy under deadlines.
+
+A production control plane cannot block a request on a branch-and-bound
+solve that may take minutes.  :class:`FallbackChain` wraps an ordered
+list of schedulers (fastest-to-worst-quality last) and runs each under a
+wall-clock deadline with bounded retries:
+
+* a tier that **times out** moves straight to the next tier (repeating a
+  deterministic solve against the same deadline would waste the budget);
+* a tier that raises a :class:`~repro.utils.errors.ReproError` is
+  retried up to ``retries`` times with exponential backoff, then skipped;
+* the first tier that returns a schedule serves the request, and the
+  served tier is recorded in telemetry
+  (``fallback_served_total{tier=...}``) and in the returned
+  :class:`~repro.algorithms.base.SolveInfo`;
+* if every tier is exhausted, :class:`FallbackExhaustedError` is raised —
+  the server's admission layer converts that into a 503.
+
+Deadlines are enforced by running the solve in a daemon worker thread and
+abandoning it on timeout (pure-Python solvers cannot be interrupted);
+the orphaned thread finishes in the background and its result is
+discarded.  Schedulers that support a cooperative limit (the MIP's
+``time_limit``) should additionally be constructed with one so abandoned
+work is bounded.
+
+Every deadline miss bumps the uniform ``solver_timeouts_total{solver=...}``
+counter — one timeout metric for all tiers, whether or not the underlying
+solver has its own internal limit accounting (the MIP's
+``mip_timeouts_total`` keeps counting cooperative in-solver limit hits).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..algorithms.base import Scheduler, SolveInfo, SolveResult
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..telemetry import active_collector, collector, get_collector
+from ..utils.errors import FallbackExhaustedError, ReproError, SolverTimeoutError
+from ..utils.validation import check_positive, require
+
+__all__ = ["FallbackTier", "FallbackChain", "run_with_deadline", "DEFAULT_TIERS"]
+
+#: Tier names of :meth:`FallbackChain.default`, best quality first.
+DEFAULT_TIERS: Tuple[str, ...] = ("mip", "lp", "approx", "greedy-energy")
+
+
+def run_with_deadline(fn, deadline_seconds: Optional[float], *, solver: str = "solver"):
+    """Run ``fn()`` under a wall-clock deadline; returns its result.
+
+    Executes ``fn`` in a daemon thread that inherits the caller's active
+    telemetry collector (context variables do not cross thread starts on
+    their own).  On timeout the worker is abandoned, the uniform
+    ``solver_timeouts_total{solver=...}`` counter is bumped and
+    :class:`SolverTimeoutError` is raised.  Exceptions raised by ``fn``
+    propagate to the caller unchanged.  ``deadline_seconds=None`` runs
+    inline with no deadline.
+    """
+    if deadline_seconds is None:
+        return fn()
+    check_positive(deadline_seconds, "deadline_seconds")
+    registry = active_collector()
+    outcome: dict = {}
+    done = threading.Event()
+
+    def worker() -> None:
+        try:
+            if registry is not None:
+                with collector(registry):
+                    outcome["result"] = fn()
+            else:
+                outcome["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 — relayed to the caller
+            outcome["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=worker, name=f"repro-solve-{solver}", daemon=True)
+    thread.start()
+    if not done.wait(deadline_seconds):
+        get_collector().counter("solver_timeouts_total", solver=solver).inc()
+        raise SolverTimeoutError(
+            f"solver {solver!r} exceeded its {deadline_seconds:g}s deadline"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]
+
+
+@dataclass(frozen=True)
+class FallbackTier:
+    """One rung of a fallback chain.
+
+    ``deadline_seconds`` overrides the chain-wide deadline for this tier
+    (``None`` inherits it); ``retries`` is the number of *extra* attempts
+    after a :class:`ReproError` failure (timeouts are never retried).
+    """
+
+    name: str
+    scheduler: Scheduler
+    deadline_seconds: Optional[float] = None
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.retries >= 0, f"retries must be >= 0, got {self.retries}")
+        if self.deadline_seconds is not None:
+            check_positive(self.deadline_seconds, "deadline_seconds")
+
+
+class FallbackChain(Scheduler):
+    """Scheduler that degrades through a chain of tiers under deadlines.
+
+    Parameters
+    ----------
+    tiers:
+        Ordered schedulers (or :class:`FallbackTier`, or ``(name,
+        scheduler)`` pairs), best quality first.  Plain schedulers get
+        the chain-wide ``deadline_seconds``/``retries``.
+    deadline_seconds:
+        Wall-clock deadline applied to each tier without its own
+        override; ``None`` disables deadlines (tiers then only advance on
+        solver errors).
+    retries:
+        Default extra attempts per tier after a ``ReproError`` failure.
+    backoff_seconds:
+        Initial sleep before a retry; doubles per extra attempt.
+    """
+
+    name = "FALLBACK-CHAIN"
+
+    def __init__(
+        self,
+        tiers: Sequence[Union[Scheduler, FallbackTier, Tuple[str, Scheduler]]],
+        *,
+        deadline_seconds: Optional[float] = None,
+        retries: int = 0,
+        backoff_seconds: float = 0.05,
+    ):
+        require(len(tiers) >= 1, "a fallback chain needs at least one tier")
+        require(retries >= 0, f"retries must be >= 0, got {retries}")
+        require(backoff_seconds >= 0, f"backoff_seconds must be >= 0, got {backoff_seconds}")
+        if deadline_seconds is not None:
+            check_positive(deadline_seconds, "deadline_seconds")
+        normalised: List[FallbackTier] = []
+        for tier in tiers:
+            if isinstance(tier, FallbackTier):
+                normalised.append(tier)
+            elif isinstance(tier, Scheduler):
+                normalised.append(FallbackTier(tier.name.lower(), tier, retries=retries))
+            else:
+                tier_name, scheduler = tier
+                normalised.append(FallbackTier(str(tier_name), scheduler, retries=retries))
+        names = [t.name for t in normalised]
+        require(len(names) == len(set(names)), f"tier names must be unique, got {names}")
+        self.tiers: Tuple[FallbackTier, ...] = tuple(normalised)
+        self.deadline_seconds = deadline_seconds
+        self.retries = int(retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self.name = "FALLBACK(" + "→".join(names) + ")"
+
+    @classmethod
+    def default(
+        cls,
+        *,
+        deadline_seconds: Optional[float] = None,
+        retries: int = 0,
+        first: Optional[str] = None,
+    ) -> "FallbackChain":
+        """The canonical MIP → LP → approx → greedy degradation ladder.
+
+        ``first`` pins a different scheduler name to the front (the rest
+        of the ladder follows, minus duplicates) — the shape the CLI's
+        ``--fallback`` flag builds around ``--scheduler``.  When a
+        deadline is set, the MIP tier is built with a matching
+        cooperative ``time_limit`` so abandoned solves stop on their own.
+        """
+        from ..algorithms.registry import make_scheduler
+
+        names = list(DEFAULT_TIERS)
+        if first is not None:
+            key = first.lower()
+            names = [key] + [n for n in names if n != key]
+        tiers = []
+        for tier_name in names:
+            kwargs = {}
+            if tier_name == "mip" and deadline_seconds is not None:
+                kwargs["time_limit"] = deadline_seconds
+            tiers.append(FallbackTier(tier_name, make_scheduler(tier_name, **kwargs), retries=retries))
+        return cls(tiers, deadline_seconds=deadline_seconds, retries=retries)
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(self, instance: ProblemInstance) -> Schedule:
+        return self.solve_with_info(instance).schedule
+
+    def solve_with_info(self, instance: ProblemInstance) -> SolveResult:
+        """Try each tier in order; returns the first tier's result that lands.
+
+        The returned info records the served tier (``extra["tier"]`` /
+        ``extra["tier_index"]``), total attempts, and per-tier failure
+        reasons for the tiers that were skipped.
+        """
+        tele = get_collector()
+        attempts = 0
+        skipped: List[dict] = []
+        start = time.perf_counter()
+        with tele.span("fallback.solve"):
+            for index, tier in enumerate(self.tiers):
+                deadline = tier.deadline_seconds if tier.deadline_seconds is not None else self.deadline_seconds
+                attempt_budget = 1 + tier.retries
+                for attempt in range(attempt_budget):
+                    attempts += 1
+                    tele.counter("fallback_attempts_total", tier=tier.name).inc()
+                    try:
+                        with tele.span("fallback.tier", tier=tier.name):
+                            result = run_with_deadline(
+                                lambda: tier.scheduler.solve_with_info(instance),
+                                deadline,
+                                solver=tier.name,
+                            )
+                    except SolverTimeoutError as exc:
+                        # counted by run_with_deadline; a rerun would hit
+                        # the same wall — move straight down the ladder.
+                        skipped.append({"tier": tier.name, "reason": "timeout", "detail": str(exc)})
+                        break
+                    except ReproError as exc:
+                        tele.counter("solver_failures_total", solver=tier.name).inc()
+                        if attempt + 1 < attempt_budget:
+                            tele.counter("solver_retries_total", solver=tier.name).inc()
+                            time.sleep(self.backoff_seconds * (2**attempt))
+                            continue
+                        skipped.append({"tier": tier.name, "reason": "error", "detail": str(exc)})
+                        break
+                    else:
+                        if index > 0:
+                            tele.counter("fallback_degraded_total").inc()
+                        tele.counter("fallback_served_total", tier=tier.name).inc()
+                        info = SolveInfo(
+                            solver=self.name,
+                            optimal=result.info.optimal,
+                            status=result.info.status,
+                            runtime_seconds=time.perf_counter() - start,
+                            extra={
+                                **result.info.extra,
+                                "tier": tier.name,
+                                "tier_index": index,
+                                "tier_solver": result.info.solver,
+                                "attempts": attempts,
+                                "skipped": skipped,
+                            },
+                        )
+                        return SolveResult(result.schedule, info)
+        tele.counter("fallback_exhausted_total").inc()
+        reasons = ", ".join(f"{s['tier']}: {s['reason']}" for s in skipped)
+        raise FallbackExhaustedError(
+            f"all {len(self.tiers)} fallback tiers failed after {attempts} attempt(s) ({reasons})"
+        )

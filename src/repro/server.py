@@ -11,10 +11,18 @@ MLaaS control plane would embed:
   ``repro.core.serialization`` format); response: the schedule document
   plus headline metrics and the feasibility audit.
 
+The serving path is guarded by :mod:`repro.resilience`: an
+:class:`~repro.resilience.admission.AdmissionController` bounds
+concurrent solves and trips a circuit breaker on repeated solver
+failures (rejections answer ``503`` with a ``Retry-After`` header), an
+optional per-request wall-clock deadline cancels runaway solves, and
+``fallback=True`` degrades through cheaper solver tiers instead of
+failing the request.
+
 Intended for trusted local use (demos, integration tests, sidecars) —
 there is no authentication; bind to localhost.
 
-    python -m repro serve --port 8080
+    python -m repro serve --port 8080 --solver-timeout 5 --fallback
     curl -s localhost:8080/health
     curl -s -X POST localhost:8080/solve?scheduler=approx -d @instance.json
 """
@@ -30,8 +38,10 @@ from urllib.parse import parse_qs, urlparse
 from . import __version__
 from .algorithms.registry import available_schedulers, make_scheduler
 from .core.serialization import instance_from_dict, schedule_to_dict
+from .resilience.admission import AdmissionController
+from .resilience.fallback import FallbackChain, run_with_deadline
 from .telemetry import MetricsRegistry, collector, export_file, prometheus_text
-from .utils.errors import ReproError
+from .utils.errors import FallbackExhaustedError, ReproError, SolverTimeoutError
 
 __all__ = ["make_server", "serve"]
 
@@ -41,16 +51,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- helpers ---------------------------------------------------------------
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(self, payload: dict, status: int = 200, headers: Optional[dict] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, message: str, status: int) -> None:
-        self._send_json({"error": message}, status)
+    def _send_error_json(self, message: str, status: int, headers: Optional[dict] = None) -> None:
+        self._send_json({"error": message}, status, headers)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 — stdlib signature
         if getattr(self.server, "verbose", False):
@@ -80,6 +92,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(f"unknown path {path!r}", 404)
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        # The broad catch is the outermost wall: whatever goes wrong in a
+        # handler must come back as a JSON 500, never a dropped connection.
+        try:
+            self._do_post()
+        except Exception as exc:  # noqa: BLE001 — serving boundary
+            self._telemetry.counter("server_errors_total", status="500").inc()
+            try:
+                self._send_error_json(f"internal error: {exc}", 500)
+            except OSError:
+                pass  # client already gone
+
+    def _do_post(self) -> None:
         parsed = urlparse(self.path)
         tele = self._telemetry
         tele.counter("server_requests_total", path=parsed.path).inc()
@@ -98,37 +122,86 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             instance = instance_from_dict(data)
-            scheduler = make_scheduler(name)
+            scheduler = self._build_scheduler(name)
         except ReproError as exc:
             tele.counter("server_errors_total", status="400").inc()
             self._send_error_json(str(exc), 400)
+            return
+
+        admission: AdmissionController = self.server.admission  # type: ignore[attr-defined]
+        decision = admission.try_begin()
+        if not decision.admitted:
+            tele.counter("server_errors_total", status="503").inc()
+            self._send_error_json(
+                f"overloaded ({decision.reason})",
+                503,
+                headers={"Retry-After": str(int(max(decision.retry_after_seconds, 1)))},
+            )
             return
         try:
             # Activate the server's registry for this handler thread so the
             # solver's own spans/counters land in it, and trace the solve.
             with collector(tele), tele.span("server.solve", scheduler=name):
-                result = scheduler.solve_with_info(instance)
+                result = self._solve(scheduler, instance)
+        except (SolverTimeoutError, FallbackExhaustedError) as exc:
+            # Record the failure BEFORE responding: a client retrying on the
+            # 503 must observe the breaker state this failure produced.
+            admission.finish(failure=True)
+            tele.counter("server_errors_total", status="503").inc()
+            self._send_error_json(
+                f"solve timed out: {exc}",
+                503,
+                headers={"Retry-After": str(int(max(admission.retry_after_seconds, 1)))},
+            )
+            return
         except ReproError as exc:
+            admission.finish(failure=True)
             tele.counter("server_errors_total", status="500").inc()
             self._send_error_json(f"solve failed: {exc}", 500)
             return
+        except Exception:
+            admission.finish(failure=True)
+            raise  # the outer wall answers with the JSON 500
+        admission.finish(failure=False)
         schedule = result.schedule
         audit = schedule.feasibility()
-        self._send_json(
-            {
-                "scheduler": scheduler.name,
-                "schedule": schedule_to_dict(schedule, embed_instance=False),
-                "metrics": {
-                    "mean_accuracy": schedule.mean_accuracy,
-                    "total_accuracy": schedule.total_accuracy,
-                    "energy_joules": schedule.total_energy,
-                    "budget_joules": instance.budget,
-                    "runtime_seconds": result.info.runtime_seconds,
-                },
-                "feasible": audit.feasible,
-                "violations": [str(v) for v in audit.violations],
-            }
-        )
+        payload = {
+            "scheduler": scheduler.name,
+            "schedule": schedule_to_dict(schedule, embed_instance=False),
+            "metrics": {
+                "mean_accuracy": schedule.mean_accuracy,
+                "total_accuracy": schedule.total_accuracy,
+                "energy_joules": schedule.total_energy,
+                "budget_joules": instance.budget,
+                "runtime_seconds": result.info.runtime_seconds,
+            },
+            "feasible": audit.feasible,
+            "violations": [str(v) for v in audit.violations],
+        }
+        if "tier" in result.info.extra:
+            payload["served_tier"] = result.info.extra["tier"]
+        self._send_json(payload)
+
+    def _build_scheduler(self, name: str):
+        """The requested scheduler, wrapped in a fallback chain if enabled."""
+        if getattr(self.server, "fallback", False):
+            return FallbackChain.default(
+                deadline_seconds=getattr(self.server, "solver_timeout", None), first=name
+            )
+        return make_scheduler(name)
+
+    def _solve(self, scheduler, instance):
+        """One solve, under the per-request deadline when configured.
+
+        A :class:`FallbackChain` applies its own per-tier deadlines; only
+        bare schedulers get the outer :func:`run_with_deadline` wrapper.
+        """
+        timeout = getattr(self.server, "solver_timeout", None)
+        if timeout is not None and not isinstance(scheduler, FallbackChain):
+            return run_with_deadline(
+                lambda: scheduler.solve_with_info(instance), timeout, solver=scheduler.name
+            )
+        return scheduler.solve_with_info(instance)
 
 
 def make_server(
@@ -137,28 +210,57 @@ def make_server(
     *,
     verbose: bool = False,
     telemetry: Optional[MetricsRegistry] = None,
+    admission: Optional[AdmissionController] = None,
+    solver_timeout: Optional[float] = None,
+    fallback: bool = False,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server; port 0 picks a free port.
 
     Every server carries a :class:`~repro.telemetry.MetricsRegistry`
     (``server.telemetry``; pass one to share it) that backs ``GET
-    /metrics`` and collects per-request solve traces.
+    /metrics`` and collects per-request solve traces, plus an
+    :class:`~repro.resilience.admission.AdmissionController`
+    (``server.admission``) guarding ``POST /solve``.  ``solver_timeout``
+    bounds each solve's wall clock (seconds); ``fallback`` serves every
+    request through :meth:`FallbackChain.default` with the requested
+    scheduler pinned to the front of the ladder.
     """
     server = ThreadingHTTPServer((host, port), _Handler)
     server.verbose = verbose  # type: ignore[attr-defined]
     server.telemetry = telemetry if telemetry is not None else MetricsRegistry()  # type: ignore[attr-defined]
+    server.admission = admission if admission is not None else AdmissionController(max_in_flight=8)  # type: ignore[attr-defined]
+    server.solver_timeout = solver_timeout  # type: ignore[attr-defined]
+    server.fallback = fallback  # type: ignore[attr-defined]
     return server
 
 
-def serve(host: str = "127.0.0.1", port: int = 8080, *, metrics_out: Optional[str] = None) -> None:
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    metrics_out: Optional[str] = None,
+    solver_timeout: Optional[float] = None,
+    fallback: bool = False,
+    max_in_flight: int = 8,
+) -> None:
     """Run the service until interrupted (the CLI's ``serve`` command).
 
     ``metrics_out`` exports the accumulated telemetry on shutdown (the
     live view is always available at ``GET /metrics``).
     """
-    server = make_server(host, port, verbose=True)
+    server = make_server(
+        host,
+        port,
+        verbose=True,
+        admission=AdmissionController(max_in_flight=max_in_flight),
+        solver_timeout=solver_timeout,
+        fallback=fallback,
+    )
     print(f"repro scheduling service on http://{host}:{server.server_address[1]}")
     print(f"methods: {', '.join(available_schedulers())}")
+    if solver_timeout is not None or fallback:
+        mode = "fallback chain" if fallback else "single solver"
+        print(f"resilience: {mode}, solver timeout {solver_timeout or 'none'}, max in-flight {max_in_flight}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -15,26 +15,41 @@ itself inside the event engine:
   algebraic evaluation cannot (a request arriving just before the
   boundary loses part of its SLO to waiting).
 
+Failures are first-class events (``failures=FailureModel(...)``): an
+:class:`~repro.simulator.failures.Outage` stops a machine mid-stream —
+the share in flight is truncated with partial accuracy credit and queued
+shares are lost — and a :class:`~repro.simulator.failures.Slowdown`
+stretches every share planned on the machine from its onset.  With
+``replan=True`` the loop is *failure-aware*: requests whose shares an
+outage destroyed are re-buffered into the next planning window, and
+planning only targets surviving machines at their effective speeds (the
+stale-plan baseline, ``replan=False``, keeps planning onto dead machines
+and loses that work).  A global ``energy_budget`` plus a
+:class:`~repro.resilience.degrade.DegradationPolicy` additionally
+degrade windows gracefully under energy pressure instead of overrunning
+the budget.
+
 This is the library's end-to-end substrate for the MLaaS serving story
 the paper motivates in its introduction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..algorithms.base import Scheduler
 from ..core.instance import ProblemInstance
-from ..core.machine import Cluster
+from ..core.machine import Cluster, Machine
 from ..telemetry import get_collector
-from ..utils.errors import SimulationError
+from ..utils.errors import ReproError, SimulationError
 from ..utils.validation import check_positive, require
 from ..workloads.arrivals import Request
 from ..workloads.generator import tasks_from_thetas
 from .engine import EventQueue
+from .failures import FailureModel, Outage
 
 __all__ = ["ServedRequest", "OnlineSimReport", "OnlineSimulation"]
 
@@ -50,6 +65,8 @@ class ServedRequest:
     finish: Optional[float] = None
     flops: float = 0.0
     accuracy: float = 0.0
+    disrupted: bool = False  #: a failure destroyed (part of) its share
+    replans: int = 0  #: times the request was re-buffered after a failure
 
     @property
     def served(self) -> bool:
@@ -61,11 +78,24 @@ class ServedRequest:
         return self.served and self.finish is not None and self.finish <= self.request.deadline + 1e-9
 
 
+@dataclass
+class _Dispatch:
+    """One planned share in flight or queued on a machine."""
+
+    rec: ServedRequest
+    index: int  #: index into the records list
+    start: float
+    end: float
+    flops: float
+    accuracy_value: object  #: callable FLOP -> accuracy for partial credit
+    cancelled: bool = False
+
+
 @dataclass(frozen=True)
 class OnlineSimReport:
     """Measured outcome of one online run."""
 
-    records: tuple[ServedRequest, ...]
+    records: tuple
     machine_busy: np.ndarray
     energy: float
     horizon: float
@@ -92,6 +122,10 @@ class OnlineSimReport:
             return 0.0
         return sum(r.served for r in self.records) / len(self.records)
 
+    @property
+    def disrupted_count(self) -> int:
+        return sum(r.disrupted for r in self.records)
+
 
 class OnlineSimulation:
     """Event-driven serving loop: buffer → plan per window → execute.
@@ -102,6 +136,22 @@ class OnlineSimulation:
     window's work when new shares arrive — the simulation (unlike the
     algebraic planner view) charges that queueing delay against the SLO,
     which is exactly the effect worth measuring.
+
+    Parameters
+    ----------
+    failures:
+        Injected outages/slowdowns, on the stream's absolute clock.
+    replan:
+        Failure-aware mode: re-buffer disrupted requests into the next
+        window and plan only on surviving machines at effective speeds.
+        Off by default — the stale-plan baseline.
+    energy_budget:
+        Optional global energy cap (J).  Window budgets are clipped to
+        what remains of it, and it anchors the degradation policy's
+        spent-fraction watermarks.
+    degradation:
+        Optional :class:`~repro.resilience.degrade.DegradationPolicy`
+        applied to each window's instance (requires ``energy_budget``).
     """
 
     def __init__(
@@ -111,13 +161,29 @@ class OnlineSimulation:
         *,
         window_seconds: float = 2.0,
         power_cap_fraction: float = 0.5,
+        failures: Optional[FailureModel] = None,
+        replan: bool = False,
+        energy_budget: Optional[float] = None,
+        degradation=None,
     ):
         check_positive(window_seconds, "window_seconds")
         require(power_cap_fraction > 0, "power_cap_fraction must be > 0")
+        if energy_budget is not None:
+            check_positive(energy_budget, "energy_budget")
+        if degradation is not None and energy_budget is None:
+            raise SimulationError("a degradation policy needs energy_budget to measure pressure against")
         self.cluster = cluster
         self.scheduler = scheduler
         self.window_seconds = float(window_seconds)
         self.power_cap_fraction = float(power_cap_fraction)
+        self.failures = failures if failures is not None else FailureModel()
+        self.replan = bool(replan)
+        self.energy_budget = energy_budget
+        self.degradation = degradation
+        for o in self.failures.outages:
+            require(0 <= o.machine < len(cluster), f"outage references machine {o.machine}")
+        for s in self.failures.slowdowns:
+            require(0 <= s.machine < len(cluster), f"slowdown references machine {s.machine}")
 
     @property
     def window_budget(self) -> float:
@@ -134,18 +200,60 @@ class OnlineSimulation:
 
     def _run(self, requests: Sequence[Request]) -> OnlineSimReport:
         records = [ServedRequest(request=r) for r in sorted(requests, key=lambda r: r.arrival_time)]
+        m = len(self.cluster)
         if not records:
-            return OnlineSimReport((), np.zeros(len(self.cluster)), 0.0, 0.0)
+            return OnlineSimReport((), np.zeros(m), 0.0, 0.0)
 
         queue = EventQueue()
         buffered: List[int] = []  # indices into records awaiting planning
-        machine_free_at = np.zeros(len(self.cluster))
-        busy = np.zeros(len(self.cluster))
-        speeds = self.cluster.speeds
+        machine_free_at = np.zeros(m)
+        busy = np.zeros(m)
+        alive = np.ones(m, dtype=bool)
+        factor = np.ones(m)  # slowdown speed multipliers
+        pending: List[List[_Dispatch]] = [[] for _ in range(m)]
         powers = self.cluster.powers
+        tele = get_collector()
 
         def arrive(idx: int) -> None:
             buffered.append(idx)
+
+        def on_outage(r: int) -> None:
+            if not alive[r]:
+                return
+            alive[r] = False
+            now = queue.now
+            tele.counter("online_sim_outages_total").inc()
+            for d in pending[r]:
+                if d.cancelled or (d.rec.finish is not None and d.end <= now):
+                    continue
+                d.cancelled = True
+                d.rec.disrupted = True
+                if d.start >= now:  # queued, never started: total loss
+                    busy[r] -= d.end - d.start
+                    d.rec.flops = 0.0
+                    d.rec.accuracy = 0.0
+                    d.rec.machine = None
+                    d.rec.start = None
+                    if self.replan:
+                        d.rec.replans += 1
+                        buffered.append(d.index)
+                        tele.counter("online_sim_replanned_requests_total").inc()
+                    else:
+                        tele.counter("online_sim_lost_requests_total").inc()
+                else:  # in flight: truncate with partial credit
+                    done = (now - d.start) / (d.end - d.start)
+                    busy[r] -= d.end - now
+                    d.rec.flops = d.flops * done
+                    d.rec.accuracy = float(d.accuracy_value(d.rec.flops))
+                    d.rec.finish = now
+            pending[r].clear()
+            machine_free_at[r] = now
+
+        def on_slowdown(r: int, f: float) -> None:
+            # Applies at planning granularity: shares already dispatched
+            # keep their nominal duration; every later window plans the
+            # machine at its reduced effective speed.
+            factor[r] = f
 
         def plan_window() -> None:
             nonlocal buffered
@@ -153,7 +261,10 @@ class OnlineSimulation:
             if buffered:
                 batch = list(buffered)
                 buffered = []
-                self._plan_and_dispatch(batch, records, window_start, machine_free_at, busy, queue)
+                self._plan_and_dispatch(
+                    batch, records, window_start, machine_free_at, busy, queue,
+                    alive=alive, factor=factor, pending=pending, powers=powers,
+                )
             # Next window tick while there can still be arrivals or work.
             if queue.now < horizon:
                 queue.schedule_in(self.window_seconds, plan_window)
@@ -161,17 +272,52 @@ class OnlineSimulation:
         horizon = max(r.request.arrival_time for r in records) + self.window_seconds
         for idx, rec in enumerate(records):
             queue.schedule_at(rec.request.arrival_time, lambda idx=idx: arrive(idx))
+        for event in self.failures.events():
+            if isinstance(event, Outage):
+                queue.schedule_at(event.at, lambda r=event.machine: on_outage(r))
+            else:
+                queue.schedule_at(event.at, lambda r=event.machine, f=event.factor: on_slowdown(r, f))
         queue.schedule_at(self.window_seconds, plan_window)
         queue.run()
         # A final planning pass for anything still buffered at the end.
         if buffered:
-            self._plan_and_dispatch(list(buffered), records, queue.now, machine_free_at, busy, queue)
+            self._plan_and_dispatch(
+                list(buffered), records, queue.now, machine_free_at, busy, queue,
+                alive=alive, factor=factor, pending=pending, powers=powers,
+            )
             queue.run()
 
         energy = float(busy @ powers)
         return OnlineSimReport(tuple(records), busy, energy, queue.now)
 
     # -- internals -------------------------------------------------------------
+
+    def _planning_view(self, alive: np.ndarray, factor: np.ndarray):
+        """The cluster the planner sees, plus sub-index → machine map.
+
+        Failure-aware mode restricts to survivors at effective (slowed)
+        speeds; scaling efficiency alongside keeps power draw constant.
+        The stale baseline always sees the nominal full cluster.
+        """
+        if not self.replan:
+            return self.cluster, list(range(len(self.cluster)))
+        index_map = [r for r in range(len(self.cluster)) if alive[r]]
+        if not index_map:
+            return None, []
+        machines = []
+        for r in index_map:
+            base = self.cluster[r]
+            f = float(factor[r])
+            machines.append(Machine(speed=base.speed * f, efficiency=base.efficiency * f, name=base.name))
+        return Cluster(machines), index_map
+
+    def _window_budget_now(self, busy: np.ndarray, powers: np.ndarray) -> float:
+        """This window's energy grant, clipped to the global remainder."""
+        budget = self.window_budget
+        if self.energy_budget is not None:
+            committed = float(busy @ powers)
+            budget = min(budget, max(self.energy_budget - committed, 0.0))
+        return budget
 
     def _plan_and_dispatch(
         self,
@@ -181,10 +327,22 @@ class OnlineSimulation:
         machine_free_at: np.ndarray,
         busy: np.ndarray,
         queue: EventQueue,
+        *,
+        alive: np.ndarray,
+        factor: np.ndarray,
+        pending: List[List[_Dispatch]],
+        powers: np.ndarray,
     ) -> None:
         """Solve the batched instance and enqueue execution of the shares."""
         tele = get_collector()
+        cluster, index_map = self._planning_view(alive, factor)
         reqs = [records[i].request for i in batch]
+        if cluster is None:
+            # Every machine is down; the window is unservable.
+            for i in batch:
+                records[i].planned_window = window_start
+            tele.counter("online_sim_unservable_windows_total").inc()
+            return
         # Deadlines relative to the *planning instant*; a request that has
         # already burnt part of its SLO waiting gets only the remainder.
         deadlines = [max(r.deadline - window_start, 1e-3) for r in reqs]
@@ -193,17 +351,41 @@ class OnlineSimulation:
             [reqs[i].theta_per_tflop for i in order],
             [deadlines[i] for i in order],
         )
-        instance = ProblemInstance(tasks, self.cluster, self.window_budget)
-        with tele.span("online_sim.window.plan"):
-            schedule = self.scheduler.solve(instance)
+        instance = ProblemInstance(tasks, cluster, self._window_budget_now(busy, powers))
+
+        kept = np.arange(len(batch))
+        if self.degradation is not None:
+            spent_fraction = float(busy @ powers) / self.energy_budget
+            decision = self.degradation.apply(instance, spent_fraction)
+            if decision.degraded:
+                tele.counter("online_sim_degraded_windows_total").inc()
+            instance, kept = decision.instance, decision.kept
+
+        try:
+            with tele.span("online_sim.window.plan"):
+                schedule = self.scheduler.solve(instance)
+        except ReproError:
+            # A failed window solve serves nothing but must not kill the
+            # stream — the affected requests are simply not served.
+            tele.counter("online_sim_failed_windows_total").inc()
+            for i in batch:
+                records[i].planned_window = window_start
+            return
         tele.counter("online_sim_windows_total").inc()
         times = schedule.times
         flops = schedule.task_flops
         accs = schedule.task_accuracies
+        speeds = instance.cluster.speeds
 
-        for slot, i in enumerate(order):
-            rec = records[batch[i]]
+        planned = {int(k): slot for slot, k in enumerate(kept)}
+        for i in range(len(batch)):
+            rec = records[batch[order[i]]]
             rec.planned_window = window_start
+            slot = planned.get(i)
+            if slot is None:  # shed by the degradation policy
+                rec.flops = 0.0
+                rec.accuracy = 0.0
+                continue
             rec.accuracy = float(accs[slot])
             rec.flops = float(flops[slot])
             if rec.flops <= 0.0:
@@ -216,17 +398,42 @@ class OnlineSimulation:
                     "OnlineSimulation requires an integral scheduler "
                     f"(task got {shares.size} machine shares)"
                 )
-            r = int(shares[0])
-            duration = float(times[slot, r])
+            rr = int(shares[0])
+            r = index_map[rr]
+            if not alive[r]:
+                # Stale-plan baseline: the planner does not know the
+                # machine is dead, so its share is simply lost.
+                rec.flops = 0.0
+                rec.accuracy = 0.0
+                rec.disrupted = True
+                tele.counter("online_sim_lost_requests_total").inc()
+                continue
+            duration = float(times[slot, rr])
+            if not self.replan:
+                # The stale planner quoted wall time at nominal speed; a
+                # slowed machine physically takes 1/factor longer (same
+                # FLOPs delivered, later finish).  The failure-aware view
+                # already plans on effective speeds, so no correction.
+                duration /= float(factor[r])
             start = max(window_start, float(machine_free_at[r]))
             machine_free_at[r] = start + duration
             busy[r] += duration
             rec.machine = r
             rec.start = start
+            dispatch = _Dispatch(
+                rec=rec,
+                index=batch[order[i]],
+                start=start,
+                end=start + duration,
+                flops=rec.flops,
+                accuracy_value=instance.tasks[slot].accuracy.value,
+            )
+            pending[r].append(dispatch)
             tele.counter("online_sim_dispatched_total").inc()
             tele.histogram("online_sim_queue_delay_seconds").observe(start - window_start)
 
-            def finish(rec=rec, end=start + duration) -> None:
-                rec.finish = end
+            def finish(d=dispatch) -> None:
+                if not d.cancelled:
+                    d.rec.finish = d.end
 
             queue.schedule_at(start + duration, finish)

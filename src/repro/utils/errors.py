@@ -13,6 +13,8 @@ __all__ = [
     "ValidationError",
     "InfeasibleError",
     "SolverError",
+    "SolverTimeoutError",
+    "FallbackExhaustedError",
     "SimulationError",
 ]
 
@@ -36,6 +38,14 @@ class InfeasibleError(ReproError):
 
 class SolverError(ReproError):
     """An exact solver (LP/MIP backend) failed or returned a bad status."""
+
+
+class SolverTimeoutError(SolverError):
+    """A solver exceeded its wall-clock deadline (see repro.resilience)."""
+
+
+class FallbackExhaustedError(SolverError):
+    """Every tier of a fallback chain timed out or failed."""
 
 
 class SimulationError(ReproError):

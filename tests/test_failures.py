@@ -7,6 +7,7 @@ import pytest
 
 from repro.algorithms import ApproxScheduler
 from repro.simulator import FailureModel, Outage, Slowdown, replay_with_failures
+from repro.simulator.failures import replay_with_duration_noise
 from repro.utils.errors import ValidationError
 
 from conftest import make_instance
@@ -128,3 +129,70 @@ class TestCombined:
         # busy time on machine 0 cannot exceed the outage time
         assert report.machine_busy[0] <= 0.3 + 1e-12
         assert report.total_accuracy <= sched.total_accuracy + 1e-9
+
+    def test_slowdown_and_outage_both_at_zero_same_machine(self, case):
+        """The outage wins the tie: the machine never runs, slowed or not."""
+        inst, sched = case
+        fm = FailureModel(
+            outages=(Outage(0, 0.0),),
+            slowdowns=(Slowdown(0, 0.0, 0.5),),
+        )
+        report = replay_with_failures(inst, sched, fm)
+        assert report.machine_busy[0] == 0.0
+        on_m0 = {j for j in range(inst.n_tasks) if sched.times[j, 0] > 0}
+        assert on_m0 <= set(report.truncated_tasks)
+        # identical outcome to the outage alone
+        only_outage = replay_with_failures(inst, sched, FailureModel(outages=(Outage(0, 0.0),)))
+        assert report.total_accuracy == pytest.approx(only_outage.total_accuracy, rel=1e-12)
+
+
+class TestEventStream:
+    def test_events_time_ordered_with_outage_first_ties(self):
+        fm = FailureModel(
+            outages=(Outage(1, 2.0), Outage(0, 0.5)),
+            slowdowns=(Slowdown(2, 2.0, 0.5), Slowdown(0, 1.0, 0.9)),
+        )
+        events = fm.events()
+        assert [e.at for e in events] == [0.5, 1.0, 2.0, 2.0]
+        # at t=2.0 the outage precedes the slowdown
+        assert isinstance(events[2], Outage) and isinstance(events[3], Slowdown)
+
+    def test_shifted_clamps_past_events_to_zero(self):
+        fm = FailureModel(
+            outages=(Outage(0, 1.0),), slowdowns=(Slowdown(1, 5.0, 0.5),)
+        )
+        shifted = fm.shifted(3.0)
+        assert shifted.outage_at(0) == 0.0  # already dead in the new frame
+        assert shifted.slowdown_for(1).at == 2.0
+
+    def test_dead_machines_inclusive(self):
+        fm = FailureModel(outages=(Outage(0, 1.0), Outage(2, 4.0)))
+        assert fm.dead_machines(0.5) == frozenset()
+        assert fm.dead_machines(1.0) == frozenset({0})
+        assert fm.dead_machines(10.0) == frozenset({0, 2})
+
+
+class TestDurationNoise:
+    def test_deterministic_under_fixed_seed(self, case):
+        inst, sched = case
+        a = replay_with_duration_noise(inst, sched, sigma=0.2, seed=42)
+        b = replay_with_duration_noise(inst, sched, sigma=0.2, seed=42)
+        np.testing.assert_array_equal(a.task_completion, b.task_completion)
+        np.testing.assert_array_equal(a.machine_busy, b.machine_busy)
+        assert a.deadline_misses == b.deadline_misses
+        # a different seed jitters differently
+        c = replay_with_duration_noise(inst, sched, sigma=0.2, seed=43)
+        assert not np.array_equal(a.task_completion, c.task_completion)
+
+    def test_zero_sigma_is_nominal(self, case):
+        inst, sched = case
+        report = replay_with_duration_noise(inst, sched, sigma=0.0, seed=1)
+        assert report.total_accuracy == pytest.approx(sched.total_accuracy, rel=1e-9)
+        assert report.energy == pytest.approx(sched.total_energy, rel=1e-9)
+        assert not report.deadline_misses
+
+    def test_accuracy_preserved_under_noise(self, case):
+        inst, sched = case
+        report = replay_with_duration_noise(inst, sched, sigma=0.5, seed=7)
+        # the work still completes — only timeliness suffers
+        assert report.total_accuracy == pytest.approx(sched.total_accuracy, rel=1e-9)

@@ -1,0 +1,752 @@
+"""Fault-tolerant serving: fallback chains, replanning, degradation, admission."""
+
+import contextlib
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ApproxScheduler
+from repro.algorithms.base import Scheduler
+from repro.algorithms.registry import make_scheduler
+from repro.core import instance_to_dict
+from repro.hardware import sample_uniform_cluster
+from repro.resilience import (
+    AdmissionController,
+    BreakerState,
+    CircuitBreaker,
+    DegradationPolicy,
+    FallbackChain,
+    FallbackTier,
+    Watermark,
+    compare_replanning,
+    expand_times,
+    replay_with_replanning,
+    residual_accuracy,
+    run_with_deadline,
+    truncate_accuracy,
+)
+from repro.server import make_server
+from repro.simulator.failures import (
+    FailureModel,
+    Outage,
+    Slowdown,
+    replay_with_failures,
+)
+from repro.simulator.online_sim import OnlineSimulation
+from repro.telemetry import collector
+from repro.utils.errors import (
+    FallbackExhaustedError,
+    SolverError,
+    SolverTimeoutError,
+    ValidationError,
+)
+from repro.workloads.arrivals import PoissonArrivals
+
+from conftest import make_instance
+
+
+class SleepyScheduler(Scheduler):
+    """Never returns within any reasonable deadline."""
+
+    name = "sleepy"
+
+    def __init__(self, seconds=30.0):
+        self.seconds = seconds
+
+    def solve(self, instance):
+        time.sleep(self.seconds)
+        return ApproxScheduler().solve(instance)
+
+
+class FailingScheduler(Scheduler):
+    """Raises a solver error ``failures`` times, then succeeds."""
+
+    name = "flaky"
+
+    def __init__(self, failures=10**9):
+        self.failures = failures
+        self.calls = 0
+
+    def solve(self, instance):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise SolverError("injected failure")
+        return ApproxScheduler().solve(instance)
+
+
+class BoomScheduler(Scheduler):
+    """Raises a non-ReproError (a genuine bug)."""
+
+    name = "boom"
+
+    def solve(self, instance):
+        raise RuntimeError("unexpected bug")
+
+
+# -- run_with_deadline ---------------------------------------------------------
+
+
+class TestRunWithDeadline:
+    def test_no_deadline_runs_inline(self):
+        assert run_with_deadline(lambda: 42, None) == 42
+
+    def test_fast_fn_returns(self):
+        assert run_with_deadline(lambda: "ok", 5.0, solver="x") == "ok"
+
+    def test_timeout_raises_and_counts(self):
+        with collector() as tele:
+            with pytest.raises(SolverTimeoutError):
+                run_with_deadline(lambda: time.sleep(10), 0.05, solver="sleepy")
+        assert tele.counter("solver_timeouts_total", solver="sleepy").value == 1.0
+
+    def test_exceptions_propagate(self):
+        def bad():
+            raise SolverError("inner")
+
+        with pytest.raises(SolverError, match="inner"):
+            run_with_deadline(bad, 5.0)
+
+    def test_worker_inherits_collector(self):
+        """Telemetry emitted inside the worker thread lands in the caller's registry."""
+        from repro.telemetry import get_collector
+
+        def fn():
+            get_collector().counter("from_worker_total").inc()
+            return 1
+
+        with collector() as tele:
+            run_with_deadline(fn, 5.0)
+        assert tele.counter("from_worker_total").value == 1.0
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValidationError):
+            run_with_deadline(lambda: 1, -1.0)
+
+
+# -- FallbackChain -------------------------------------------------------------
+
+
+class TestFallbackChain:
+    def test_sleeping_solver_falls_back(self):
+        """A tier past its deadline is abandoned; the next tier serves."""
+        inst = make_instance(n=8, m=2, beta=0.5, seed=700)
+        chain = FallbackChain(
+            [("sleepy", SleepyScheduler()), ("approx", ApproxScheduler())],
+            deadline_seconds=0.2,
+        )
+        with collector() as tele:
+            result = chain.solve_with_info(inst)
+        assert result.info.extra["tier"] == "approx"
+        assert result.info.extra["tier_index"] == 1
+        assert result.info.extra["skipped"][0]["reason"] == "timeout"
+        assert tele.counter("solver_timeouts_total", solver="sleepy").value == 1.0
+        assert tele.counter("fallback_served_total", tier="approx").value == 1.0
+        assert tele.counter("fallback_degraded_total").value == 1.0
+        assert result.schedule.feasibility().feasible
+
+    def test_first_tier_serves_without_degradation(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=701)
+        chain = FallbackChain([ApproxScheduler()], deadline_seconds=30.0)
+        with collector() as tele:
+            result = chain.solve_with_info(inst)
+        assert result.info.extra["tier_index"] == 0
+        assert tele.counter("fallback_degraded_total").value == 0.0
+
+    def test_error_tier_retried_then_skipped(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=702)
+        flaky = FailingScheduler()
+        chain = FallbackChain(
+            [("flaky", flaky), ("approx", ApproxScheduler())],
+            retries=2,
+            backoff_seconds=0.0,
+        )
+        with collector() as tele:
+            result = chain.solve_with_info(inst)
+        assert flaky.calls == 3  # 1 + 2 retries
+        assert result.info.extra["tier"] == "approx"
+        assert tele.counter("solver_retries_total", solver="flaky").value == 2.0
+
+    def test_transient_error_recovers_within_tier(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=703)
+        flaky = FailingScheduler(failures=1)
+        chain = FallbackChain([("flaky", flaky)], retries=1, backoff_seconds=0.0)
+        result = chain.solve_with_info(inst)
+        assert result.info.extra["tier"] == "flaky"
+        assert flaky.calls == 2
+
+    def test_exhaustion_raises(self):
+        inst = make_instance(n=5, m=2, beta=0.5, seed=704)
+        chain = FallbackChain(
+            [("a", FailingScheduler()), ("b", FailingScheduler())], backoff_seconds=0.0
+        )
+        with collector() as tele:
+            with pytest.raises(FallbackExhaustedError, match="a: error, b: error"):
+                chain.solve(inst)
+        assert tele.counter("fallback_exhausted_total").value == 1.0
+
+    def test_default_ladder_and_pinning(self):
+        chain = FallbackChain.default()
+        assert chain.name == "FALLBACK(mip→lp→approx→greedy-energy)"
+        pinned = FallbackChain.default(first="approx")
+        assert [t.name for t in pinned.tiers] == ["approx", "mip", "lp", "greedy-energy"]
+
+    def test_registered_in_registry(self):
+        chain = make_scheduler("fallback", deadline_seconds=10.0)
+        assert isinstance(chain, FallbackChain)
+        inst = make_instance(n=4, m=2, beta=0.5, seed=705)
+        assert chain.solve(inst).feasibility().feasible
+
+    def test_unique_tier_names_enforced(self):
+        with pytest.raises(ValidationError):
+            FallbackChain([("x", ApproxScheduler()), ("x", ApproxScheduler())])
+
+    def test_per_tier_deadline_override(self):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=706)
+        chain = FallbackChain(
+            [
+                FallbackTier("sleepy", SleepyScheduler(), deadline_seconds=0.1),
+                FallbackTier("approx", ApproxScheduler()),
+            ],
+            deadline_seconds=300.0,
+        )
+        start = time.perf_counter()
+        result = chain.solve_with_info(inst)
+        assert time.perf_counter() - start < 10.0
+        assert result.info.extra["tier"] == "approx"
+
+
+# -- residual accuracy and replanning ------------------------------------------
+
+
+class TestResidualAccuracy:
+    def test_no_work_done_returns_original(self):
+        acc = make_instance(n=3, m=1, beta=0.5, seed=710).tasks[0].accuracy
+        assert residual_accuracy(acc, 0.0) is acc
+
+    def test_complete_task_returns_none(self):
+        inst = make_instance(n=3, m=1, beta=0.5, seed=711)
+        acc = inst.tasks[0].accuracy
+        assert residual_accuracy(acc, acc.f_max) is None
+
+    def test_shifted_curve_values_match(self):
+        inst = make_instance(n=3, m=1, beta=0.5, seed=712)
+        acc = inst.tasks[0].accuracy
+        f_done = 0.4 * acc.f_max
+        res = residual_accuracy(acc, f_done)
+        assert res.value(0.0) == pytest.approx(acc.value(f_done))
+        g = 0.3 * (acc.f_max - f_done)
+        assert res.value(g) == pytest.approx(acc.value(f_done + g), rel=1e-9)
+        assert res.f_max == pytest.approx(acc.f_max - f_done, rel=1e-9)
+
+
+class TestReplanning:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        inst = make_instance(n=30, m=3, beta=0.6, seed=720)
+        scheduler = ApproxScheduler()
+        schedule = scheduler.solve(inst)
+        r = int(np.argmax(schedule.machine_loads))
+        at = 0.5 * float(schedule.machine_loads[r])
+        failures = FailureModel(outages=(Outage(r, at),))
+        return inst, scheduler, schedule, failures
+
+    def test_no_failures_matches_nominal(self, scenario):
+        inst, scheduler, schedule, _ = scenario
+        report = replay_with_replanning(inst, scheduler, FailureModel(), schedule=schedule)
+        assert report.total_accuracy == pytest.approx(schedule.total_accuracy, rel=1e-9)
+        assert report.n_replans == 0
+
+    def test_stale_mode_matches_replay_with_failures(self, scenario):
+        inst, scheduler, schedule, failures = scenario
+        mine = replay_with_replanning(inst, scheduler, failures, replan=False, schedule=schedule)
+        ref = replay_with_failures(inst, schedule, failures)
+        assert mine.total_accuracy == pytest.approx(ref.total_accuracy, rel=1e-9)
+        assert mine.energy == pytest.approx(ref.energy, rel=1e-9)
+        np.testing.assert_allclose(mine.task_flops, ref.task_flops, rtol=1e-9)
+
+    def test_stale_mode_matches_under_combined_failures(self, scenario):
+        inst, scheduler, schedule, _ = scenario
+        fm = FailureModel(
+            outages=(Outage(0, 0.4),), slowdowns=(Slowdown(1, 0.2, 0.5),)
+        )
+        mine = replay_with_replanning(inst, scheduler, fm, replan=False, schedule=schedule)
+        ref = replay_with_failures(inst, schedule, fm)
+        assert mine.total_accuracy == pytest.approx(ref.total_accuracy, rel=1e-9)
+        assert mine.energy == pytest.approx(ref.energy, rel=1e-9)
+
+    def test_replanning_strictly_beats_stale_plan(self, scenario):
+        """The headline claim: replanning recovers accuracy an outage destroys."""
+        inst, scheduler, schedule, failures = scenario
+        comparison = compare_replanning(inst, scheduler, failures, schedule=schedule)
+        assert comparison.replanned.n_replans >= 1
+        assert comparison.accuracy_recovered > 0.0
+        assert comparison.replanned.total_accuracy > comparison.stale.total_accuracy
+        assert comparison.replanned_retention > comparison.stale_retention
+        # (no upper bound against the nominal plan: APPROX is suboptimal, so a
+        # residual re-solve may legitimately recover more than the first plan
+        # by spending budget the initial heuristic left on the table)
+
+    def test_replanned_energy_within_budget(self, scenario):
+        inst, scheduler, schedule, failures = scenario
+        report = replay_with_replanning(inst, scheduler, failures, schedule=schedule)
+        assert report.energy <= inst.budget * (1 + 1e-6)
+
+    def test_dead_machine_does_no_further_work(self, scenario):
+        inst, scheduler, schedule, failures = scenario
+        report = replay_with_replanning(inst, scheduler, failures, schedule=schedule)
+        r = failures.outages[0].machine
+        assert report.dead_machines == (r,)
+        assert report.machine_busy[r] <= failures.outages[0].at + 1e-9
+
+    def test_replan_failure_keeps_stale_queues(self, scenario):
+        inst, _, schedule, failures = scenario
+        report = replay_with_replanning(
+            inst, FailingScheduler(), failures, schedule=schedule
+        )
+        ref = replay_with_failures(inst, schedule, failures)
+        assert report.n_replans == 0
+        assert report.total_accuracy == pytest.approx(ref.total_accuracy, rel=1e-9)
+
+    def test_machine_out_of_range_rejected(self, scenario):
+        inst, scheduler, _, _ = scenario
+        with pytest.raises(ValidationError):
+            replay_with_replanning(inst, scheduler, FailureModel(outages=(Outage(99, 1.0),)))
+
+
+# -- graceful degradation ------------------------------------------------------
+
+
+class TestTruncateAccuracy:
+    def test_cap_beyond_fmax_is_identity(self):
+        acc = make_instance(n=2, m=1, beta=0.5, seed=730).tasks[0].accuracy
+        assert truncate_accuracy(acc, acc.f_max * 2) is acc
+
+    def test_capped_curve_agrees_below_cap(self):
+        acc = make_instance(n=2, m=1, beta=0.5, seed=731).tasks[0].accuracy
+        cap = 0.6 * acc.f_max
+        cut = truncate_accuracy(acc, cap)
+        assert cut.f_max == pytest.approx(cap)
+        for frac in (0.1, 0.5, 0.99):
+            assert cut.value(frac * cap) == pytest.approx(acc.value(frac * cap), rel=1e-9)
+        # beyond the cap the curve is flat at the cap value
+        assert cut.value(acc.f_max) == pytest.approx(acc.value(cap), rel=1e-9)
+
+
+class TestDegradationPolicy:
+    def test_levels(self):
+        policy = DegradationPolicy.default()
+        assert policy.level_for(0.0) == -1
+        assert policy.level_for(0.70) == 0
+        assert policy.level_for(0.90) == 1
+        assert policy.level_for(1.50) == 2
+
+    def test_no_pressure_no_change(self):
+        inst = make_instance(n=8, m=2, beta=0.5, seed=732)
+        decision = DegradationPolicy.default().apply(inst, 0.1)
+        assert not decision.degraded
+        assert decision.instance is inst
+        assert len(decision.kept) == inst.n_tasks
+
+    def test_watermark_caps_work(self):
+        inst = make_instance(n=8, m=2, beta=0.5, seed=733)
+        decision = DegradationPolicy.default().apply(inst, 0.75)
+        assert decision.level == 0 and decision.work_cap_scale == 0.75
+        for original, degraded in zip(inst.tasks, decision.instance.tasks):
+            assert degraded.f_max <= 0.75 * original.f_max * (1 + 1e-9)
+
+    def test_deep_watermark_sheds_lowest_theta(self):
+        inst = make_instance(n=12, m=2, beta=0.5, seed=734)
+        decision = DegradationPolicy.default().apply(inst, 0.96)
+        assert decision.level == 2
+        assert len(decision.shed) == 3  # 25% of 12
+        thetas = np.array([t.efficiency_theta for t in inst.tasks])
+        kept_thetas = thetas[decision.kept]
+        assert max(thetas[list(decision.shed)]) <= min(kept_thetas) + 1e-12
+
+    def test_never_sheds_everything(self):
+        inst = make_instance(n=1, m=1, beta=0.5, seed=735)
+        policy = DegradationPolicy((Watermark(0.5, work_cap_scale=0.5, shed_fraction=0.9),))
+        decision = policy.apply(inst, 1.0)
+        assert decision.instance.n_tasks == 1
+
+    def test_degraded_instance_solves_and_expands(self):
+        inst = make_instance(n=10, m=2, beta=0.5, seed=736)
+        decision = DegradationPolicy.default().apply(inst, 0.96)
+        schedule = ApproxScheduler().solve(decision.instance)
+        full = expand_times(schedule.times, decision.kept, inst.n_tasks)
+        assert full.shape == (inst.n_tasks, inst.n_machines)
+        assert np.all(full[list(decision.shed)] == 0.0)
+        # degraded schedule spends no more energy than the intact one
+        intact = ApproxScheduler().solve(inst)
+        assert schedule.total_energy <= intact.total_energy * (1 + 1e-9)
+
+    def test_distinct_fractions_enforced(self):
+        with pytest.raises(ValidationError):
+            DegradationPolicy((Watermark(0.5, 0.5), Watermark(0.5, 0.3)))
+
+
+# -- circuit breaker and admission ---------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = FakeClock()
+        with collector() as tele:
+            breaker = CircuitBreaker(failure_threshold=3, reset_seconds=10.0, clock=clock)
+            assert breaker.allow()
+            for _ in range(3):
+                breaker.record_failure()
+            assert breaker.state == BreakerState.OPEN
+            assert not breaker.allow()
+            assert 0 < breaker.retry_after() <= 10.0
+        assert tele.counter("breaker_opened_total").value == 1.0
+
+    def test_success_resets_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_half_open_single_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.t = 6.0
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # everyone else waits for the verdict
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0, clock=clock)
+        breaker.record_failure()
+        clock.t = 6.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=5, reset_seconds=5.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.t = 6.0
+        assert breaker.allow()
+        breaker.record_failure()  # one probe failure re-opens immediately
+        assert breaker.state == BreakerState.OPEN
+        assert not breaker.allow()
+
+
+class TestAdmissionController:
+    def test_capacity_bound(self):
+        with collector() as tele:
+            ctrl = AdmissionController(max_in_flight=2)
+            assert ctrl.try_begin().admitted
+            assert ctrl.try_begin().admitted
+            rejected = ctrl.try_begin()
+            assert not rejected.admitted and rejected.reason == "capacity"
+            assert rejected.retry_after_seconds > 0
+            ctrl.finish()
+            assert ctrl.try_begin().admitted
+        assert tele.counter("admission_rejected_total", reason="capacity").value == 1.0
+
+    def test_breaker_rejection(self):
+        clock = FakeClock()
+        ctrl = AdmissionController(
+            max_in_flight=4, breaker=CircuitBreaker(failure_threshold=1, clock=clock)
+        )
+        decision = ctrl.try_begin()
+        assert decision.admitted
+        ctrl.finish(failure=True)  # trips the breaker (threshold 1)
+        rejected = ctrl.try_begin()
+        assert not rejected.admitted and rejected.reason == "breaker_open"
+        assert rejected.retry_after_seconds >= 1
+
+
+# -- the HTTP server under the resilience layer --------------------------------
+
+
+@contextlib.contextmanager
+def running_server(**kwargs):
+    server = make_server(**kwargs)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{port}", server
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def post_json(url, payload):
+    body = json.dumps(payload).encode()
+    req = urllib.request.Request(url, data=body, method="POST")
+    return json.load(urllib.request.urlopen(req, timeout=30))
+
+
+class TestServerResilience:
+    def test_unexpected_exception_returns_json_500(self, monkeypatch):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=740)
+        monkeypatch.setattr("repro.server.make_scheduler", lambda name: BoomScheduler())
+        with running_server() as (base, server):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post_json(base + "/solve?scheduler=boom", instance_to_dict(inst))
+            assert err.value.code == 500
+            payload = json.loads(err.value.read().decode())
+            assert "unexpected bug" in payload["error"]
+            assert server.telemetry.counter("server_errors_total", status="500").value == 1.0
+
+    def test_open_breaker_returns_503_with_retry_after(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=60.0)
+        admission = AdmissionController(breaker=breaker)
+        breaker.record_failure()  # trip it
+        inst = make_instance(n=4, m=2, beta=0.5, seed=741)
+        with running_server(admission=admission) as (base, server):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post_json(base + "/solve", instance_to_dict(inst))
+            assert err.value.code == 503
+            assert int(err.value.headers["Retry-After"]) >= 1
+            payload = json.loads(err.value.read().decode())
+            assert "breaker_open" in payload["error"]
+            assert server.telemetry.counter("server_errors_total", status="503").value == 1.0
+
+    def test_capacity_exhausted_returns_503(self):
+        admission = AdmissionController(max_in_flight=1)
+        assert admission.try_begin().admitted  # hog the only slot
+        inst = make_instance(n=4, m=2, beta=0.5, seed=742)
+        with running_server(admission=admission) as (base, _):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post_json(base + "/solve", instance_to_dict(inst))
+            assert err.value.code == 503
+            assert "Retry-After" in err.value.headers
+        admission.finish()
+
+    def test_solver_timeout_returns_503_and_counts(self, monkeypatch):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=743)
+        monkeypatch.setattr("repro.server.make_scheduler", lambda name: SleepyScheduler())
+        with running_server(solver_timeout=0.1) as (base, server):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post_json(base + "/solve?scheduler=sleepy", instance_to_dict(inst))
+            assert err.value.code == 503
+            assert "Retry-After" in err.value.headers
+            assert (
+                server.telemetry.counter("solver_timeouts_total", solver="sleepy").value == 1.0
+            )
+
+    def test_repeated_timeouts_trip_the_breaker(self, monkeypatch):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=744)
+        monkeypatch.setattr("repro.server.make_scheduler", lambda name: SleepyScheduler())
+        admission = AdmissionController(
+            breaker=CircuitBreaker(failure_threshold=2, reset_seconds=60.0)
+        )
+        with running_server(solver_timeout=0.05, admission=admission) as (base, server):
+            for _ in range(2):
+                with pytest.raises(urllib.error.HTTPError):
+                    post_json(base + "/solve", instance_to_dict(inst))
+            assert admission.breaker.state == BreakerState.OPEN
+            # now rejected up front, without touching the solver
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post_json(base + "/solve", instance_to_dict(inst))
+            assert err.value.code == 503
+            payload = json.loads(err.value.read().decode())
+            assert "breaker_open" in payload["error"]
+
+    def test_fallback_server_reports_served_tier(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=745)
+        with running_server(fallback=True, solver_timeout=30.0) as (base, _):
+            resp = post_json(base + "/solve?scheduler=approx", instance_to_dict(inst))
+            assert resp["served_tier"] == "approx"
+            assert resp["feasible"]
+
+    def test_normal_solve_still_works(self):
+        inst = make_instance(n=4, m=2, beta=0.5, seed=746)
+        with running_server(solver_timeout=30.0) as (base, _):
+            resp = post_json(base + "/solve", instance_to_dict(inst))
+            assert resp["feasible"]
+            assert "served_tier" not in resp
+
+
+# -- the online simulator under failures ---------------------------------------
+
+
+class TestOnlineSimFailures:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        cluster = sample_uniform_cluster(3, seed=7)
+        requests = PoissonArrivals(5.0, seed=8).generate(10.0)
+        failures = FailureModel(outages=(Outage(machine=0, at=4.0),))
+        return cluster, requests, failures
+
+    def run(self, cluster, requests, failures, **kwargs):
+        sim = OnlineSimulation(
+            cluster, ApproxScheduler(), window_seconds=2.0, failures=failures, **kwargs
+        )
+        return sim.run(requests)
+
+    def test_outage_replanning_strictly_improves_accuracy(self, stream):
+        """The acceptance criterion: mid-horizon outage, replan on vs off."""
+        cluster, requests, failures = stream
+        stale = self.run(cluster, requests, failures, replan=False)
+        aware = self.run(cluster, requests, failures, replan=True)
+        assert aware.mean_accuracy > stale.mean_accuracy
+        assert aware.served_fraction >= stale.served_fraction
+
+    def test_no_failures_unaffected_by_replan_flag(self, stream):
+        cluster, requests, _ = stream
+        off = self.run(cluster, requests, FailureModel(), replan=False)
+        on = self.run(cluster, requests, FailureModel(), replan=True)
+        assert on.mean_accuracy == pytest.approx(off.mean_accuracy, rel=1e-9)
+
+    def test_dead_machine_receives_no_dispatch_after_outage(self, stream):
+        cluster, requests, failures = stream
+        report = self.run(cluster, requests, failures, replan=True)
+        for rec in report.records:
+            if rec.machine == 0 and rec.start is not None:
+                assert rec.start < 4.0 + 1e-9
+
+    def test_stale_mode_loses_disrupted_requests(self, stream):
+        cluster, requests, failures = stream
+        report = self.run(cluster, requests, failures, replan=False)
+        assert report.disrupted_count > 0
+        disrupted_unserved = [r for r in report.records if r.disrupted and not r.served]
+        assert disrupted_unserved  # queued shares on the dead machine vanish
+
+    def test_slowdown_stretches_stale_execution(self):
+        cluster = sample_uniform_cluster(2, seed=9)
+        requests = PoissonArrivals(4.0, seed=10).generate(8.0)
+        fm = FailureModel(
+            slowdowns=(Slowdown(0, 0.0, 0.5), Slowdown(1, 0.0, 0.5))
+        )
+        healthy = OnlineSimulation(cluster, ApproxScheduler(), window_seconds=2.0).run(requests)
+        slowed = OnlineSimulation(
+            cluster, ApproxScheduler(), window_seconds=2.0, failures=fm, replan=False
+        ).run(requests)
+        assert slowed.slo_attainment <= healthy.slo_attainment + 1e-9
+        assert slowed.machine_busy.sum() > healthy.machine_busy.sum()
+
+    def test_energy_budget_is_respected(self, stream):
+        cluster, requests, _ = stream
+        budget = 2000.0
+        report = OnlineSimulation(
+            cluster, ApproxScheduler(), window_seconds=2.0, energy_budget=budget
+        ).run(requests)
+        assert report.energy <= budget * (1 + 1e-6)
+
+    def test_degradation_requires_budget(self, stream):
+        cluster, _, _ = stream
+        from repro.utils.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            OnlineSimulation(
+                cluster, ApproxScheduler(), degradation=DegradationPolicy.default()
+            )
+
+    def test_degradation_under_pressure_serves_more_cheaply(self, stream):
+        cluster, requests, _ = stream
+        budget = 2500.0
+        plain = OnlineSimulation(
+            cluster, ApproxScheduler(), window_seconds=2.0, energy_budget=budget
+        ).run(requests)
+        degraded = OnlineSimulation(
+            cluster,
+            ApproxScheduler(),
+            window_seconds=2.0,
+            energy_budget=budget,
+            degradation=DegradationPolicy.default(),
+        ).run(requests)
+        assert degraded.energy <= budget * (1 + 1e-6)
+        assert degraded.served_fraction > 0
+
+    def test_failure_on_unknown_machine_rejected(self, stream):
+        cluster, _, _ = stream
+        with pytest.raises(ValidationError):
+            OnlineSimulation(
+                cluster,
+                ApproxScheduler(),
+                failures=FailureModel(outages=(Outage(99, 1.0),)),
+            )
+
+
+# -- the rolling-horizon planner under failures --------------------------------
+
+
+class TestPlannerWithFailures:
+    def test_replanning_never_worse_and_realised_bounded(self):
+        from repro.online.planner import RollingHorizonPlanner
+
+        cluster = sample_uniform_cluster(3, seed=11)
+        requests = PoissonArrivals(6.0, seed=12).generate(10.0)
+        planner = RollingHorizonPlanner(cluster, ApproxScheduler(), window_seconds=2.0)
+        failures = FailureModel(outages=(Outage(machine=0, at=3.0),))
+        nominal = planner.run(requests)
+        stale = planner.run_with_failures(requests, failures, replan=False)
+        aware = planner.run_with_failures(requests, failures, replan=True)
+        assert stale.n_requests == aware.n_requests == nominal.n_requests
+        assert aware.mean_accuracy >= stale.mean_accuracy
+        assert aware.mean_accuracy <= nominal.mean_accuracy * (1 + 1e-9)
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+class TestResilienceCLI:
+    def test_resilience_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["resilience", "--rate", "4", "--horizon", "8", "--seed", "7", "-m", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stale plan" in out and "replanned" in out
+
+    def test_robustness_outage_sweep(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_csv = tmp_path / "outage.csv"
+        code = main(
+            [
+                "robustness", "--sweep", "outage",
+                "-n", "12", "-m", "2", "--repetitions", "1", "--out", str(out_csv),
+            ]
+        )
+        assert code == 0
+        assert out_csv.exists()
+        assert "outage_fraction" in capsys.readouterr().out
+
+    def test_robustness_slowdown_sweep(self, capsys):
+        from repro.cli import main
+
+        code = main(["robustness", "--sweep", "slowdown", "-n", "12", "-m", "2", "--repetitions", "1"])
+        assert code == 0
+        assert "speed_factor" in capsys.readouterr().out
+
+    def test_solve_with_fallback(self, capsys):
+        from repro.cli import main
+
+        code = main(["solve", "-n", "6", "-m", "2", "--fallback", "--scheduler", "approx"])
+        assert code == 0
+        assert "served by fallback tier: approx" in capsys.readouterr().out
+
+    def test_solve_with_timeout(self, capsys):
+        from repro.cli import main
+
+        code = main(["solve", "-n", "6", "-m", "2", "--solver-timeout", "60"])
+        assert code == 0
