@@ -21,7 +21,18 @@ Commands
 ``serve``
     Run the local JSON-over-HTTP scheduling service (see repro.server);
     ``--solver-timeout``/``--fallback``/``--max-in-flight`` arm the
-    resilience layer (admission control, deadlines, fallback chain).
+    resilience layer (admission control, deadlines, fallback chain) and
+    ``--journal-dir`` makes the energy ledger crash-safe (recovered and
+    reported on restart).
+``online``
+    Rolling-horizon serving of a Poisson stream; with ``--journal-dir``
+    the run is durable (write-ahead journal + snapshots) and *resumes*
+    an interrupted run deterministically (see repro.durability).
+``crashtest``
+    Crash-injection campaign: kill a durable run at random journal byte
+    offsets (mid-record included), recover, resume, and require the
+    outcome to be identical to the uninterrupted run with energy within
+    budget.  Exit code 0 iff every kill point passes.
 ``robustness``
     Failure-injection sweeps: ``--sweep outage`` (most-loaded machine
     dies mid-horizon) or ``--sweep slowdown`` (uniform throttling).
@@ -280,8 +291,86 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         solver_timeout=args.solver_timeout,
         fallback=args.fallback,
         max_in_flight=args.max_in_flight,
+        journal_dir=str(args.journal_dir) if args.journal_dir is not None else None,
+        snapshot_every=args.snapshot_every,
     )
     return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    """Durable (or plain) rolling-horizon serving of a Poisson stream."""
+    with _metrics_scope(args):
+        return _run_online(args)
+
+
+def _run_online(args: argparse.Namespace) -> int:
+    from .online.planner import RollingHorizonPlanner
+    from .workloads.arrivals import PoissonArrivals
+
+    cluster = sample_uniform_cluster(args.machines, seed=args.seed)
+    requests = PoissonArrivals(args.rate, seed=args.seed + 1).generate(args.horizon)
+    if not requests:
+        print("the arrival process generated no requests; raise --rate or --horizon", file=sys.stderr)
+        return 2
+    planner = RollingHorizonPlanner(
+        cluster,
+        make_scheduler(args.scheduler),
+        window_seconds=args.window,
+        power_cap_fraction=args.power_cap_fraction,
+    )
+    budget = args.budget_fraction * args.horizon * cluster.total_power
+    degradation = None
+    if args.degrade:
+        from .resilience.degrade import DegradationPolicy
+
+        degradation = DegradationPolicy.default()
+
+    if args.journal_dir is None:
+        report = planner.run(requests)
+        print(f"served {report.n_requests} requests in {len(report.windows)} windows ({args.scheduler})")
+        print(f"mean accuracy {report.mean_accuracy:.4f}, on-time {100.0 * report.on_time_fraction:.1f}%")
+        print(f"energy {report.total_energy:.1f} J")
+        return 0
+
+    report = planner.run_durable(
+        requests,
+        args.journal_dir,
+        energy_budget=budget,
+        degradation=degradation,
+        snapshot_every=args.snapshot_every,
+        meta={"seed": args.seed, "rate": args.rate, "horizon": args.horizon},
+    )
+    print(f"served {report.n_requests} requests in {len(report.windows)} windows ({args.scheduler})")
+    if report.replayed_windows:
+        print(f"resumed interrupted run: {report.replayed_windows} windows replayed from the journal")
+    print(f"mean accuracy {report.mean_accuracy:.4f}, on-time {100.0 * report.on_time_fraction:.1f}%")
+    print(f"energy {report.total_energy:.1f} J of budget {budget:.1f} J")
+    print(f"journal at {args.journal_dir} (snapshot every {args.snapshot_every} windows)")
+    return 0 if report.total_energy <= budget * (1 + 1e-9) else 1
+
+
+def _cmd_crashtest(args: argparse.Namespace) -> int:
+    """Crash-injection campaign over the durable serving loop."""
+    from .durability.crashtest import CrashTestConfig, run_crash_test
+
+    config = CrashTestConfig(
+        kills=args.kills,
+        seed=args.seed,
+        machines=args.machines,
+        rate=args.rate,
+        horizon=args.horizon,
+        window_seconds=args.window,
+        scheduler=args.scheduler,
+        snapshot_every=args.snapshot_every,
+        degrade=not args.no_degrade,
+    )
+    result = run_crash_test(
+        config,
+        workdir=args.workdir,
+        progress=print if args.verbose else None,
+    )
+    print(result.summary())
+    return 0 if result.passed else 1
 
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
@@ -531,8 +620,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve every request through the fallback chain (requested scheduler first)",
     )
     p_srv.add_argument("--max-in-flight", type=int, default=8, help="concurrent solve bound (503 beyond it)")
+    p_srv.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="journal every solve's energy here; a restarted server recovers its ledger",
+    )
+    p_srv.add_argument(
+        "--snapshot-every", type=int, default=10, help="snapshot the ledger every N solves"
+    )
     _add_metrics_arg(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)
+
+    p_onl = sub.add_parser(
+        "online", help="rolling-horizon serving of a Poisson stream (durable with --journal-dir)"
+    )
+    p_onl.add_argument("--machines", "-m", type=int, default=3)
+    p_onl.add_argument("--rate", type=float, default=6.0, help="Poisson arrival rate (req/s)")
+    p_onl.add_argument("--horizon", type=float, default=12.0, help="stream length (s)")
+    p_onl.add_argument("--window", type=float, default=2.0, help="planning window (s)")
+    p_onl.add_argument("--power-cap-fraction", type=float, default=0.5, help="window energy cap (per-window β)")
+    p_onl.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.35,
+        help="global budget B as a fraction of horizon × total power (durable runs)",
+    )
+    p_onl.add_argument("--scheduler", default="approx", help="planning method (see `schedulers`)")
+    p_onl.add_argument("--seed", type=int, default=0)
+    p_onl.add_argument("--degrade", action="store_true", help="apply the default degradation policy")
+    p_onl.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="run durably: journal + snapshots here, resume an interrupted run",
+    )
+    p_onl.add_argument("--snapshot-every", type=int, default=5, help="snapshot every N windows")
+    _add_metrics_arg(p_onl)
+    p_onl.set_defaults(fn=_cmd_online)
+
+    p_cra = sub.add_parser(
+        "crashtest", help="crash-injection campaign: kill/recover/resume must be identical"
+    )
+    p_cra.add_argument("--kills", type=int, default=25, help="random kill points (one forced mid-record)")
+    p_cra.add_argument("--seed", type=int, default=0)
+    p_cra.add_argument("--machines", "-m", type=int, default=3)
+    p_cra.add_argument("--rate", type=float, default=6.0, help="Poisson arrival rate (req/s)")
+    p_cra.add_argument("--horizon", type=float, default=10.0, help="stream length (s)")
+    p_cra.add_argument("--window", type=float, default=2.0, help="planning window (s)")
+    p_cra.add_argument("--scheduler", default="approx")
+    p_cra.add_argument("--snapshot-every", type=int, default=2, help="snapshot every N windows")
+    p_cra.add_argument("--no-degrade", action="store_true", help="disable the degradation policy")
+    p_cra.add_argument("--workdir", type=Path, default=None, help="keep campaign artifacts here")
+    p_cra.add_argument("--verbose", "-v", action="store_true", help="print per-kill progress")
+    p_cra.set_defaults(fn=_cmd_crashtest)
 
     p_rob = sub.add_parser("robustness", help="failure-injection sweeps (outage / slowdown)")
     p_rob.add_argument("--sweep", choices=("outage", "slowdown"), required=True)

@@ -12,6 +12,8 @@ from .machine import Cluster, Machine
 from .profiles import EnergyProfile, naive_profile
 from .schedule import FeasibilityReport, Schedule, Violation, check_feasibility
 from .serialization import (
+    cluster_from_dict,
+    cluster_to_dict,
     instance_from_dict,
     instance_to_dict,
     load_instance,
@@ -43,6 +45,8 @@ __all__ = [
     "FeasibilityReport",
     "Violation",
     "check_feasibility",
+    "cluster_to_dict",
+    "cluster_from_dict",
     "instance_to_dict",
     "instance_from_dict",
     "save_instance",

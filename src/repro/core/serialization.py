@@ -19,6 +19,7 @@ from typing import Any, Dict, Union
 import numpy as np
 
 from ..utils.errors import ValidationError
+from ..utils.fileio import atomic_write
 from .accuracy import PiecewiseLinearAccuracy
 from .instance import ProblemInstance
 from .machine import Cluster, Machine
@@ -27,6 +28,8 @@ from .task import Task, TaskSet
 
 __all__ = [
     "FORMAT_VERSION",
+    "cluster_to_dict",
+    "cluster_from_dict",
     "instance_to_dict",
     "instance_from_dict",
     "save_instance",
@@ -51,21 +54,41 @@ def _accuracy_from_dict(data: Dict[str, Any]) -> PiecewiseLinearAccuracy:
     return PiecewiseLinearAccuracy(data["breakpoints"], data["accuracies"])
 
 
+def cluster_to_dict(cluster: Cluster) -> list:
+    """Serialise a cluster as a JSON-ready machine list."""
+    return [
+        {
+            "speed": m.speed,
+            "efficiency": m.efficiency,
+            "name": m.name,
+            "idle_power": m.idle_power,
+        }
+        for m in cluster
+    ]
+
+
+def cluster_from_dict(machines: list) -> Cluster:
+    """Rebuild a cluster from :func:`cluster_to_dict` output."""
+    return Cluster(
+        [
+            Machine(
+                speed=m["speed"],
+                efficiency=m["efficiency"],
+                name=m.get("name"),
+                idle_power=m.get("idle_power", 0.0),
+            )
+            for m in machines
+        ]
+    )
+
+
 def instance_to_dict(instance: ProblemInstance) -> Dict[str, Any]:
     """Serialise a problem instance to a JSON-ready dict."""
     return {
         "format": "repro.instance",
         "version": FORMAT_VERSION,
         "budget": instance.budget if math.isfinite(instance.budget) else "inf",
-        "machines": [
-            {
-                "speed": m.speed,
-                "efficiency": m.efficiency,
-                "name": m.name,
-                "idle_power": m.idle_power,
-            }
-            for m in instance.cluster
-        ],
+        "machines": cluster_to_dict(instance.cluster),
         "tasks": [
             {
                 "deadline": t.deadline,
@@ -89,17 +112,7 @@ def _check_header(data: Dict[str, Any], expected: str) -> None:
 def instance_from_dict(data: Dict[str, Any]) -> ProblemInstance:
     """Rebuild a problem instance from :func:`instance_to_dict` output."""
     _check_header(data, "repro.instance")
-    cluster = Cluster(
-        [
-            Machine(
-                speed=m["speed"],
-                efficiency=m["efficiency"],
-                name=m.get("name"),
-                idle_power=m.get("idle_power", 0.0),
-            )
-            for m in data["machines"]
-        ]
-    )
+    cluster = cluster_from_dict(data["machines"])
     tasks = TaskSet(
         [
             Task(
@@ -115,8 +128,8 @@ def instance_from_dict(data: Dict[str, Any]) -> ProblemInstance:
 
 
 def save_instance(instance: ProblemInstance, path: Union[str, Path]) -> None:
-    """Write an instance as JSON."""
-    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+    """Write an instance as JSON (atomically — a crash never corrupts it)."""
+    atomic_write(path, json.dumps(instance_to_dict(instance), indent=2))
 
 
 def load_instance(path: Union[str, Path]) -> ProblemInstance:
@@ -150,8 +163,8 @@ def schedule_from_dict(
 
 
 def save_schedule(schedule: Schedule, path: Union[str, Path], *, embed_instance: bool = True) -> None:
-    """Write a schedule (and by default its instance) as JSON."""
-    Path(path).write_text(json.dumps(schedule_to_dict(schedule, embed_instance=embed_instance), indent=2))
+    """Write a schedule (and by default its instance) as JSON, atomically."""
+    atomic_write(path, json.dumps(schedule_to_dict(schedule, embed_instance=embed_instance), indent=2))
 
 
 def load_schedule(path: Union[str, Path], instance: Union[ProblemInstance, None] = None) -> Schedule:

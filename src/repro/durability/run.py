@@ -1,0 +1,421 @@
+"""A crash-safe, resumable rolling-horizon serving run.
+
+:class:`DurableRun` is the durable counterpart of
+:class:`~repro.online.planner.RollingHorizonPlanner`: the same
+buffer-per-window serving loop, but every step is journaled to a
+write-ahead log *before* it takes effect, state is checkpointed every
+few windows, and a restarted run picks up exactly where the crash left
+off:
+
+1. arrivals entering a window are journaled (``arrival``);
+2. the window's plan intent is journaled (``window_plan``) — a crash
+   mid-solve leaves a plan without a commit, and the window is simply
+   re-solved on resume;
+3. the realised shares, per-task work caps and cumulative energy spend
+   are journaled (``window_done``) — only then is the window *committed*;
+4. degradation-level changes are journaled (``degrade``) so a restarted
+   :class:`~repro.resilience.degrade.DegradationPolicy` resumes at the
+   right watermark instead of forgetting the spent budget.
+
+Because planning is deterministic given the instance (all seeds flow
+through :mod:`repro.utils.rng` and every scheduler here is
+deterministic), a resumed run replays committed windows from the
+journal verbatim and re-solves the remainder into *bit-identical*
+outcomes — the equivalence :mod:`repro.durability.crashtest` enforces.
+JSON round-trips floats exactly (shortest-repr), so replayed energies
+and accuracies compare equal with ``==``, not approximately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..algorithms.base import Scheduler
+from ..core.instance import ProblemInstance
+from ..core.machine import Cluster
+from ..core.serialization import cluster_to_dict
+from ..telemetry import get_collector
+from ..utils.errors import RecoveryError, ValidationError
+from ..utils.validation import check_positive, require
+from ..workloads.arrivals import Request, window_batches
+from ..workloads.generator import tasks_from_thetas
+from .journal import JournalWriter
+from .recovery import RecoveredState, certify, recover
+from .snapshot import SnapshotStore
+
+__all__ = ["DurableWindow", "DurableReport", "DurableRun"]
+
+
+@dataclass(frozen=True)
+class DurableWindow:
+    """One committed planning window (solved live or replayed)."""
+
+    index: int
+    start: float
+    ids: tuple  #: request ids (position in the arrival-sorted stream), EDF order
+    accuracies: tuple  #: realised per-request accuracy, EDF order
+    flops: tuple  #: realised per-request work, EDF order
+    on_time: int
+    energy: float
+    cum_energy: float  #: cumulative spend *after* this window (the ledger)
+    level: int  #: degradation level the window was planned at (−1: none)
+    replayed: bool = False  #: restored from the journal rather than solved
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.ids)
+
+    def same_outcome(self, other: "DurableWindow") -> bool:
+        """Exact outcome equality, ignoring how the window was obtained."""
+        return (
+            self.index == other.index
+            and self.start == other.start
+            and self.ids == other.ids
+            and self.accuracies == other.accuracies
+            and self.flops == other.flops
+            and self.on_time == other.on_time
+            and self.energy == other.energy
+            and self.cum_energy == other.cum_energy
+            and self.level == other.level
+        )
+
+
+@dataclass(frozen=True)
+class DurableReport:
+    """Aggregate outcome of a durable run (possibly spanning restarts)."""
+
+    windows: tuple
+    energy_budget: Optional[float]
+
+    @property
+    def n_requests(self) -> int:
+        return sum(w.n_requests for w in self.windows)
+
+    @property
+    def mean_accuracy(self) -> float:
+        n = self.n_requests
+        if n == 0:
+            return 0.0
+        return sum(sum(w.accuracies) for w in self.windows) / n
+
+    @property
+    def on_time_fraction(self) -> float:
+        n = self.n_requests
+        if n == 0:
+            return 0.0
+        return sum(w.on_time for w in self.windows) / n
+
+    @property
+    def total_energy(self) -> float:
+        return self.windows[-1].cum_energy if self.windows else 0.0
+
+    @property
+    def replayed_windows(self) -> int:
+        return sum(w.replayed for w in self.windows)
+
+    def same_outcome(self, other: "DurableReport") -> bool:
+        """Window-by-window exact equality (the crash-test criterion)."""
+        return len(self.windows) == len(other.windows) and all(
+            a.same_outcome(b) for a, b in zip(self.windows, other.windows)
+        )
+
+
+class DurableRun:
+    """Journaled, snapshotted, resumable window-by-window serving.
+
+    Point it at a journal directory: an empty directory starts a fresh
+    run; a directory holding a (possibly crash-truncated) journal is
+    recovered, certified against the energy budget, and *continued* —
+    committed windows are replayed from the log, the rest are solved.
+
+    Parameters mirror :class:`~repro.online.planner.RollingHorizonPlanner`
+    plus the global budget machinery of
+    :class:`~repro.simulator.online_sim.OnlineSimulation`:
+    ``energy_budget`` caps cumulative spend across *all* windows (and
+    restarts — that is the point), ``degradation`` maps spend pressure
+    to compression/shedding, ``snapshot_every`` checkpoints state every
+    N committed windows, ``fsync`` selects the journal's durability
+    barrier (see :class:`~repro.durability.journal.JournalWriter`).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        journal_dir: Union[str, Path],
+        *,
+        window_seconds: float = 2.0,
+        power_cap_fraction: float = 0.5,
+        energy_budget: Optional[float] = None,
+        degradation=None,
+        snapshot_every: int = 5,
+        fsync: str = "always",
+        meta: Optional[Dict[str, Any]] = None,
+    ):
+        check_positive(window_seconds, "window_seconds")
+        require(power_cap_fraction > 0, "power_cap_fraction must be > 0")
+        require(snapshot_every >= 1, f"snapshot_every must be >= 1, got {snapshot_every}")
+        if energy_budget is not None:
+            check_positive(energy_budget, "energy_budget")
+        if degradation is not None and energy_budget is None:
+            raise ValidationError("a degradation policy needs energy_budget to measure pressure against")
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.journal_dir = Path(journal_dir)
+        self.window_seconds = float(window_seconds)
+        self.power_cap_fraction = float(power_cap_fraction)
+        self.energy_budget = energy_budget
+        self.degradation = degradation
+        self.snapshot_every = int(snapshot_every)
+        self.fsync = fsync
+        self.extra_meta = dict(meta or {})
+
+    @property
+    def window_budget(self) -> float:
+        """Energy grant (J) per window, before global-budget clipping."""
+        return self.power_cap_fraction * self.window_seconds * self.cluster.total_power
+
+    def _run_meta(self, n_requests: int) -> Dict[str, Any]:
+        return {
+            "scheduler": self.scheduler.name,
+            "window_seconds": self.window_seconds,
+            "power_cap_fraction": self.power_cap_fraction,
+            "energy_budget": self.energy_budget,
+            "n_requests": n_requests,
+            "machines": cluster_to_dict(self.cluster),
+            "degradation": None if self.degradation is None else self.degradation.to_dict(),
+            **self.extra_meta,
+        }
+
+    def _check_meta(self, recovered: RecoveredState, n_requests: int) -> None:
+        """A resumed run must be the *same* run, or determinism is fiction."""
+        expected = self._run_meta(n_requests)
+        for key in ("scheduler", "window_seconds", "power_cap_fraction", "energy_budget", "n_requests"):
+            have = recovered.meta.get(key)
+            if have != expected[key]:
+                raise RecoveryError(
+                    f"journal was written by a different run: {key} is {have!r}, "
+                    f"this run has {expected[key]!r}"
+                )
+
+    @staticmethod
+    def _replayed_window(data: Dict[str, Any]) -> DurableWindow:
+        return DurableWindow(
+            index=int(data["window"]),
+            start=float(data["start"]),
+            ids=tuple(int(i) for i in data["ids"]),
+            accuracies=tuple(float(a) for a in data["accuracies"]),
+            flops=tuple(float(f) for f in data["flops"]),
+            on_time=int(data["on_time"]),
+            energy=float(data["energy"]),
+            cum_energy=float(data["cum_energy"]),
+            level=int(data["level"]),
+            replayed=True,
+        )
+
+    def run(self, requests: Sequence[Request]) -> DurableReport:
+        """Serve the stream durably; resumes automatically from a journal."""
+        ordered = sorted(requests, key=lambda r: r.arrival_time)
+        ids = {id(r): i for i, r in enumerate(ordered)}
+        tele = get_collector()
+
+        with JournalWriter(self.journal_dir, fsync=self.fsync) as journal:
+            store = SnapshotStore(self.journal_dir, fsync=self.fsync != "never")
+            windows: List[DurableWindow] = []
+            window_dicts: List[Dict[str, Any]] = []
+            cum_energy = 0.0
+            level = -1
+            next_window = 0
+            meta = self._run_meta(len(ordered))
+
+            if journal.record_count > 0:
+                recovered = certify(recover(self.journal_dir), budget=self.energy_budget)
+                self._check_meta(recovered, len(ordered))
+                windows = [self._replayed_window(w) for w in recovered.windows]
+                window_dicts = [dict(w) for w in recovered.windows]
+                cum_energy = recovered.energy_spent
+                level = recovered.degrade_level
+                next_window = recovered.next_window
+                journal.append(
+                    {
+                        "type": "resume",
+                        "next_window": next_window,
+                        "recovered_records": recovered.total_records,
+                        "recovered_energy": cum_energy,
+                    }
+                )
+                tele.counter("durable_resumes_total").inc()
+            else:
+                journal.append({"type": "run_start", "meta": meta})
+
+            for index, (start, batch) in enumerate(window_batches(ordered, self.window_seconds)):
+                if index < next_window:
+                    continue  # committed before the crash; replayed above
+                window_dict, window = self._plan_window(journal, index, start, batch, ids, cum_energy, level)
+                cum_energy = window.cum_energy
+                level = window.level
+                windows.append(window)
+                window_dicts.append(window_dict)
+                tele.counter("durable_windows_total").inc()
+                if (index + 1) % self.snapshot_every == 0:
+                    store.save(
+                        {
+                            "meta": meta,
+                            "windows": window_dicts,
+                            "cum_energy": cum_energy,
+                            "level": level,
+                        },
+                        journal_records=journal.record_count,
+                    )
+
+            journal.append({"type": "run_end", "windows": len(windows), "cum_energy": cum_energy})
+        return DurableReport(tuple(windows), self.energy_budget)
+
+    # -- one window ------------------------------------------------------------
+
+    def _plan_window(
+        self,
+        journal: JournalWriter,
+        index: int,
+        start: float,
+        batch: List[Request],
+        ids: Dict[int, int],
+        cum_energy: float,
+        previous_level: int,
+    ):
+        tele = get_collector()
+        batch_ids = [ids[id(r)] for r in batch]
+        for rid, request in zip(batch_ids, batch):
+            journal.append(
+                {
+                    "type": "arrival",
+                    "id": rid,
+                    "t": request.arrival_time,
+                    "slo": request.slo_seconds,
+                    "theta": request.theta_per_tflop,
+                }
+            )
+
+        deadlines = [max(r.deadline - start, 1e-3) for r in batch]
+        thetas = [r.theta_per_tflop for r in batch]
+        order = list(np.argsort(deadlines, kind="stable"))
+        ordered_ids = [batch_ids[i] for i in order]
+        tasks = tasks_from_thetas([thetas[i] for i in order], [deadlines[i] for i in order])
+
+        grant = self.window_budget
+        if self.energy_budget is not None:
+            grant = min(grant, max(self.energy_budget - cum_energy, 0.0))
+
+        level = previous_level
+        scale = 1.0
+        kept = np.arange(len(batch))
+        zeros = [0.0] * len(batch)
+        if grant <= 0.0:
+            # Budget exhausted: the window is shed whole, but still
+            # committed so the ledger stays contiguous across restarts.
+            done = {
+                "type": "window_done",
+                "window": index,
+                "start": start,
+                "ids": ordered_ids,
+                "thetas": [thetas[i] for i in order],
+                "deadlines": [deadlines[i] for i in order],
+                "flops": zeros,
+                "accuracies": zeros,
+                "caps": [float(t.f_max) for t in tasks],
+                "shed": ordered_ids,
+                "level": level,
+                "on_time": 0,
+                "energy": 0.0,
+                "cum_energy": cum_energy,
+            }
+            journal.append(done)
+            tele.counter("durable_exhausted_windows_total").inc()
+            window = DurableWindow(
+                index=index,
+                start=start,
+                ids=tuple(ordered_ids),
+                accuracies=(0.0,) * len(batch),
+                flops=(0.0,) * len(batch),
+                on_time=0,
+                energy=0.0,
+                cum_energy=cum_energy,
+                level=level,
+                replayed=False,
+            )
+            return done, window
+
+        instance = ProblemInstance(tasks, self.cluster, grant)
+        if self.degradation is not None:
+            spent_fraction = cum_energy / self.energy_budget
+            level = self.degradation.level_for(spent_fraction)
+            if level != previous_level:
+                journal.append(
+                    {
+                        "type": "degrade",
+                        "window": index,
+                        "level": level,
+                        "work_cap_scale": (
+                            self.degradation.watermarks[level].work_cap_scale if level >= 0 else 1.0
+                        ),
+                    }
+                )
+            decision = self.degradation.apply(instance, spent_fraction)
+            scale = decision.work_cap_scale
+            instance, kept = decision.instance, decision.kept
+
+        journal.append(
+            {"type": "window_plan", "window": index, "start": start, "ids": ordered_ids, "grant": grant, "level": level}
+        )
+        with tele.span("durable.window.solve", window=str(index)):
+            schedule = self.scheduler.solve(instance)
+
+        flops = schedule.task_flops
+        accuracies = schedule.task_accuracies
+        completion = schedule.completion_times.max(axis=1)
+        planned = {int(k): slot for slot, k in enumerate(kept)}
+        full_flops, full_acc = [0.0] * len(batch), [0.0] * len(batch)
+        on_time = 0
+        for i in range(len(batch)):
+            slot = planned.get(i)
+            if slot is None:
+                continue  # shed by the degradation policy
+            full_flops[i] = float(flops[slot])
+            full_acc[i] = float(accuracies[slot])
+            if full_flops[i] > 0.0 and completion[slot] <= tasks.deadlines[i] + 1e-9:
+                on_time += 1
+        energy = float(schedule.total_energy)
+        done = {
+            "type": "window_done",
+            "window": index,
+            "start": start,
+            "ids": ordered_ids,
+            "thetas": [thetas[i] for i in order],
+            "deadlines": [deadlines[i] for i in order],
+            "flops": full_flops,
+            "accuracies": full_acc,
+            "caps": [float(t.f_max) * scale for t in tasks],
+            "shed": [ordered_ids[i] for i in range(len(batch)) if i not in planned],
+            "level": level,
+            "on_time": on_time,
+            "energy": energy,
+            "cum_energy": cum_energy + energy,
+        }
+        journal.append(done)
+        window = DurableWindow(
+            index=index,
+            start=start,
+            ids=tuple(ordered_ids),
+            accuracies=tuple(full_acc),
+            flops=tuple(full_flops),
+            on_time=on_time,
+            energy=energy,
+            cum_energy=cum_energy + energy,
+            level=level,
+            replayed=False,
+        )
+        return done, window

@@ -154,6 +154,43 @@ class RollingHorizonPlanner:
                 outcomes.append(self.plan_window(start, batch))
         return ServingReport(tuple(outcomes))
 
+    def run_durable(
+        self,
+        requests: Sequence[Request],
+        journal_dir,
+        *,
+        energy_budget: Optional[float] = None,
+        degradation=None,
+        snapshot_every: int = 5,
+        fsync: str = "always",
+        meta: Optional[dict] = None,
+    ):
+        """Plan the stream crash-safely (journal + snapshots + resume).
+
+        The durable counterpart of :meth:`run`: every window is
+        journaled to a write-ahead log under ``journal_dir`` before it
+        commits, state is snapshotted every ``snapshot_every`` windows,
+        and a journal left behind by a crashed run is recovered,
+        certified against ``energy_budget`` and *continued* — committed
+        windows replay from the log, the rest are re-solved
+        deterministically.  Returns a
+        :class:`~repro.durability.run.DurableReport`.
+        """
+        from ..durability.run import DurableRun
+
+        return DurableRun(
+            self.cluster,
+            self.scheduler,
+            journal_dir,
+            window_seconds=self.window_seconds,
+            power_cap_fraction=self.power_cap_fraction,
+            energy_budget=energy_budget,
+            degradation=degradation,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+            meta=meta,
+        ).run(requests)
+
     def run_with_failures(
         self,
         requests: Sequence[Request],

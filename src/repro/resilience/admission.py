@@ -17,6 +17,21 @@ does:
 :meth:`~AdmissionController.try_begin` before solving and
 :meth:`~AdmissionController.finish` after.  The clock is injectable so
 breaker timing is testable without sleeping.
+
+Threading model
+---------------
+
+Both classes are called concurrently from the HTTP server's handler
+threads (``ThreadingHTTPServer``).  Each protects its own state with a
+single internal lock; no method holds both locks at once, so there is no
+lock-ordering hazard between controller and breaker.  The admission
+protocol is strict: an *admitted* ``try_begin`` must be paired with
+exactly one ``finish``; a *rejected* one must not call ``finish``.  The
+one cross-object subtlety is the half-open probe: ``try_begin`` may
+consume the breaker's single probe slot via :meth:`CircuitBreaker.allow`
+and then reject on capacity — it must hand the probe back
+(:meth:`CircuitBreaker.cancel_probe`), otherwise no request would ever
+reach a solver again and the breaker could never close.
 """
 
 from __future__ import annotations
@@ -94,6 +109,18 @@ class CircuitBreaker:
                 return True
             return False
 
+    def cancel_probe(self) -> None:
+        """Return an unused half-open probe.
+
+        For callers that took the probe via :meth:`allow` but then
+        rejected the request downstream (e.g. on capacity) without ever
+        running it: the probe produced no verdict, so the next request
+        must be allowed to try again.
+        """
+        with self._lock:
+            if self._state == BreakerState.HALF_OPEN:
+                self._probe_outstanding = False
+
     def record_success(self) -> None:
         with self._lock:
             self._consecutive_failures = 0
@@ -162,14 +189,21 @@ class AdmissionController:
             )
         with self._lock:
             if self._in_flight >= self.max_in_flight:
-                tele.counter("admission_rejected_total", reason="capacity").inc()
-                return AdmissionDecision(
-                    admitted=False,
-                    reason="capacity",
-                    retry_after_seconds=self.retry_after_seconds,
-                )
-            self._in_flight += 1
-            tele.gauge("server_in_flight_solves").set(self._in_flight)
+                rejected = True
+            else:
+                rejected = False
+                self._in_flight += 1
+                tele.gauge("server_in_flight_solves").set(self._in_flight)
+        if rejected:
+            # allow() may have consumed the half-open probe; this request
+            # never ran, so hand the probe back or the breaker jams.
+            self.breaker.cancel_probe()
+            tele.counter("admission_rejected_total", reason="capacity").inc()
+            return AdmissionDecision(
+                admitted=False,
+                reason="capacity",
+                retry_after_seconds=self.retry_after_seconds,
+            )
         return AdmissionDecision(admitted=True)
 
     def finish(self, *, failure: bool = False) -> None:

@@ -70,6 +70,22 @@ class Watermark:
         require(0.0 < self.work_cap_scale <= 1.0, f"work_cap_scale must lie in (0, 1], got {self.work_cap_scale}")
         require(0.0 <= self.shed_fraction < 1.0, f"shed_fraction must lie in [0, 1), got {self.shed_fraction}")
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (journaled by repro.durability)."""
+        return {
+            "budget_fraction": self.budget_fraction,
+            "work_cap_scale": self.work_cap_scale,
+            "shed_fraction": self.shed_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Watermark":
+        return cls(
+            budget_fraction=float(data["budget_fraction"]),
+            work_cap_scale=float(data["work_cap_scale"]),
+            shed_fraction=float(data.get("shed_fraction", 0.0)),
+        )
+
 
 @dataclass(frozen=True)
 class DegradeDecision:
@@ -105,6 +121,14 @@ class DegradationPolicy:
                 Watermark(0.95, work_cap_scale=0.35, shed_fraction=0.25),
             )
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, so a restarted run can restore the policy."""
+        return {"watermarks": [w.to_dict() for w in self.watermarks]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DegradationPolicy":
+        return cls(tuple(Watermark.from_dict(w) for w in data["watermarks"]))
 
     def level_for(self, spent_fraction: float) -> int:
         """Deepest watermark index active at this spend fraction (−1: none)."""

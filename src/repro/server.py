@@ -46,6 +46,40 @@ from .utils.errors import FallbackExhaustedError, ReproError, SolverTimeoutError
 __all__ = ["make_server", "serve"]
 
 
+def _journal_solve(server, scheduler_name: str, energy: float) -> None:
+    """Append one solve to the server's energy ledger (crash-safe).
+
+    Handler threads race here, so the whole append-snapshot sequence runs
+    under the server's journal lock; the journal's fsync policy makes the
+    record durable before the response leaves the building.
+    """
+    journal = getattr(server, "journal", None)
+    if journal is None:
+        return
+    with server.journal_lock:
+        server.energy_spent += float(energy)
+        journal.append(
+            {
+                "type": "solve",
+                "scheduler": scheduler_name,
+                "energy": float(energy),
+                "cum_energy": server.energy_spent,
+            }
+        )
+        server.solves_since_snapshot += 1
+        if server.snapshot_every > 0 and server.solves_since_snapshot >= server.snapshot_every:
+            server.snapshots.save(
+                {
+                    "meta": {"kind": "server"},
+                    "windows": [],
+                    "cum_energy": server.energy_spent,
+                    "level": -1,
+                },
+                journal_records=journal.record_count,
+            )
+            server.solves_since_snapshot = 0
+
+
 class _Handler(BaseHTTPRequestHandler):
     server_version = f"repro/{__version__}"
 
@@ -78,7 +112,10 @@ class _Handler(BaseHTTPRequestHandler):
         path = urlparse(self.path).path
         self._telemetry.counter("server_requests_total", path=path).inc()
         if path == "/health":
-            self._send_json({"status": "ok", "version": __version__})
+            payload = {"status": "ok", "version": __version__}
+            if getattr(self.server, "journal", None) is not None:
+                payload["energy_spent_joules"] = self.server.energy_spent  # type: ignore[attr-defined]
+            self._send_json(payload)
         elif path == "/schedulers":
             self._send_json({"schedulers": available_schedulers()})
         elif path == "/metrics":
@@ -164,6 +201,7 @@ class _Handler(BaseHTTPRequestHandler):
             raise  # the outer wall answers with the JSON 500
         admission.finish(failure=False)
         schedule = result.schedule
+        _journal_solve(self.server, scheduler.name, schedule.total_energy)
         audit = schedule.feasibility()
         payload = {
             "scheduler": scheduler.name,
@@ -213,6 +251,8 @@ def make_server(
     admission: Optional[AdmissionController] = None,
     solver_timeout: Optional[float] = None,
     fallback: bool = False,
+    journal_dir: Optional[str] = None,
+    snapshot_every: int = 10,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server; port 0 picks a free port.
 
@@ -224,6 +264,12 @@ def make_server(
     bounds each solve's wall clock (seconds); ``fallback`` serves every
     request through :meth:`FallbackChain.default` with the requested
     scheduler pinned to the front of the ladder.
+
+    ``journal_dir`` makes the service durable: every served solve's
+    energy is appended to a write-ahead log there (snapshot every
+    ``snapshot_every`` solves), and on startup the previous incarnation's
+    cumulative spend is recovered into ``server.energy_spent`` (surfaced
+    on ``GET /health``) — a restarted server keeps its ledger.
     """
     server = ThreadingHTTPServer((host, port), _Handler)
     server.verbose = verbose  # type: ignore[attr-defined]
@@ -231,6 +277,21 @@ def make_server(
     server.admission = admission if admission is not None else AdmissionController(max_in_flight=8)  # type: ignore[attr-defined]
     server.solver_timeout = solver_timeout  # type: ignore[attr-defined]
     server.fallback = fallback  # type: ignore[attr-defined]
+    server.journal = None  # type: ignore[attr-defined]
+    if journal_dir is not None:
+        from .durability import JournalWriter, SnapshotStore, recover
+
+        state = recover(journal_dir)
+        server.journal = JournalWriter(journal_dir)  # type: ignore[attr-defined]
+        server.snapshots = SnapshotStore(journal_dir)  # type: ignore[attr-defined]
+        server.snapshot_every = int(snapshot_every)  # type: ignore[attr-defined]
+        server.solves_since_snapshot = 0  # type: ignore[attr-defined]
+        server.energy_spent = state.energy_spent  # type: ignore[attr-defined]
+        server.journal_lock = threading.Lock()  # type: ignore[attr-defined]
+        if state.total_records == 0:
+            server.journal.append({"type": "run_start", "meta": {"kind": "server"}})  # type: ignore[attr-defined]
+        else:
+            server.journal.append({"type": "resume", "cum_energy": state.energy_spent})  # type: ignore[attr-defined]
     return server
 
 
@@ -242,6 +303,8 @@ def serve(
     solver_timeout: Optional[float] = None,
     fallback: bool = False,
     max_in_flight: int = 8,
+    journal_dir: Optional[str] = None,
+    snapshot_every: int = 10,
 ) -> None:
     """Run the service until interrupted (the CLI's ``serve`` command).
 
@@ -255,18 +318,27 @@ def serve(
         admission=AdmissionController(max_in_flight=max_in_flight),
         solver_timeout=solver_timeout,
         fallback=fallback,
+        journal_dir=journal_dir,
+        snapshot_every=snapshot_every,
     )
     print(f"repro scheduling service on http://{host}:{server.server_address[1]}")
     print(f"methods: {', '.join(available_schedulers())}")
     if solver_timeout is not None or fallback:
         mode = "fallback chain" if fallback else "single solver"
         print(f"resilience: {mode}, solver timeout {solver_timeout or 'none'}, max in-flight {max_in_flight}")
+    if journal_dir is not None:
+        print(
+            f"durability: journal at {journal_dir}, snapshot every {snapshot_every} solves, "
+            f"recovered spend {server.energy_spent:.1f} J"  # type: ignore[attr-defined]
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+        if server.journal is not None:  # type: ignore[attr-defined]
+            server.journal.close()  # type: ignore[attr-defined]
         if metrics_out is not None:
             path = export_file(server.telemetry, metrics_out)  # type: ignore[attr-defined]
             print(f"telemetry written to {path}")

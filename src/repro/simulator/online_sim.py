@@ -45,7 +45,7 @@ from ..core.instance import ProblemInstance
 from ..core.machine import Cluster, Machine
 from ..telemetry import get_collector
 from ..utils.errors import ReproError, SimulationError
-from ..utils.validation import check_positive, require
+from ..utils.validation import check_nonnegative, check_positive, require
 from ..workloads.arrivals import Request
 from ..workloads.generator import tasks_from_thetas
 from .engine import EventQueue
@@ -152,6 +152,20 @@ class OnlineSimulation:
     degradation:
         Optional :class:`~repro.resilience.degrade.DegradationPolicy`
         applied to each window's instance (requires ``energy_budget``).
+    journal:
+        Optional :class:`~repro.durability.journal.JournalWriter`: the
+        run appends arrivals, window plans, realised shares, failures,
+        degradation changes and the cumulative energy ledger, so a
+        crashed serving process can account for spent joules on restart
+        (:func:`repro.durability.recover`).  The journaled ledger is
+        *planned* spend — a conservative upper bound; outage refunds
+        only ever lower realised energy below it.
+    initial_energy_spent:
+        Energy (J) already charged against ``energy_budget`` by a
+        previous incarnation of this run — feed it
+        ``recover(journal_dir).energy_spent`` and the budget clipping
+        and degradation watermarks resume where the crash left them
+        instead of silently granting the budget twice.
     """
 
     def __init__(
@@ -165,9 +179,12 @@ class OnlineSimulation:
         replan: bool = False,
         energy_budget: Optional[float] = None,
         degradation=None,
+        journal=None,
+        initial_energy_spent: float = 0.0,
     ):
         check_positive(window_seconds, "window_seconds")
         require(power_cap_fraction > 0, "power_cap_fraction must be > 0")
+        check_nonnegative(initial_energy_spent, "initial_energy_spent")
         if energy_budget is not None:
             check_positive(energy_budget, "energy_budget")
         if degradation is not None and energy_budget is None:
@@ -180,6 +197,8 @@ class OnlineSimulation:
         self.replan = bool(replan)
         self.energy_budget = energy_budget
         self.degradation = degradation
+        self.journal = journal
+        self.initial_energy_spent = float(initial_energy_spent)
         for o in self.failures.outages:
             require(0 <= o.machine < len(cluster), f"outage references machine {o.machine}")
         for s in self.failures.slowdowns:
@@ -213,9 +232,28 @@ class OnlineSimulation:
         pending: List[List[_Dispatch]] = [[] for _ in range(m)]
         powers = self.cluster.powers
         tele = get_collector()
+        # Energy ledger mirrored into the journal: cum starts at whatever a
+        # crashed predecessor already spent, and only ever grows (outage
+        # refunds lower realised energy *below* the ledger, never above).
+        ledger = {"cum": self.initial_energy_spent, "window": 0, "level": -1}
+        self._journal(
+            {
+                "type": "run_start",
+                "meta": {
+                    "kind": "online_sim",
+                    "n_requests": len(records),
+                    "window_seconds": self.window_seconds,
+                    "power_cap_fraction": self.power_cap_fraction,
+                    "energy_budget": self.energy_budget,
+                    "initial_energy_spent": self.initial_energy_spent,
+                    "replan": self.replan,
+                },
+            }
+        )
 
         def arrive(idx: int) -> None:
             buffered.append(idx)
+            self._journal({"type": "arrival", "id": idx, "t": queue.now})
 
         def on_outage(r: int) -> None:
             if not alive[r]:
@@ -223,6 +261,7 @@ class OnlineSimulation:
             alive[r] = False
             now = queue.now
             tele.counter("online_sim_outages_total").inc()
+            self._journal({"type": "failure", "kind": "outage", "machine": r, "t": now})
             for d in pending[r]:
                 if d.cancelled or (d.rec.finish is not None and d.end <= now):
                     continue
@@ -254,6 +293,9 @@ class OnlineSimulation:
             # keep their nominal duration; every later window plans the
             # machine at its reduced effective speed.
             factor[r] = f
+            self._journal(
+                {"type": "failure", "kind": "slowdown", "machine": r, "factor": f, "t": queue.now}
+            )
 
         def plan_window() -> None:
             nonlocal buffered
@@ -264,6 +306,7 @@ class OnlineSimulation:
                 self._plan_and_dispatch(
                     batch, records, window_start, machine_free_at, busy, queue,
                     alive=alive, factor=factor, pending=pending, powers=powers,
+                    ledger=ledger,
                 )
             # Next window tick while there can still be arrivals or work.
             if queue.now < horizon:
@@ -284,13 +327,26 @@ class OnlineSimulation:
             self._plan_and_dispatch(
                 list(buffered), records, queue.now, machine_free_at, busy, queue,
                 alive=alive, factor=factor, pending=pending, powers=powers,
+                ledger=ledger,
             )
             queue.run()
 
         energy = float(busy @ powers)
+        self._journal(
+            {
+                "type": "run_end",
+                "energy_realized": energy,
+                "cum_energy": ledger["cum"],
+                "horizon": queue.now,
+            }
+        )
         return OnlineSimReport(tuple(records), busy, energy, queue.now)
 
     # -- internals -------------------------------------------------------------
+
+    def _journal(self, event: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(event)
 
     def _planning_view(self, alive: np.ndarray, factor: np.ndarray):
         """The cluster the planner sees, plus sub-index → machine map.
@@ -312,10 +368,14 @@ class OnlineSimulation:
         return Cluster(machines), index_map
 
     def _window_budget_now(self, busy: np.ndarray, powers: np.ndarray) -> float:
-        """This window's energy grant, clipped to the global remainder."""
+        """This window's energy grant, clipped to the global remainder.
+
+        The remainder charges both this incarnation's committed busy time
+        and any journaled spend inherited from a crashed predecessor.
+        """
         budget = self.window_budget
         if self.energy_budget is not None:
-            committed = float(busy @ powers)
+            committed = self.initial_energy_spent + float(busy @ powers)
             budget = min(budget, max(self.energy_budget - committed, 0.0))
         return budget
 
@@ -332,9 +392,32 @@ class OnlineSimulation:
         factor: np.ndarray,
         pending: List[List[_Dispatch]],
         powers: np.ndarray,
+        ledger: Optional[dict] = None,
     ) -> None:
         """Solve the batched instance and enqueue execution of the shares."""
         tele = get_collector()
+        ledger = ledger if ledger is not None else {"cum": self.initial_energy_spent, "window": 0, "level": -1}
+        window_index = ledger["window"]
+        ledger["window"] += 1
+
+        def commit_empty(note: str) -> None:
+            """Journal a window that served nothing (ledger unchanged)."""
+            self._journal(
+                {
+                    "type": "window_done",
+                    "window": window_index,
+                    "start": window_start,
+                    "ids": list(batch),
+                    "deadlines": [],
+                    "flops": [],
+                    "caps": [],
+                    "energy": 0.0,
+                    "cum_energy": ledger["cum"],
+                    "level": ledger["level"],
+                    "note": note,
+                }
+            )
+
         cluster, index_map = self._planning_view(alive, factor)
         reqs = [records[i].request for i in batch]
         if cluster is None:
@@ -342,6 +425,7 @@ class OnlineSimulation:
             for i in batch:
                 records[i].planned_window = window_start
             tele.counter("online_sim_unservable_windows_total").inc()
+            commit_empty("unservable")
             return
         # Deadlines relative to the *planning instant*; a request that has
         # already burnt part of its SLO waiting gets only the remainder.
@@ -352,13 +436,25 @@ class OnlineSimulation:
             [deadlines[i] for i in order],
         )
         instance = ProblemInstance(tasks, cluster, self._window_budget_now(busy, powers))
+        self._journal(
+            {
+                "type": "window_plan",
+                "window": window_index,
+                "start": window_start,
+                "ids": [batch[i] for i in order],
+                "budget": instance.budget,
+            }
+        )
 
         kept = np.arange(len(batch))
         if self.degradation is not None:
-            spent_fraction = float(busy @ powers) / self.energy_budget
-            decision = self.degradation.apply(instance, spent_fraction)
+            spent = self.initial_energy_spent + float(busy @ powers)
+            decision = self.degradation.apply(instance, spent / self.energy_budget)
             if decision.degraded:
                 tele.counter("online_sim_degraded_windows_total").inc()
+            if decision.level != ledger["level"]:
+                self._journal({"type": "degrade", "level": decision.level, "window": window_index})
+                ledger["level"] = decision.level
             instance, kept = decision.instance, decision.kept
 
         try:
@@ -370,6 +466,7 @@ class OnlineSimulation:
             tele.counter("online_sim_failed_windows_total").inc()
             for i in batch:
                 records[i].planned_window = window_start
+            commit_empty("solve_failed")
             return
         tele.counter("online_sim_windows_total").inc()
         times = schedule.times
@@ -377,6 +474,8 @@ class OnlineSimulation:
         accs = schedule.task_accuracies
         speeds = instance.cluster.speeds
 
+        window_energy = 0.0
+        window_flops = [0.0] * len(batch)
         planned = {int(k): slot for slot, k in enumerate(kept)}
         for i in range(len(batch)):
             rec = records[batch[order[i]]]
@@ -418,6 +517,8 @@ class OnlineSimulation:
             start = max(window_start, float(machine_free_at[r]))
             machine_free_at[r] = start + duration
             busy[r] += duration
+            window_energy += duration * float(powers[r])
+            window_flops[i] = rec.flops
             rec.machine = r
             rec.start = start
             dispatch = _Dispatch(
@@ -437,3 +538,23 @@ class OnlineSimulation:
                     d.rec.finish = d.end
 
             queue.schedule_at(start + duration, finish)
+
+        ledger["cum"] += window_energy
+        if self.journal is not None:
+            caps: List[float] = []
+            if self.degradation is not None and decision.degraded:
+                caps = [decision.work_cap_scale * float(f) for f in tasks.f_max]
+            self._journal(
+                {
+                    "type": "window_done",
+                    "window": window_index,
+                    "start": window_start,
+                    "ids": [batch[i] for i in order],
+                    "deadlines": [float(d) for d in tasks.deadlines],
+                    "flops": window_flops,
+                    "caps": caps,
+                    "energy": window_energy,
+                    "cum_energy": ledger["cum"],
+                    "level": ledger["level"],
+                }
+            )

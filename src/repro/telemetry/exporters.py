@@ -6,6 +6,11 @@ each has a matching parser, so a written file reads back to the same
 snapshot (Prometheus, a metrics-only wire format, round-trips every
 counter/gauge/histogram but drops spans and histogram min/max).
 
+Every writer renders the full document in memory and publishes it with
+:func:`repro.utils.fileio.atomic_write` (temp file + fsync + rename), so
+a crash mid-export leaves either the previous file or the new one —
+never a truncated half-written export.
+
 Format is normally inferred from the file suffix via
 :func:`export_file` / :func:`load_file`:
 
@@ -27,6 +32,7 @@ import re
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..utils.fileio import atomic_write
 from .registry import MetricsRegistry, TelemetryError
 
 __all__ = [
@@ -76,13 +82,12 @@ def _snap(source: Union[MetricsRegistry, Snapshot]) -> Snapshot:
 def write_jsonl(source: Union[MetricsRegistry, Snapshot], path: Union[str, Path]) -> Path:
     """One JSON object per metric series and per span."""
     snap = _snap(source)
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as fh:
-        for entry in snap["metrics"]:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
-        for span in snap["spans"]:
-            fh.write(json.dumps({"kind": "span", **span}, sort_keys=True) + "\n")
-    return path
+    out = io.StringIO()
+    for entry in snap["metrics"]:
+        out.write(json.dumps(entry, sort_keys=True) + "\n")
+    for span in snap["spans"]:
+        out.write(json.dumps({"kind": "span", **span}, sort_keys=True) + "\n")
+    return atomic_write(path, out.getvalue())
 
 
 def read_jsonl(path: Union[str, Path]) -> Snapshot:
@@ -108,8 +113,7 @@ def read_jsonl(path: Union[str, Path]) -> Snapshot:
 def write_csv(source: Union[MetricsRegistry, Snapshot], path: Union[str, Path]) -> Path:
     """Wide CSV: one row per series/span, JSON-encoded structured cells."""
     snap = _snap(source)
-    path = Path(path)
-    with path.open("w", encoding="utf-8", newline="") as fh:
+    with io.StringIO(newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=_CSV_COLUMNS)
         writer.writeheader()
         for entry in snap["metrics"]:
@@ -135,7 +139,7 @@ def write_csv(source: Union[MetricsRegistry, Snapshot], path: Union[str, Path]) 
                     "duration": "" if span["duration"] is None else repr(span["duration"]),
                 }
             )
-    return path
+        return atomic_write(path, fh.getvalue())
 
 
 def _num(text: str) -> float:
@@ -207,8 +211,7 @@ def _prom_float(value: float) -> str:
 
 def write_prometheus(source: Union[MetricsRegistry, Snapshot], path: Union[str, Path]) -> Path:
     """Prometheus exposition text (metrics only; spans are not exported)."""
-    Path(path).write_text(prometheus_text(source), encoding="utf-8")
-    return Path(path)
+    return atomic_write(path, prometheus_text(source))
 
 
 def prometheus_text(source: Union[MetricsRegistry, Snapshot]) -> str:

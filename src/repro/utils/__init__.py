@@ -1,13 +1,17 @@
-"""Shared utilities: units, RNG plumbing, validation, timing, errors."""
+"""Shared utilities: units, RNG plumbing, validation, timing, file I/O, errors."""
 
 from . import units
 from .errors import (
+    DurabilityError,
     InfeasibleError,
+    JournalCorruptError,
+    RecoveryError,
     ReproError,
     SimulationError,
     SolverError,
     ValidationError,
 )
+from .fileio import atomic_write, fsync_directory
 from .rng import SeedLike, ensure_rng, spawn
 from .timing import Timer, TimingResult, repeat_call, time_call
 from .validation import (
@@ -27,6 +31,11 @@ __all__ = [
     "InfeasibleError",
     "SolverError",
     "SimulationError",
+    "DurabilityError",
+    "JournalCorruptError",
+    "RecoveryError",
+    "atomic_write",
+    "fsync_directory",
     "SeedLike",
     "ensure_rng",
     "spawn",

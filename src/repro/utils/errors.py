@@ -16,6 +16,9 @@ __all__ = [
     "SolverTimeoutError",
     "FallbackExhaustedError",
     "SimulationError",
+    "DurabilityError",
+    "JournalCorruptError",
+    "RecoveryError",
 ]
 
 
@@ -50,3 +53,20 @@ class FallbackExhaustedError(SolverError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistent state."""
+
+
+class DurabilityError(ReproError):
+    """Base class for crash-safety failures (see repro.durability)."""
+
+
+class JournalCorruptError(DurabilityError):
+    """A journal holds invalid records *before* its torn tail.
+
+    A truncated tail is expected after a crash and is repaired silently;
+    garbage followed by further valid records means the file was damaged
+    some other way, and recovery refuses to guess.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Recovered state failed certification or does not match the run."""

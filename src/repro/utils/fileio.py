@@ -1,0 +1,73 @@
+"""Crash-safe file primitives shared across the library.
+
+A plain ``Path.write_text`` is *not* crash-safe: a process killed
+mid-write leaves a truncated file under the final name, silently
+corrupting saved instances, schedules and metric exports.  The standard
+fix — used by every journaled system — is implemented once here:
+
+* :func:`atomic_write` writes to a temporary file in the *same
+  directory* (rename is only atomic within a filesystem), flushes and
+  ``fsync``\\ s it, then atomically renames it over the target.  Readers
+  therefore only ever observe the old contents or the complete new
+  contents, never a torn intermediate.
+* :func:`fsync_directory` persists a directory entry itself (the rename
+  or a newly created file) so the *name* survives a power loss, not just
+  the bytes.  Best-effort: some filesystems refuse directory fds.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write", "fsync_directory"]
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """Flush a directory entry to stable storage (best-effort)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return  # e.g. Windows, or a filesystem without directory fds
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: Union[str, Path],
+    data: Union[str, bytes],
+    *,
+    fsync: bool = True,
+    encoding: str = "utf-8",
+) -> Path:
+    """Write ``data`` to ``path`` atomically (write-temp + fsync + rename).
+
+    ``fsync=False`` skips the durability barrier (the rename is still
+    atomic, but after a power loss the file may hold the old contents).
+    Returns the target path.
+    """
+    path = Path(path)
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    fd, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or ".")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(path.parent)
+    return path

@@ -1,0 +1,461 @@
+"""Crash-safe journaling, snapshots, deterministic recovery, crash tests."""
+
+import json
+import threading
+import urllib.request
+import zlib
+
+import pytest
+
+from repro.algorithms.registry import make_scheduler
+from repro.core import instance_to_dict
+from repro.durability import (
+    CrashTestConfig,
+    DurableRun,
+    JournalWriter,
+    SnapshotStore,
+    audit,
+    certify,
+    decode_stream,
+    encode_record,
+    journal_segments,
+    read_events,
+    recover,
+    repair,
+    run_crash_test,
+)
+from repro.hardware import sample_uniform_cluster
+from repro.online.planner import RollingHorizonPlanner
+from repro.resilience.degrade import DegradationPolicy
+from repro.simulator.online_sim import OnlineSimulation
+from repro.utils import atomic_write
+from repro.utils.errors import JournalCorruptError, RecoveryError, ValidationError
+from repro.workloads.arrivals import PoissonArrivals
+
+from conftest import make_instance
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return sample_uniform_cluster(3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return PoissonArrivals(6.0, seed=1).generate(8.0)
+
+
+def make_durable(cluster, journal_dir, *, budget=None, degrade=False, **kwargs):
+    degradation = DegradationPolicy.default() if degrade else None
+    return DurableRun(
+        cluster,
+        make_scheduler("approx"),
+        journal_dir,
+        energy_budget=budget,
+        degradation=degradation,
+        snapshot_every=kwargs.pop("snapshot_every", 2),
+        fsync="never",
+        **kwargs,
+    )
+
+
+# -- journal framing -------------------------------------------------------------
+
+
+class TestJournalFraming:
+    def test_round_trip(self):
+        events = [{"type": "a", "x": 1}, {"type": "b", "y": [1.5, None, "z"]}]
+        blob = b"".join(encode_record(e) for e in events)
+        decoded, consumed = decode_stream(blob)
+        assert decoded == events
+        assert consumed == len(blob)
+
+    def test_torn_tail_stops_cleanly(self):
+        blob = encode_record({"type": "a"}) + encode_record({"type": "b"})
+        for cut in range(len(blob)):
+            decoded, consumed = decode_stream(blob[:cut])
+            assert consumed <= cut
+            assert decoded == [{"type": "a"}, {"type": "b"}][: len(decoded)]
+
+    def test_corrupt_checksum_rejected(self):
+        blob = bytearray(encode_record({"type": "a", "value": 123}))
+        blob[-5] ^= 0x01  # flip a payload bit; crc no longer matches
+        decoded, consumed = decode_stream(bytes(blob))
+        assert decoded == [] and consumed == 0
+
+    def test_header_must_be_hex(self):
+        decoded, consumed = decode_stream(b"+0000010 00000000 {}\n")
+        assert decoded == [] and consumed == 0
+
+    def test_checksum_is_crc32_of_payload(self):
+        record = encode_record({"k": 1})
+        payload = record[18:-1]
+        assert int(record[9:17], 16) == zlib.crc32(payload)
+
+
+class TestJournalWriter:
+    def test_append_and_read(self, tmp_path):
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            assert journal.append({"type": "one"}) == 0
+            assert journal.append({"type": "two"}) == 1
+            assert journal.record_count == 2
+        assert read_events(tmp_path) == [{"type": "one"}, {"type": "two"}]
+
+    def test_rotation_creates_segments(self, tmp_path):
+        with JournalWriter(tmp_path, fsync="never", segment_max_bytes=64) as journal:
+            for i in range(10):
+                journal.append({"type": "filler", "i": i})
+        assert len(journal_segments(tmp_path)) > 1
+        assert [e["i"] for e in read_events(tmp_path)] == list(range(10))
+
+    def test_reopen_appends_after_existing(self, tmp_path):
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            journal.append({"type": "first"})
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            assert journal.record_count == 1
+            journal.append({"type": "second"})
+        assert [e["type"] for e in read_events(tmp_path)] == ["first", "second"]
+
+    def test_open_repairs_torn_tail(self, tmp_path):
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            journal.append({"type": "keep"})
+            journal.append({"type": "torn", "pad": "x" * 50})
+        segment = journal_segments(tmp_path)[-1]
+        segment.write_bytes(segment.read_bytes()[:-20])  # tear the tail
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            assert journal.record_count == 1
+            journal.append({"type": "after"})
+        assert [e["type"] for e in read_events(tmp_path)] == ["keep", "after"]
+
+    def test_mid_file_corruption_refuses_repair(self, tmp_path):
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            journal.append({"type": "a", "pad": "x" * 30})
+            journal.append({"type": "b"})
+        segment = journal_segments(tmp_path)[-1]
+        data = bytearray(segment.read_bytes())
+        data[25] ^= 0x01  # corrupt the FIRST record; valid data follows
+        segment.write_bytes(bytes(data))
+        with pytest.raises(JournalCorruptError):
+            repair(tmp_path)
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            JournalWriter(tmp_path, fsync="sometimes")
+
+
+# -- snapshots -------------------------------------------------------------------
+
+
+class TestSnapshotStore:
+    def test_save_and_latest(self, tmp_path):
+        store = SnapshotStore(tmp_path, fsync=False)
+        store.save({"cum_energy": 1.0}, journal_records=3)
+        store.save({"cum_energy": 2.0}, journal_records=7)
+        latest = store.latest()
+        assert latest["journal_records"] == 7
+        assert latest["state"]["cum_energy"] == 2.0
+
+    def test_latest_respects_journal_length(self, tmp_path):
+        store = SnapshotStore(tmp_path, fsync=False)
+        store.save({"cum_energy": 1.0}, journal_records=3)
+        store.save({"cum_energy": 2.0}, journal_records=7)
+        # Only 5 journal records survived the crash: the newer snapshot
+        # describes a future that no longer exists and must be skipped.
+        assert store.latest(max_journal_records=5)["journal_records"] == 3
+        assert store.latest(max_journal_records=1) is None
+
+    def test_keep_prunes_old_snapshots(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2, fsync=False)
+        for i in range(5):
+            store.save({"i": i}, journal_records=i)
+        assert len(store.paths()) == 2
+
+    def test_unreadable_snapshot_skipped(self, tmp_path):
+        store = SnapshotStore(tmp_path, fsync=False)
+        store.save({"cum_energy": 1.0}, journal_records=3)
+        newer = store.save({"cum_energy": 2.0}, journal_records=5)
+        newer.write_text("{ not json")
+        assert store.latest()["journal_records"] == 3
+
+
+# -- recovery and certification --------------------------------------------------
+
+
+class TestRecovery:
+    def test_empty_directory_is_pristine(self, tmp_path):
+        state = recover(tmp_path)
+        assert state.windows == () and state.energy_spent == 0.0
+        assert state.next_window == 0 and not state.used_snapshot
+        assert audit(state) == []
+
+    def test_folds_events(self, tmp_path):
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            journal.append({"type": "run_start", "meta": {"energy_budget": 10.0}})
+            journal.append({"type": "window_done", "window": 0, "start": 0.0, "energy": 3.0, "cum_energy": 3.0, "level": -1})
+            journal.append({"type": "degrade", "level": 1})
+            journal.append({"type": "window_done", "window": 1, "start": 2.0, "energy": 4.0, "cum_energy": 7.0, "level": 1})
+        state = recover(tmp_path)
+        assert state.meta["energy_budget"] == 10.0
+        assert state.energy_spent == 7.0
+        assert state.degrade_level == 1
+        assert state.next_window == 2
+        certify(state)
+
+    def test_duplicate_window_keeps_first(self, tmp_path):
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            journal.append({"type": "window_done", "window": 0, "start": 0.0, "energy": 3.0, "cum_energy": 3.0})
+            journal.append({"type": "window_done", "window": 0, "start": 0.0, "energy": 9.0, "cum_energy": 9.0})
+        state = recover(tmp_path)
+        assert len(state.windows) == 1
+        assert state.windows[0]["energy"] == 3.0
+
+    def test_snapshot_bounds_replay(self, tmp_path):
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            journal.append({"type": "run_start", "meta": {}})
+            journal.append({"type": "window_done", "window": 0, "start": 0.0, "energy": 1.0, "cum_energy": 1.0})
+            SnapshotStore(tmp_path, fsync=False).save(
+                {"meta": {}, "windows": [{"window": 0, "energy": 1.0, "cum_energy": 1.0}], "cum_energy": 1.0, "level": -1},
+                journal_records=journal.record_count,
+            )
+            journal.append({"type": "window_done", "window": 1, "start": 2.0, "energy": 2.0, "cum_energy": 3.0})
+        state = recover(tmp_path)
+        assert state.used_snapshot and state.replayed_records == 1
+        assert state.energy_spent == 3.0 and state.next_window == 2
+
+    @pytest.mark.parametrize(
+        "window, expectation",
+        [
+            ({"window": 0, "energy": 5.0, "cum_energy": 5.0}, "exceeds budget"),
+            ({"window": 0, "energy": -1.0, "cum_energy": -1.0}, "negative energy"),
+            ({"window": 1, "energy": 1.0, "cum_energy": 1.0}, "gap"),
+            ({"window": 0, "energy": 1.0, "cum_energy": 2.5}, "chain broken"),
+            ({"window": 0, "energy": 1.0, "cum_energy": 1.0, "deadlines": [2.0, 1.0], "flops": [0.0, 0.0]}, "deadline-ordered"),
+            ({"window": 0, "energy": 1.0, "cum_energy": 1.0, "deadlines": [1.0], "flops": [9.0], "caps": [2.0]}, "exceeds its cap"),
+        ],
+    )
+    def test_audit_flags_violations(self, tmp_path, window, expectation):
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            journal.append({"type": "window_done", **window})
+        violations = audit(recover(tmp_path), budget=4.0)
+        assert violations and expectation in " ".join(violations)
+        with pytest.raises(RecoveryError):
+            certify(recover(tmp_path), budget=4.0)
+
+
+# -- the durable serving loop ----------------------------------------------------
+
+
+class TestDurableRun:
+    def test_fresh_run_serves_and_journals(self, cluster, requests, tmp_path):
+        budget = 0.35 * 8.0 * cluster.total_power
+        report = make_durable(cluster, tmp_path, budget=budget, degrade=True).run(requests)
+        assert report.n_requests == len(requests)
+        assert report.total_energy <= budget * (1 + 1e-9)
+        assert report.replayed_windows == 0
+        certify(recover(tmp_path), budget=budget)
+
+    def test_completed_run_replays_identically(self, cluster, requests, tmp_path):
+        budget = 0.35 * 8.0 * cluster.total_power
+        first = make_durable(cluster, tmp_path, budget=budget).run(requests)
+        again = make_durable(cluster, tmp_path, budget=budget).run(requests)
+        assert again.same_outcome(first)
+        assert again.replayed_windows == len(again.windows)
+
+    def test_resume_after_truncation_is_bit_identical(self, cluster, requests, tmp_path):
+        budget = 0.35 * 8.0 * cluster.total_power
+        ref_dir, cut_dir = tmp_path / "ref", tmp_path / "cut"
+        reference = make_durable(cluster, ref_dir, budget=budget, degrade=True).run(requests)
+        # Crash halfway through the journal: later segments vanish too.
+        cut_dir.mkdir()
+        stream = b"".join(p.read_bytes() for p in journal_segments(ref_dir))
+        (cut_dir / "wal-00000000.log").write_bytes(stream[: len(stream) // 2])
+        resumed = make_durable(cluster, cut_dir, budget=budget, degrade=True).run(requests)
+        assert resumed.same_outcome(reference)
+        assert 0 < resumed.replayed_windows < len(resumed.windows)
+
+    def test_meta_mismatch_refuses_resume(self, cluster, requests, tmp_path):
+        make_durable(cluster, tmp_path).run(requests)
+        other = DurableRun(
+            cluster, make_scheduler("edf-3levels"), tmp_path, fsync="never"
+        )
+        with pytest.raises(RecoveryError, match="different run"):
+            other.run(requests)
+
+    def test_exhausted_budget_sheds_whole_windows(self, cluster, requests, tmp_path):
+        budget = 0.05 * 8.0 * cluster.total_power  # starvation budget
+        report = make_durable(cluster, tmp_path, budget=budget).run(requests)
+        assert report.total_energy <= budget * (1 + 1e-9)
+        assert any(w.energy == 0.0 for w in report.windows)
+        certify(recover(tmp_path), budget=budget)
+
+    def test_planner_run_durable_delegates(self, cluster, requests, tmp_path):
+        planner = RollingHorizonPlanner(cluster, make_scheduler("approx"))
+        report = planner.run_durable(requests, tmp_path, fsync="never")
+        assert report.n_requests == len(requests)
+        assert recover(tmp_path).meta["scheduler"] == make_scheduler("approx").name
+
+
+# -- the online simulator's journal ----------------------------------------------
+
+
+class TestOnlineSimJournal:
+    def test_journaled_run_certifies(self, cluster, requests, tmp_path):
+        budget = 0.3 * 8.0 * cluster.total_power
+        with JournalWriter(tmp_path, fsync="never") as journal:
+            sim = OnlineSimulation(
+                cluster,
+                make_scheduler("approx"),
+                energy_budget=budget,
+                degradation=DegradationPolicy.default(),
+                journal=journal,
+            )
+            report = sim.run(requests)
+        state = certify(recover(tmp_path), budget=budget)
+        assert state.counts["arrival"] == len(requests)
+        assert state.counts["run_end"] == 1
+        # The journaled ledger is planned spend — an upper bound on realised.
+        assert report.energy <= state.energy_spent + 1e-9
+
+    def test_initial_energy_spent_resumes_the_ledger(self, cluster, requests, tmp_path):
+        budget = 0.3 * 8.0 * cluster.total_power
+        with JournalWriter(tmp_path / "a", fsync="never") as journal:
+            OnlineSimulation(
+                cluster, make_scheduler("approx"), energy_budget=budget, journal=journal
+            ).run(requests)
+        spent = recover(tmp_path / "a").energy_spent
+        assert spent > 0
+        with JournalWriter(tmp_path / "b", fsync="never") as journal:
+            OnlineSimulation(
+                cluster,
+                make_scheduler("approx"),
+                energy_budget=budget,
+                journal=journal,
+                initial_energy_spent=spent,
+            ).run(PoissonArrivals(6.0, seed=2).generate(4.0))
+        resumed = certify(recover(tmp_path / "b"), budget=budget)
+        assert resumed.energy_spent >= spent
+        assert resumed.energy_spent <= budget * (1 + 1e-9)
+
+    def test_negative_initial_spend_rejected(self, cluster):
+        with pytest.raises(ValidationError):
+            OnlineSimulation(cluster, make_scheduler("approx"), initial_energy_spent=-1.0)
+
+
+# -- the durable HTTP server -----------------------------------------------------
+
+
+class TestDurableServer:
+    def _spend_one_incarnation(self, journal_dir, body, expect_prev):
+        from repro.server import make_server
+
+        server = make_server(port=0, journal_dir=str(journal_dir), snapshot_every=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            health = json.load(urllib.request.urlopen(f"http://127.0.0.1:{port}/health", timeout=30))
+            assert health["energy_spent_joules"] == pytest.approx(expect_prev)
+            for _ in range(3):
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/solve?scheduler=approx", data=body, method="POST"
+                )
+                urllib.request.urlopen(request, timeout=30).read()
+            health = json.load(urllib.request.urlopen(f"http://127.0.0.1:{port}/health", timeout=30))
+            return health["energy_spent_joules"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            server.journal.close()
+
+    def test_ledger_survives_restart(self, tmp_path):
+        inst = make_instance(n=6, m=2, beta=0.5, seed=900)
+        body = json.dumps(instance_to_dict(inst)).encode()
+        first = self._spend_one_incarnation(tmp_path, body, 0.0)
+        assert first > 0
+        second = self._spend_one_incarnation(tmp_path, body, first)
+        assert second == pytest.approx(2 * first)
+        state = recover(tmp_path)
+        assert state.energy_spent == pytest.approx(second)
+        assert state.used_snapshot  # snapshots bound the replay
+
+
+# -- crash injection -------------------------------------------------------------
+
+
+class TestCrashTest:
+    def test_small_campaign_passes(self, tmp_path):
+        config = CrashTestConfig(kills=5, horizon=6.0, rate=5.0)
+        result = run_crash_test(config, workdir=tmp_path)
+        assert result.passed, result.summary()
+        assert result.n_kills == 5
+        assert any(o.mid_record for o in result.outcomes)
+        assert "5/5" in result.summary()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValidationError):
+            CrashTestConfig(kills=0)
+
+
+# -- atomic writes ---------------------------------------------------------------
+
+
+class TestAtomicWrite:
+    def test_writes_and_overwrites(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write(target, "first")
+        atomic_write(target, "second")
+        assert target.read_text() == "second"
+        assert list(tmp_path.iterdir()) == [target]  # no temp litter
+
+    def test_serialization_goes_through_atomic_write(self, tmp_path):
+        from repro.core.serialization import load_instance, save_instance
+
+        inst = make_instance(n=4, m=2, beta=0.5, seed=901)
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        loaded = load_instance(path)
+        assert len(loaded.tasks) == 4
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_exporters_leave_no_temp_files(self, tmp_path):
+        from repro.telemetry import MetricsRegistry, export_file
+
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        for suffix in ("jsonl", "csv", "prom"):
+            path = export_file(registry, tmp_path / f"m.{suffix}")
+            assert path.exists()
+        assert len(list(tmp_path.iterdir())) == 3
+
+
+# -- the CLI ---------------------------------------------------------------------
+
+
+class TestDurabilityCLI:
+    def test_online_plain(self, capsys):
+        from repro.cli import main
+
+        code = main(["online", "--horizon", "6", "--rate", "5"])
+        assert code == 0
+        assert "served" in capsys.readouterr().out
+
+    def test_online_durable_and_resume(self, capsys, tmp_path):
+        from repro.cli import main
+
+        args = ["online", "--horizon", "6", "--rate", "5", "--journal-dir", str(tmp_path), "--degrade"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "journal at" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "resumed interrupted run" in second
+
+    def test_crashtest_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            ["crashtest", "--kills", "3", "--horizon", "5", "--rate", "5", "--workdir", str(tmp_path), "-v"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3/3 kills recovered identically" in out

@@ -478,6 +478,98 @@ class TestAdmissionController:
         assert not rejected.admitted and rejected.reason == "breaker_open"
         assert rejected.retry_after_seconds >= 1
 
+    def test_capacity_rejection_returns_the_half_open_probe(self):
+        # Regression: try_begin() consumed the half-open probe via
+        # breaker.allow() and then rejected on capacity without a verdict,
+        # leaving the probe outstanding forever — no request could ever
+        # reach a solver again, so the breaker could never close.
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0, clock=clock)
+        ctrl = AdmissionController(max_in_flight=1, breaker=breaker)
+        assert ctrl.try_begin().admitted  # a stuck solve hogs the only slot
+        breaker.record_failure()  # failures elsewhere trip the breaker
+        clock.t = 6.0  # half-open: one probe available
+        rejected = ctrl.try_begin()
+        assert not rejected.admitted and rejected.reason == "capacity"
+        assert breaker.allow()  # the unused probe was handed back
+
+    def test_cancel_probe_semantics(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=5.0, clock=clock)
+        breaker.cancel_probe()  # no-op while closed
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure()
+        clock.t = 6.0
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.cancel_probe()
+        assert breaker.allow()  # probe available again, still half-open
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+
+
+class TestAdmissionConcurrency:
+    def test_hammered_controller_keeps_its_books(self):
+        # Many threads racing try_begin/finish: the slot count must never
+        # go negative or past the bound, and must drain back to zero.
+        ctrl = AdmissionController(max_in_flight=4)
+        admitted_total = threading.Semaphore(0)
+        errors = []
+
+        def worker():
+            for _ in range(50):
+                decision = ctrl.try_begin()
+                if decision.admitted:
+                    seen = ctrl.in_flight
+                    if not 0 <= seen <= 4:
+                        errors.append(f"in_flight {seen} out of bounds")
+                    ctrl.finish()
+                    admitted_total.release()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert ctrl.in_flight == 0
+        assert ctrl.breaker.state == BreakerState.CLOSED
+
+    def test_concurrent_requests_against_threaded_server(self):
+        # The end-to-end shape of the race: ThreadingHTTPServer handler
+        # threads all share one AdmissionController.  Every request must
+        # come back as either a successful solve or a clean 503 —
+        # never a dropped connection or a wedged slot.
+        inst = make_instance(n=4, m=2, beta=0.5, seed=747)
+        payload = instance_to_dict(inst)
+        admission = AdmissionController(max_in_flight=2)
+        results = []
+        lock = threading.Lock()
+        with running_server(admission=admission) as (base, _):
+
+            def fire():
+                try:
+                    resp = post_json(base + "/solve", payload)
+                    outcome = ("ok", resp["feasible"])
+                except urllib.error.HTTPError as err:
+                    outcome = ("http", err.code)
+                    err.close()
+                except Exception as exc:  # noqa: BLE001 — the assertion target
+                    outcome = ("broken", repr(exc))
+                with lock:
+                    results.append(outcome)
+
+            threads = [threading.Thread(target=fire) for _ in range(10)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(results) == 10
+        assert all(kind in ("ok", "http") for kind, _ in results), results
+        assert all(code == 503 for kind, code in results if kind == "http"), results
+        assert any(kind == "ok" for kind, _ in results)
+        assert admission.in_flight == 0  # every admitted request was paired
+
 
 # -- the HTTP server under the resilience layer --------------------------------
 
