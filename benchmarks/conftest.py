@@ -43,3 +43,41 @@ def save_table():
 def run_once(benchmark, fn):
     """Run a full experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="collect telemetry across the benchmark run and export it here "
+        "(.jsonl/.csv/.prom); each test becomes one trace named after it",
+    )
+
+
+@pytest.fixture(scope="session")
+def _bench_metrics_registry(request):
+    """One shared registry for the whole benchmark session (opt-in)."""
+    path = request.config.getoption("--metrics-out")
+    if path is None:
+        yield None
+        return
+    from repro.telemetry import MetricsRegistry, export_file
+
+    registry = MetricsRegistry()
+    yield registry
+    out = export_file(registry, path)
+    print(f"\nbenchmark telemetry written to {out}")
+
+
+@pytest.fixture(autouse=True)
+def _bench_collect(request, _bench_metrics_registry):
+    """Activate the registry per test, each test under its own trace."""
+    if _bench_metrics_registry is None:
+        yield
+        return
+    from repro.observe import start_trace
+    from repro.telemetry import collector
+
+    with collector(_bench_metrics_registry), start_trace(request.node.name):
+        yield

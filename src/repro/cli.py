@@ -44,6 +44,18 @@ Commands
 ``telemetry``
     Inspect a metrics file written by ``--metrics-out`` (counters,
     histograms and the solver-phase span tree).
+``trace``
+    Extract request traces from a metrics file or a running server and
+    export them as Chrome/Perfetto ``trace_event`` JSON or a
+    self-contained HTML timeline (see repro.observe).
+``slo``
+    Evaluate a metrics file against SLO targets (p99 solve latency,
+    accuracy floor, deadline-miss rate) and optionally replay a
+    durability journal through the energy burn-rate monitor.
+``explain``
+    Decision provenance: attribute every task's compression level to
+    its binding constraint (deadline / energy / work cap / none) using
+    LP shadow prices, and price +1 J and +1 s of slack.
 
 ``solve``, ``compare`` and ``serve`` accept ``--metrics-out PATH``:
 the run executes under an active telemetry collector and the collected
@@ -114,9 +126,11 @@ def _metrics_scope(args: argparse.Namespace) -> Iterator[None]:
     if path is None:
         yield
         return
-    from .telemetry import collector, export_file
+    from .telemetry import collector, ensure_trace, export_file
 
-    with collector() as registry:
+    # The whole command runs under one trace (reused if already active),
+    # so every exported capture is `repro trace`-able.
+    with collector() as registry, ensure_trace():
         yield
     out = export_file(registry, path)
     print(f"telemetry written to {out}")
@@ -282,8 +296,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .observe import SLOSpec
     from .server import serve
 
+    slo = SLOSpec(
+        p99_solve_latency=args.slo_p99,
+        accuracy_floor=args.slo_accuracy_floor,
+        deadline_miss_rate=args.slo_miss_rate,
+    )
     serve(
         args.host,
         args.port,
@@ -293,6 +313,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_in_flight=args.max_in_flight,
         journal_dir=str(args.journal_dir) if args.journal_dir is not None else None,
         snapshot_every=args.snapshot_every,
+        slo=None if slo.empty else slo,
     )
     return 0
 
@@ -500,6 +521,195 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_snapshot(args: argparse.Namespace) -> Optional[dict]:
+    """The span snapshot behind ``repro trace``: a file or a live server."""
+    source = str(args.source)
+    if source.startswith(("http://", "https://")):
+        import json as _json
+        from urllib.request import urlopen
+
+        if args.trace_id is None:
+            print("error: a server source needs --trace-id (ids are per request)", file=sys.stderr)
+            return None
+        with urlopen(f"{source.rstrip('/')}/trace/{args.trace_id}") as resp:
+            document = _json.loads(resp.read().decode())
+        # Back-convert trace_event JSON into the span-dict shape the
+        # exporters consume, so every output path below works uniformly.
+        spans = [
+            {
+                "span_id": e["args"]["span_id"],
+                "parent_id": e["args"].get("parent_id"),
+                "name": e["name"],
+                "depth": e["args"].get("depth", 0),
+                "start": e["ts"] / 1e6,
+                "duration": None if e["args"].get("unfinished") else e["dur"] / 1e6,
+                "labels": {
+                    k: v
+                    for k, v in e["args"].items()
+                    if k not in ("span_id", "parent_id", "depth", "trace_id", "unfinished")
+                },
+                "trace_id": e["args"].get("trace_id", args.trace_id),
+            }
+            for e in document.get("traceEvents", [])
+        ]
+        return {"metrics": [], "spans": spans}
+    from .telemetry import TelemetryError, load_file
+
+    try:
+        return load_file(args.source, format=args.format)
+    except OSError as exc:
+        print(f"error: cannot read {args.source}: {exc}", file=sys.stderr)
+        return None
+    except (TelemetryError, ValueError, KeyError) as exc:
+        print(f"error: {args.source} does not parse as telemetry: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Export one trace (or list the traces) from a snapshot or server."""
+    from .observe import trace_ids, trace_spans, write_html_timeline, write_trace_events
+
+    snap = _load_trace_snapshot(args)
+    if snap is None:
+        return 2
+    ids = trace_ids(snap)
+    if args.list:
+        if not ids:
+            print("(no traced spans)")
+        for tid in ids:
+            print(f"{tid}  ({len(trace_spans(snap, tid))} spans)")
+        return 0
+    trace_id = args.trace_id
+    if trace_id is None:
+        if len(ids) == 1:
+            trace_id = ids[0]
+        elif not ids:
+            print("error: the source holds no traced spans", file=sys.stderr)
+            return 2
+        else:
+            print(
+                f"error: {len(ids)} traces present; pick one with --trace-id "
+                f"(see --list)",
+                file=sys.stderr,
+            )
+            return 2
+    spans = trace_spans(snap, trace_id)
+    if not spans:
+        print(f"error: no spans for trace {trace_id!r}", file=sys.stderr)
+        return 2
+    wrote = False
+    if args.out is not None:
+        path = write_trace_events(spans, args.out, trace_id=trace_id)
+        print(f"trace_event JSON written to {path} (load at https://ui.perfetto.dev)")
+        wrote = True
+    if args.html is not None:
+        path = write_html_timeline(spans, args.html, trace_id=trace_id)
+        print(f"HTML timeline written to {path}")
+        wrote = True
+    if not wrote:
+        print(f"trace {trace_id} — {len(spans)} span(s)")
+        for s in spans:
+            duration = "open" if s["duration"] is None else f"{s['duration'] * 1e3:.3f} ms"
+            indent = "  " * s["depth"]
+            print(f"  {s['start']:9.4f}s  {indent}{s['name']}{_format_labels(s['labels'])}  {duration}")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate a metrics file against SLO targets; optional burn replay."""
+    from .observe import BurnRateMonitor, SLOSpec, evaluate
+    from .telemetry import TelemetryError, load_file
+
+    spec = SLOSpec(
+        p99_solve_latency=args.p99,
+        accuracy_floor=args.accuracy_floor,
+        deadline_miss_rate=args.miss_rate,
+        latency_span=args.latency_span,
+    )
+    failed = False
+    if args.path is not None:
+        try:
+            snap = load_file(args.path, format=args.format)
+        except OSError as exc:
+            print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+            return 2
+        except (TelemetryError, ValueError, KeyError) as exc:
+            print(f"error: {args.path} does not parse as telemetry: {exc}", file=sys.stderr)
+            return 2
+        if spec.empty:
+            print("no SLO targets given (use --p99 / --accuracy-floor / --miss-rate)")
+        else:
+            report = evaluate(snap, spec)
+            print(report.summary())
+            failed = failed or not report.ok
+
+    if args.journal_dir is not None:
+        if args.budget is None or args.horizon is None:
+            print("error: --journal-dir needs --budget and --horizon", file=sys.stderr)
+            return 2
+        from .durability import read_events
+
+        monitor = BurnRateMonitor(budget=args.budget, horizon=args.horizon)
+        samples = 0
+        for event in read_events(args.journal_dir):
+            if event.get("type") in ("window_done", "run_end") and "cum_energy" in event:
+                t = event.get("start", event.get("horizon"))
+                if t is None:
+                    continue
+                for alert in monitor.observe(float(t), float(event["cum_energy"])):
+                    print(f"ALERT {alert}")
+                    failed = True
+                samples += 1
+        print(
+            f"burn-rate replay over {samples} ledger sample(s): "
+            f"spent {monitor.spent:.1f}/{monitor.budget:.1f} J "
+            f"({100.0 * monitor.spent_fraction:.1f}%), "
+            f"fast {monitor.burn_rate(monitor.fast_window):.2f}x, "
+            f"slow {monitor.burn_rate(monitor.slow_window):.2f}x sustainable"
+        )
+        eta = monitor.projected_exhaustion()
+        if eta is not None and not monitor.exhausted:
+            print(f"projected exhaustion at t={eta:.1f}s (horizon {args.horizon:g}s)")
+
+    if args.path is None and args.journal_dir is None:
+        print("error: give a metrics file and/or --journal-dir", file=sys.stderr)
+        return 2
+    return 1 if failed else 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Decision provenance for one instance (LP duals when available)."""
+    import json as _json
+
+    from .observe import explain_instance, explain_schedule
+
+    if args.load is not None:
+        from .core.serialization import instance_from_dict
+
+        data = _json.loads(Path(args.load).read_text())
+        if data.get("format") == "repro.schedule" and "instance" in data:
+            data = data["instance"]
+        instance = instance_from_dict(data)
+    else:
+        instance = _make_instance(args)
+    if args.scheduler == "lp":
+        report = explain_instance(instance)
+    else:
+        schedule = make_scheduler(args.scheduler).solve(instance)
+        if args.duals:
+            from .exact.lp import solve_lp_with_duals
+
+            _, _, duals = solve_lp_with_duals(instance)
+            report = explain_schedule(schedule, duals)
+        else:
+            report = explain_schedule(schedule)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     """Audit FR-OPT against the exact LP on random instances."""
     import numpy as np
@@ -630,6 +840,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--snapshot-every", type=int, default=10, help="snapshot the ledger every N solves"
     )
+    p_srv.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="SLO target: p99 solve latency (reported on /slo)",
+    )
+    p_srv.add_argument(
+        "--slo-accuracy-floor",
+        type=float,
+        default=None,
+        metavar="ACC",
+        help="SLO target: mean served accuracy floor (reported on /slo)",
+    )
+    p_srv.add_argument(
+        "--slo-miss-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="SLO target: max deadline-miss rate (reported on /slo)",
+    )
     _add_metrics_arg(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)
 
@@ -714,6 +945,74 @@ def build_parser() -> argparse.ArgumentParser:
     p_tel.add_argument("--spans", type=int, default=None, help="show at most N spans")
     p_tel.set_defaults(fn=_cmd_telemetry)
 
+    p_trc = sub.add_parser(
+        "trace", help="export request traces as Perfetto trace_event JSON or an HTML timeline"
+    )
+    p_trc.add_argument(
+        "source",
+        help="metrics file written by --metrics-out, or a server base URL (http://host:port)",
+    )
+    p_trc.add_argument("--trace-id", default=None, help="trace to extract (required for a server source)")
+    p_trc.add_argument("--list", action="store_true", help="list the trace ids in the source and exit")
+    p_trc.add_argument("--out", type=Path, default=None, metavar="PATH", help="write trace_event JSON here")
+    p_trc.add_argument("--html", type=Path, default=None, metavar="PATH", help="write an HTML timeline here")
+    p_trc.add_argument(
+        "--format",
+        choices=("jsonl", "csv", "prometheus"),
+        default=None,
+        help="override file-format detection by suffix",
+    )
+    p_trc.set_defaults(fn=_cmd_trace)
+
+    p_slo = sub.add_parser(
+        "slo", help="evaluate SLO targets on a metrics file; replay a journal through the burn monitor"
+    )
+    p_slo.add_argument("path", nargs="?", type=Path, default=None, help="metrics file (.jsonl/.csv/.prom)")
+    p_slo.add_argument("--p99", type=float, default=None, metavar="SECONDS", help="p99 solve latency target")
+    p_slo.add_argument("--accuracy-floor", type=float, default=None, metavar="ACC", help="mean accuracy floor")
+    p_slo.add_argument(
+        "--miss-rate", type=float, default=None, metavar="FRACTION", help="max deadline-miss rate"
+    )
+    p_slo.add_argument(
+        "--latency-span", default="server.solve", help="span name measured for the latency SLO"
+    )
+    p_slo.add_argument(
+        "--format",
+        choices=("jsonl", "csv", "prometheus"),
+        default=None,
+        help="override file-format detection by suffix",
+    )
+    p_slo.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="replay this durability journal's energy ledger through the burn-rate monitor",
+    )
+    p_slo.add_argument("--budget", type=float, default=None, metavar="JOULES", help="energy budget B for the replay")
+    p_slo.add_argument(
+        "--horizon", type=float, default=None, metavar="SECONDS", help="horizon the budget must last"
+    )
+    p_slo.set_defaults(fn=_cmd_slo)
+
+    p_exp = sub.add_parser(
+        "explain", help="decision provenance: why each task got its compression level"
+    )
+    _add_instance_args(p_exp)
+    p_exp.add_argument(
+        "--scheduler",
+        default="lp",
+        help="method to explain; 'lp' (default) uses exact shadow prices",
+    )
+    p_exp.add_argument(
+        "--duals",
+        action="store_true",
+        help="with a non-LP scheduler, still price constraints with the LP's duals",
+    )
+    p_exp.add_argument("--load", type=Path, default=None, help="load the instance from a JSON file instead of generating")
+    p_exp.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p_exp.set_defaults(fn=_cmd_explain)
+
     return parser
 
 
@@ -721,7 +1020,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return int(args.fn(args))
+    try:
+        return int(args.fn(args))
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe; not an error.
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

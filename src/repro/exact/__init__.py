@@ -1,8 +1,8 @@
 """Exact mathematical-programming solvers (the paper's MOSEK comparators)."""
 
 from .discrete_mip import DiscreteLevelsMIPScheduler, solve_discrete_mip
-from .duals import KKTReport, KKTViolation, certify
-from .lp import LPFractionalScheduler, solve_lp_relaxation
+from .duals import KKTReport, KKTViolation, LPDuals, certify
+from .lp import LPFractionalScheduler, solve_lp_relaxation, solve_lp_with_duals
 from .mip import MIPScheduler, solve_mip
 from .model import LinearModel, VariableLayout, build_mip, build_relaxation, extract_times
 
@@ -11,9 +11,11 @@ __all__ = [
     "solve_discrete_mip",
     "KKTReport",
     "KKTViolation",
+    "LPDuals",
     "certify",
     "LPFractionalScheduler",
     "solve_lp_relaxation",
+    "solve_lp_with_duals",
     "MIPScheduler",
     "solve_mip",
     "LinearModel",

@@ -39,11 +39,53 @@ from ..algorithms.refine_profile import deadline_slack
 from ..core.schedule import Schedule
 from ..utils.validation import check_nonnegative
 
-__all__ = ["KKTViolation", "KKTReport", "certify"]
+__all__ = ["KKTViolation", "KKTReport", "certify", "LPDuals"]
 
 #: How many top grow/shrink pairs C2 cross-examines (a certificate
 #: shortcut; the extremal pairs carry the largest improvements).
 _C2_CANDIDATES = 64
+
+
+@dataclass(frozen=True)
+class LPDuals:
+    """Shadow prices of the LP relaxation (3a)–(3f), in natural units.
+
+    Extracted from the HiGHS dual solution by
+    :func:`repro.exact.lp.solve_lp_with_duals` and de-scaled back from
+    the model's O(1) row scaling, so every value reads directly as a
+    marginal accuracy:
+
+    * ``budget`` — total accuracy gained per **+1 J** of budget B
+      (Eq. (3e)'s multiplier; zero when the budget is slack);
+    * ``deadline[r, j]`` — total accuracy gained per **+1 s** on the
+      prefix-deadline constraint of task ``j`` on machine ``r``
+      (Eq. (3c)); summing over ``j`` prices one extra second of
+      machine-``r`` time across the whole horizon;
+    * ``work_cap[j]`` — total accuracy gained per **+1 FLOP** of task
+      ``j``'s compression ceiling ``f_j^max`` (Eq. (3d)).
+
+    These are the provenance layer's raw material: a task's accuracy
+    loss is attributed to whichever constraint carries the price it is
+    actually paying (:mod:`repro.observe.provenance`).
+    """
+
+    budget: float
+    deadline: np.ndarray  # (m, n)
+    work_cap: np.ndarray  # (n,)
+
+    @property
+    def machine_time_value(self) -> np.ndarray:
+        """Accuracy per +1 s of every deadline on machine r (length m)."""
+        return self.deadline.sum(axis=1)
+
+    def deadline_price(self, j: int, r: int) -> float:
+        """Accuracy per +1 s of runway for task ``j`` on machine ``r``.
+
+        One extra second of ``t_jr`` consumes a second of every prefix
+        constraint ``i ≥ j`` on machine ``r``; its deadline price is the
+        sum of those multipliers.
+        """
+        return float(self.deadline[r, j:].sum())
 
 
 @dataclass(frozen=True)

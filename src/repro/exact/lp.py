@@ -7,6 +7,7 @@ DSCT-EA-FR-OPT in tests, and as the solver column of Table 1.
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
@@ -17,9 +18,10 @@ from ..core.schedule import Schedule
 from ..algorithms.base import Scheduler, SolveInfo, SolveResult
 from ..telemetry import get_collector
 from ..utils.errors import SolverError
+from .duals import LPDuals
 from .model import build_relaxation, extract_times
 
-__all__ = ["LPFractionalScheduler", "solve_lp_relaxation"]
+__all__ = ["LPFractionalScheduler", "solve_lp_relaxation", "solve_lp_with_duals"]
 
 
 def solve_lp_relaxation(instance: ProblemInstance) -> tuple[Schedule, float]:
@@ -44,6 +46,53 @@ def solve_lp_relaxation(instance: ProblemInstance) -> tuple[Schedule, float]:
     times = extract_times(model.layout, res.x)
     # Objective is −Σ z_j; total accuracy is its negation.
     return Schedule(instance, times), float(-res.fun)
+
+
+def solve_lp_with_duals(instance: ProblemInstance) -> tuple[Schedule, float, LPDuals]:
+    """Solve the LP relaxation and extract its shadow prices.
+
+    Returns ``(schedule, optimal total accuracy, duals)`` where ``duals``
+    carries the de-scaled multipliers of the budget, prefix-deadline and
+    work-cap rows (see :class:`~repro.exact.duals.LPDuals`).  HiGHS
+    reports marginals of ``A x ≤ b`` rows as ``dObj/db ≤ 0`` for the
+    minimisation ``min −Σ z``; negating them yields accuracy gained per
+    unit of slack, and the model's row scaling (work caps by
+    ``1/f_max``, the budget by ``1/B``) is undone so the prices read in
+    joules, seconds and FLOPs.
+    """
+    tele = get_collector()
+    with tele.span("lp.solve_with_duals"):
+        with tele.span("lp.build_model"):
+            model = build_relaxation(instance)
+        with tele.span("lp.solve"):
+            res = linprog(
+                model.c,
+                A_ub=model.a_ub,
+                b_ub=model.b_ub,
+                bounds=np.column_stack([model.lower, model.upper]),
+                method="highs",
+            )
+    tele.counter("solver_runs_total", solver="lp").inc()
+    if res.status != 0:
+        tele.counter("solver_failures_total", solver="lp").inc()
+        raise SolverError(f"LP relaxation failed: status={res.status} ({res.message})")
+    marginals = np.asarray(res.ineqlin.marginals, dtype=float)
+    prices = np.clip(-marginals, 0.0, None)  # accuracy per unit of row slack
+
+    n, m = instance.n_tasks, instance.n_machines
+    tasks = instance.tasks
+    n_epigraph = sum(task.accuracy.n_segments for task in tasks)
+    # Row order (see exact.model._common_rows): epigraph block, then
+    # prefix deadlines r-major, then work caps, then the budget row.
+    deadline = prices[n_epigraph : n_epigraph + m * n].reshape(m, n).copy()
+    cap_rows = prices[n_epigraph + m * n : n_epigraph + m * n + n]
+    work_cap = cap_rows / np.asarray(tasks.f_max, dtype=float)
+    budget_dual = 0.0
+    if math.isfinite(instance.budget) and instance.budget > 0:
+        budget_dual = float(prices[n_epigraph + m * n + n]) / instance.budget
+    duals = LPDuals(budget=budget_dual, deadline=deadline, work_cap=work_cap)
+    times = extract_times(model.layout, res.x)
+    return Schedule(instance, times), float(-res.fun), duals
 
 
 class LPFractionalScheduler(Scheduler):

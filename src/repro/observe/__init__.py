@@ -1,0 +1,83 @@
+"""Observability: request tracing, decision provenance and SLO monitoring.
+
+Builds on :mod:`repro.telemetry` (the raw metric/span store) to answer
+the three operational questions the raw store cannot:
+
+* *what happened to this request?* — :mod:`repro.observe.tracing`
+  threads a trace id from the HTTP header through admission, the
+  fallback chain, the solver spans and the durability journal, and
+  exports Chrome/Perfetto ``trace_event`` JSON plus a self-contained
+  HTML timeline (:mod:`repro.observe.report`);
+* *why did this task get compressed?* — :mod:`repro.observe.provenance`
+  attributes every task's accuracy to its binding constraint
+  (deadline / energy / work cap / none) using LP shadow prices, and
+  prices +1 J and +1 s of slack;
+* *are we still healthy?* — :mod:`repro.observe.slo` checks p99 solve
+  latency, accuracy floor and deadline-miss-rate targets, and raises
+  fast/slow burn-rate alerts over the energy budget.
+"""
+
+from .provenance import (
+    REGIMES,
+    MarginalValues,
+    ProvenanceReport,
+    TaskDecision,
+    explain_instance,
+    explain_schedule,
+)
+from .report import html_timeline, write_html_timeline
+from .slo import (
+    BurnAlert,
+    BurnRateMonitor,
+    SLOReport,
+    SLOSpec,
+    SLOStatus,
+    evaluate,
+    histogram_quantile,
+)
+from .tracing import (
+    current_trace_id,
+    ensure_trace,
+    iter_trace_trees,
+    new_trace_id,
+    start_trace,
+    to_trace_events,
+    trace_ids,
+    trace_scope,
+    trace_spans,
+    valid_trace_id,
+    write_trace_events,
+)
+
+__all__ = [
+    # tracing
+    "new_trace_id",
+    "current_trace_id",
+    "trace_scope",
+    "ensure_trace",
+    "start_trace",
+    "valid_trace_id",
+    "trace_ids",
+    "trace_spans",
+    "to_trace_events",
+    "write_trace_events",
+    "iter_trace_trees",
+    # provenance
+    "REGIMES",
+    "TaskDecision",
+    "MarginalValues",
+    "ProvenanceReport",
+    "explain_schedule",
+    "explain_instance",
+    # SLOs
+    "SLOSpec",
+    "SLOStatus",
+    "SLOReport",
+    "evaluate",
+    "histogram_quantile",
+    "BurnAlert",
+    "BurnRateMonitor",
+    # reports
+    "html_timeline",
+    "write_html_timeline",
+]

@@ -1,0 +1,321 @@
+"""Decision provenance: *why* each task got the compression level it did.
+
+A schedule answers "what"; provenance answers "why".  For every task the
+solver made a three-way call — which machine(s), how much work, and
+therefore which accuracy below its ceiling — and each of those calls was
+forced by exactly one binding constraint of the LP (3a)–(3f).  This
+module reconstructs that attribution:
+
+* **work-cap-bound** — the task runs at ``f_j^max``; only Eq. (3d)
+  stops it (its accuracy equals the ceiling ``a_max``);
+* **deadline-bound** — growing the task is priced out by prefix-deadline
+  multipliers (Eq. (3c)): there is no runway left before ``d_j``;
+* **energy-bound** — growing it is priced out by the budget multiplier
+  λ (Eq. (3e)): the joules are worth more elsewhere;
+* **unconstrained** — extra work would gain (effectively) nothing; the
+  task sits on a plateau of its accuracy curve.
+
+When LP duals are available (:func:`repro.exact.lp.solve_lp_with_duals`)
+the attribution uses the actual shadow prices; otherwise a primal
+heuristic (deadline slack vs. budget slack) stands in.  The report also
+surfaces the **marginal values** operators ask for: accuracy per +1 J of
+budget and per +1 s of machine time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
+from ..exact.duals import LPDuals
+
+__all__ = [
+    "REGIMES",
+    "TaskDecision",
+    "MarginalValues",
+    "ProvenanceReport",
+    "explain_schedule",
+    "explain_instance",
+]
+
+#: The four mutually exclusive constraint regimes.
+REGIMES = ("work-cap-bound", "deadline-bound", "energy-bound", "unconstrained")
+
+#: Relative tolerance for "at the cap" / "at the deadline" / "budget spent".
+_TIGHT = 1e-6
+
+
+@dataclass(frozen=True)
+class TaskDecision:
+    """Provenance record for one task's compression decision."""
+
+    task: int
+    machines: Tuple[int, ...]  # machines granting it time, busiest first
+    flops: float
+    accuracy: float
+    accuracy_ceiling: float  # a_max — what full execution would score
+    regime: str  # one of REGIMES
+    marginal_gain: float  # accuracy per +1 FLOP at the granted work
+    deadline_price: float  # accuracy cost of the binding deadlines (per s)
+    energy_price: float  # accuracy cost of the budget (per s, λ·P_r)
+
+    @property
+    def accuracy_gap(self) -> float:
+        """Accuracy left on the table relative to full execution."""
+        return self.accuracy_ceiling - self.accuracy
+
+    def __post_init__(self) -> None:
+        if self.regime not in REGIMES:
+            raise ValueError(f"unknown regime {self.regime!r}; expected one of {REGIMES}")
+
+
+@dataclass(frozen=True)
+class MarginalValues:
+    """What one more unit of each resource would buy, in accuracy.
+
+    ``energy`` is total accuracy per **+1 J** of budget; ``machine_time``
+    maps machine index → accuracy per **+1 s** granted to every deadline
+    on that machine (relaxing the whole prefix chain — "one more second
+    of runway on machine r").  Zeros when duals are unavailable.
+    """
+
+    energy: float
+    machine_time: Tuple[float, ...]
+
+    @classmethod
+    def from_duals(cls, duals: LPDuals) -> "MarginalValues":
+        return cls(
+            energy=float(duals.budget),
+            machine_time=tuple(float(v) for v in duals.machine_time_value),
+        )
+
+    @classmethod
+    def unknown(cls, n_machines: int) -> "MarginalValues":
+        return cls(energy=0.0, machine_time=(0.0,) * n_machines)
+
+
+@dataclass(frozen=True)
+class ProvenanceReport:
+    """Full decision provenance for one schedule."""
+
+    decisions: Tuple[TaskDecision, ...]
+    marginal: MarginalValues
+    total_accuracy: float
+    total_energy: float
+    budget: float
+    from_duals: bool = True
+    duals: Optional[LPDuals] = field(default=None, repr=False, compare=False)
+
+    def counts(self) -> dict:
+        """Number of tasks in each regime (all four keys always present)."""
+        out = {regime: 0 for regime in REGIMES}
+        for decision in self.decisions:
+            out[decision.regime] += 1
+        return out
+
+    def by_regime(self, regime: str) -> List[TaskDecision]:
+        if regime not in REGIMES:
+            raise ValueError(f"unknown regime {regime!r}; expected one of {REGIMES}")
+        return [d for d in self.decisions if d.regime == regime]
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (what ``repro explain --json`` emits)."""
+        return {
+            "total_accuracy": self.total_accuracy,
+            "total_energy": self.total_energy,
+            "budget": self.budget if math.isfinite(self.budget) else None,
+            "from_duals": self.from_duals,
+            "marginal_value": {
+                "accuracy_per_joule": self.marginal.energy,
+                "accuracy_per_machine_second": list(self.marginal.machine_time),
+            },
+            "regimes": self.counts(),
+            "tasks": [
+                {
+                    "task": d.task,
+                    "machines": list(d.machines),
+                    "flops": d.flops,
+                    "accuracy": d.accuracy,
+                    "accuracy_ceiling": d.accuracy_ceiling,
+                    "accuracy_gap": d.accuracy_gap,
+                    "regime": d.regime,
+                    "marginal_gain": d.marginal_gain,
+                    "deadline_price": d.deadline_price,
+                    "energy_price": d.energy_price,
+                }
+                for d in self.decisions
+            ],
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (what ``repro explain`` prints)."""
+        counts = self.counts()
+        lines = [
+            f"total accuracy {self.total_accuracy:.4f}; "
+            f"energy {self.total_energy:.4g} J"
+            + (f" of {self.budget:.4g} J budget" if math.isfinite(self.budget) else " (no budget)"),
+            "regimes: " + ", ".join(f"{counts[r]} {r}" for r in REGIMES),
+        ]
+        if self.from_duals:
+            lines.append(f"marginal value of +1 J: {self.marginal.energy:.4g} accuracy")
+            for r, v in enumerate(self.marginal.machine_time):
+                lines.append(f"marginal value of +1 s on machine {r}: {v:.4g} accuracy")
+        else:
+            lines.append("(heuristic attribution — no LP duals available)")
+        for d in self.decisions:
+            used = ",".join(str(r) for r in d.machines) or "-"
+            lines.append(
+                f"  task {d.task}: acc {d.accuracy:.4f}/{d.accuracy_ceiling:.4f} "
+                f"(gap {d.accuracy_gap:.4f}) on machine(s) {used} — {d.regime}"
+            )
+        return "\n".join(lines)
+
+
+def _used_machines(times_row: np.ndarray) -> Tuple[int, ...]:
+    """Machines granting this task time, ordered busiest-first."""
+    used = np.nonzero(times_row > 0.0)[0]
+    return tuple(int(r) for r in used[np.argsort(-times_row[used], kind="stable")])
+
+
+def _classify_with_duals(
+    j: int,
+    schedule: Schedule,
+    duals: LPDuals,
+    gain: float,
+    candidate_machines: Tuple[int, ...],
+) -> Tuple[str, float, float]:
+    """Regime plus (deadline price, energy price), both in accuracy/s.
+
+    LP stationarity: for any machine ``r``, one more second of ``t_jr``
+    gains ``s_r·a'_j(f_j)`` and costs the prefix-deadline multipliers
+    ``Σ_{i≥j} μ_ri`` plus the budget price ``λ·P_r``.  A funded task
+    sits where gain ≤ cost on every machine; the component carrying the
+    cost on the *cheapest* machine (the one the solver would grow first)
+    names the binding constraint.
+    """
+    inst = schedule.instance
+    speeds = inst.cluster.speeds
+    powers = inst.cluster.powers
+    machines = candidate_machines or tuple(range(inst.n_machines))
+    best: Optional[Tuple[float, float, float]] = None  # (total, deadline, energy)
+    for r in machines:
+        d_price = duals.deadline_price(j, r)
+        e_price = duals.budget * powers[r]
+        total = d_price + e_price
+        # Normalise by speed so machines are compared per unit of work.
+        keyed = total / max(speeds[r], 1e-300)
+        if best is None or keyed < best[0]:
+            best = (keyed, d_price, e_price)
+    assert best is not None
+    _, d_price, e_price = best
+    if d_price <= 0.0 and e_price <= 0.0:
+        # No positive price anywhere yet positive gain: degenerate duals
+        # (e.g. a tie) — the task is not paying for anything measurable.
+        return "unconstrained", d_price, e_price
+    regime = "deadline-bound" if d_price >= e_price else "energy-bound"
+    return regime, d_price, e_price
+
+
+def _classify_heuristic(
+    j: int, schedule: Schedule, candidate_machines: Tuple[int, ...]
+) -> Tuple[str, float, float]:
+    """Primal stand-in when no duals exist: look at which slack is gone."""
+    inst = schedule.instance
+    deadlines = inst.tasks.deadlines
+    completion = schedule.completion_times
+    budget_tight = (
+        math.isfinite(inst.budget)
+        and schedule.total_energy >= inst.budget * (1.0 - _TIGHT) - 1e-12
+    )
+    machines = candidate_machines or tuple(range(inst.n_machines))
+    deadline_tight = any(
+        completion[j, r] >= deadlines[j] * (1.0 - _TIGHT) - 1e-12 for r in machines
+    )
+    if deadline_tight and not budget_tight:
+        return "deadline-bound", 1.0, 0.0
+    if budget_tight and not deadline_tight:
+        return "energy-bound", 0.0, 1.0
+    if deadline_tight and budget_tight:
+        # Both bind; charge the deadline (the machine-local constraint).
+        return "deadline-bound", 1.0, 1.0
+    return "unconstrained", 0.0, 0.0
+
+
+def explain_schedule(
+    schedule: Schedule,
+    duals: Optional[LPDuals] = None,
+    *,
+    gain_floor: float = 1e-9,
+) -> ProvenanceReport:
+    """Attribute every task's compression level to its binding constraint.
+
+    ``duals`` enables exact shadow-price attribution; without them a
+    primal slack heuristic is used (``from_duals=False`` on the report).
+    ``gain_floor`` is *relative*: extra work is considered worthless
+    (→ *unconstrained*) when the marginal gain has fallen below
+    ``gain_floor`` times the task's initial slope — absolute accuracy
+    per FLOP is meaningless across FLOP scales.
+    """
+    inst = schedule.instance
+    tasks = inst.tasks
+    flops = schedule.task_flops
+    accuracies = schedule.task_accuracies
+    times = schedule.times
+
+    decisions: List[TaskDecision] = []
+    for j, task in enumerate(tasks):
+        acc_fn = task.accuracy
+        f = float(flops[j])
+        gain = acc_fn.marginal_gain(f)
+        initial_slope = acc_fn.marginal_gain(0.0)
+        machines = _used_machines(times[j])
+        d_price = e_price = 0.0
+        if f >= acc_fn.f_max * (1.0 - _TIGHT):
+            regime = "work-cap-bound"
+        elif gain <= gain_floor * max(initial_slope, 1e-300):
+            regime = "unconstrained"
+        elif duals is not None:
+            regime, d_price, e_price = _classify_with_duals(j, schedule, duals, gain, machines)
+        else:
+            regime, d_price, e_price = _classify_heuristic(j, schedule, machines)
+        decisions.append(
+            TaskDecision(
+                task=j,
+                machines=machines,
+                flops=f,
+                accuracy=float(accuracies[j]),
+                accuracy_ceiling=float(acc_fn.a_max),
+                regime=regime,
+                marginal_gain=float(gain),
+                deadline_price=float(d_price),
+                energy_price=float(e_price),
+            )
+        )
+
+    marginal = (
+        MarginalValues.from_duals(duals)
+        if duals is not None
+        else MarginalValues.unknown(inst.n_machines)
+    )
+    return ProvenanceReport(
+        decisions=tuple(decisions),
+        marginal=marginal,
+        total_accuracy=float(schedule.total_accuracy),
+        total_energy=float(schedule.total_energy),
+        budget=float(inst.budget),
+        from_duals=duals is not None,
+        duals=duals,
+    )
+
+
+def explain_instance(instance: ProblemInstance) -> ProvenanceReport:
+    """Solve the LP relaxation with duals and explain the result."""
+    from ..exact.lp import solve_lp_with_duals
+
+    schedule, _objective, duals = solve_lp_with_duals(instance)
+    return explain_schedule(schedule, duals)

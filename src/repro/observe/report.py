@@ -1,0 +1,135 @@
+"""Self-contained HTML timeline reports for traces.
+
+:func:`html_timeline` renders a list of span dicts (the registry
+snapshot format, see :func:`repro.observe.tracing.trace_spans`) into a
+single HTML document with zero external assets — inline CSS, no
+JavaScript dependencies — so the file can be attached to a ticket or CI
+artifact and opened anywhere.  Each span is a horizontal bar positioned
+on the trace's time axis, indented by nesting depth, with its duration
+and labels in the hover title.
+
+For interactive exploration prefer the Perfetto export
+(:func:`repro.observe.tracing.write_trace_events`); this report is the
+"no tooling required" fallback.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..utils.fileio import atomic_write
+
+__all__ = ["html_timeline", "write_html_timeline"]
+
+#: Bar colours cycled by span name (hashed), chosen for contrast on white.
+_PALETTE = (
+    "#4e79a7",
+    "#f28e2b",
+    "#e15759",
+    "#76b7b2",
+    "#59a14f",
+    "#edc948",
+    "#b07aa1",
+    "#ff9da7",
+    "#9c755f",
+    "#bab0ac",
+)
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.2em; } .meta { color: #666; font-size: 0.85em; margin-bottom: 1em; }
+.lane { position: relative; height: 22px; margin: 2px 0; }
+.lane .name { position: absolute; left: 0; width: 16em; overflow: hidden;
+  white-space: nowrap; text-overflow: ellipsis; font-size: 0.8em; line-height: 22px; }
+.lane .track { position: absolute; left: 17em; right: 0; top: 0; bottom: 0;
+  background: #f4f4f4; border-radius: 3px; }
+.bar { position: absolute; top: 3px; height: 16px; border-radius: 3px; min-width: 2px; }
+.bar.open { opacity: 0.45; border: 1px dashed #333; }
+.axis { position: relative; height: 18px; margin: 4px 0 8px 0; }
+.axis .track { position: absolute; left: 17em; right: 0; color: #888; font-size: 0.75em; }
+table { border-collapse: collapse; margin-top: 1.5em; font-size: 0.85em; }
+td, th { border: 1px solid #ddd; padding: 2px 8px; text-align: left; }
+""".strip()
+
+
+def _colour(name: str) -> str:
+    return _PALETTE[sum(ord(c) for c in name) % len(_PALETTE)]
+
+
+def html_timeline(
+    spans: List[dict],
+    *,
+    title: str = "repro trace",
+    trace_id: Optional[str] = None,
+) -> str:
+    """Render spans as a self-contained HTML timeline document."""
+    spans = sorted(spans, key=lambda s: (s["start"], s["span_id"]))
+    if spans:
+        t0 = min(s["start"] for s in spans)
+        t1 = max(s["start"] + (s.get("duration") or 0.0) for s in spans)
+    else:
+        t0, t1 = 0.0, 0.0
+    extent = max(t1 - t0, 1e-9)
+
+    rows: List[str] = []
+    for span in spans:
+        duration = span.get("duration")
+        left = 100.0 * (span["start"] - t0) / extent
+        width = 100.0 * ((duration or 0.0)) / extent
+        depth = int(span.get("depth", 0))
+        labels = span.get("labels") or {}
+        label_text = " ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        dur_text = "open" if duration is None else f"{duration * 1e3:.3f} ms"
+        tooltip = html.escape(
+            f"{span['name']} — {dur_text}"
+            + (f" [{label_text}]" if label_text else "")
+            + f" (span {span['span_id']}, parent {span.get('parent_id')})"
+        )
+        name = html.escape((" " * 2 * depth) + span["name"])
+        classes = "bar open" if duration is None else "bar"
+        rows.append(
+            f'<div class="lane"><span class="name" title="{tooltip}">{name}</span>'
+            f'<span class="track"><span class="{classes}" title="{tooltip}" '
+            f'style="left:{left:.4f}%;width:{max(width, 0.15):.4f}%;'
+            f'background:{_colour(span["name"])}"></span></span></div>'
+        )
+
+    by_name: dict = {}
+    for span in spans:
+        if span.get("duration") is not None:
+            entry = by_name.setdefault(span["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += span["duration"]
+    table = ["<table><tr><th>span</th><th>count</th><th>total</th><th>mean</th></tr>"]
+    for name, (count, total) in sorted(by_name.items(), key=lambda kv: -kv[1][1]):
+        table.append(
+            f"<tr><td>{html.escape(name)}</td><td>{count}</td>"
+            f"<td>{total * 1e3:.3f} ms</td><td>{total / count * 1e3:.3f} ms</td></tr>"
+        )
+    table.append("</table>")
+
+    meta_bits = [f"{len(spans)} span(s)", f"extent {extent * 1e3:.3f} ms"]
+    if trace_id:
+        meta_bits.insert(0, f"trace <code>{html.escape(trace_id)}</code>")
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_STYLE}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<div class='meta'>{' · '.join(meta_bits)}</div>"
+        + "".join(rows)
+        + "".join(table)
+        + "</body></html>\n"
+    )
+
+
+def write_html_timeline(
+    spans: List[dict],
+    path: Union[str, Path],
+    *,
+    title: str = "repro trace",
+    trace_id: Optional[str] = None,
+) -> Path:
+    """Write :func:`html_timeline` output to ``path`` atomically."""
+    return atomic_write(path, html_timeline(spans, title=title, trace_id=trace_id))

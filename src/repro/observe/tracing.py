@@ -1,0 +1,220 @@
+"""End-to-end request tracing over the telemetry span substrate.
+
+The telemetry registry already records nested
+:class:`~repro.telemetry.SpanRecord` phases; this module adds the
+*identity* layer that turns those spans into request traces:
+
+* :func:`start_trace` opens a trace scope (a context-local trace id,
+  :func:`repro.telemetry.trace_scope`) plus a root span — every span
+  opened inside, including across the resilience layer's deadline worker
+  threads, carries the same trace id;
+* :func:`trace_spans` / :func:`trace_ids` extract one trace (or the
+  trace inventory) from a live registry or an exported snapshot;
+* :func:`to_trace_events` renders a trace in the Chrome/Perfetto
+  ``trace_event`` JSON format — load the file at ``chrome://tracing`` or
+  https://ui.perfetto.dev to see the request flame graph.
+
+Trace ids propagate across process boundaries through the
+``X-Repro-Trace-Id`` HTTP header (see :mod:`repro.server`) and into the
+durability journal (``trace_id`` on journaled records), so a served
+request, its solver phases and its write-ahead-log entries all correlate
+post hoc.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..telemetry import MetricsRegistry, current_trace_id, ensure_trace, new_trace_id, trace_scope
+from ..telemetry.context import get_collector
+from ..utils.fileio import atomic_write
+
+__all__ = [
+    "new_trace_id",
+    "current_trace_id",
+    "trace_scope",
+    "ensure_trace",
+    "start_trace",
+    "valid_trace_id",
+    "trace_ids",
+    "trace_spans",
+    "to_trace_events",
+    "write_trace_events",
+    "iter_trace_trees",
+]
+
+Snapshot = Dict[str, list]
+
+#: Accepted wire format for externally supplied trace ids (header values).
+_TRACE_ID_RE = re.compile(r"^[0-9a-fA-F-]{4,64}$")
+
+
+def valid_trace_id(candidate: Optional[str]) -> Optional[str]:
+    """``candidate`` if it is a well-formed trace id, else ``None``.
+
+    Used to sanitise inbound ``X-Repro-Trace-Id`` headers — a malformed
+    id is ignored (a fresh one is generated) rather than echoed back.
+    """
+    if candidate and _TRACE_ID_RE.match(candidate):
+        return candidate
+    return None
+
+
+class start_trace:  # noqa: N801 — context-manager used like a function
+    """Open a trace: a fresh (or given) trace id plus a root span.
+
+    ::
+
+        with start_trace("serve.request") as trace_id:
+            scheduler.solve(instance)
+
+    Every span opened in the block — in this thread and in any worker
+    that runs under a copied context — is stamped with ``trace_id``.
+    Reentrant: when ``trace_id`` is omitted and a trace is already
+    active, the active id is reused (the new span nests inside it).
+    """
+
+    def __init__(self, name: str = "trace", *, trace_id: Optional[str] = None, **labels):
+        self.name = name
+        self.trace_id = trace_id
+        self.labels = labels
+        self._scope = None
+        self._span = None
+
+    def __enter__(self) -> str:
+        if self.trace_id is None:
+            self._scope = ensure_trace()
+        else:
+            self._scope = trace_scope(self.trace_id)
+        tid = self._scope.__enter__()
+        self._span = get_collector().span(self.name, **self.labels)
+        self._span.__enter__()
+        return tid
+
+    def __exit__(self, *exc) -> None:
+        try:
+            self._span.__exit__(*exc)
+        finally:
+            self._scope.__exit__(*exc)
+
+
+# -- extraction --------------------------------------------------------------------
+
+
+def _span_dicts(source: Union[MetricsRegistry, Snapshot]) -> List[dict]:
+    if isinstance(source, MetricsRegistry):
+        return source.snapshot()["spans"]
+    return list(source.get("spans", []))
+
+
+def trace_ids(source: Union[MetricsRegistry, Snapshot]) -> List[str]:
+    """Distinct trace ids present in ``source``, in first-seen order."""
+    seen: List[str] = []
+    for span in _span_dicts(source):
+        tid = span.get("trace_id")
+        if tid and tid not in seen:
+            seen.append(tid)
+    return seen
+
+
+def trace_spans(
+    source: Union[MetricsRegistry, Snapshot], trace_id: Optional[str] = None
+) -> List[dict]:
+    """Spans of one trace (or every traced span), ordered by start time.
+
+    ``trace_id=None`` returns all spans that belong to *some* trace.
+    """
+    spans = [
+        s
+        for s in _span_dicts(source)
+        if (s.get("trace_id") == trace_id if trace_id is not None else s.get("trace_id"))
+    ]
+    spans.sort(key=lambda s: (s["start"], s["span_id"]))
+    return spans
+
+
+# -- Chrome/Perfetto trace_event export --------------------------------------------
+
+
+def to_trace_events(
+    spans: List[dict], *, process_name: str = "repro", trace_id: Optional[str] = None
+) -> dict:
+    """Render spans as a Chrome ``trace_event`` JSON document.
+
+    Each closed span becomes a complete (``"ph": "X"``) event whose
+    ``ts``/``dur`` are microseconds on the registry's monotonic clock;
+    open spans are exported with zero duration and an ``unfinished``
+    marker.  Parent/child nesting is carried both positionally (Perfetto
+    nests complete events by containment per track) and explicitly in
+    ``args.parent_id``.  The result is ``json.dump``-able as-is.
+    """
+    events: List[dict] = []
+    for span in spans:
+        duration = span.get("duration")
+        args = {
+            "span_id": span["span_id"],
+            "parent_id": span.get("parent_id"),
+            "depth": span.get("depth", 0),
+            **{str(k): str(v) for k, v in (span.get("labels") or {}).items()},
+        }
+        tid = span.get("trace_id")
+        if tid:
+            args["trace_id"] = tid
+        if duration is None:
+            args["unfinished"] = True
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(span["start"] * 1e6, 3),
+                "dur": round((duration or 0.0) * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    metadata = {"source": "repro.observe.tracing"}
+    if trace_id is not None:
+        metadata["trace_id"] = trace_id
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": metadata,
+    }
+
+
+def write_trace_events(
+    spans: List[dict],
+    path: Union[str, Path],
+    *,
+    trace_id: Optional[str] = None,
+) -> Path:
+    """Write :func:`to_trace_events` output to ``path`` atomically."""
+    document = to_trace_events(spans, trace_id=trace_id)
+    return atomic_write(path, json.dumps(document, indent=1) + "\n")
+
+
+def iter_trace_trees(spans: List[dict]) -> Iterator[tuple]:
+    """Yield ``(span, children)`` pairs for the trace's root spans.
+
+    ``children`` maps recursively — a simple helper for printers that
+    want the tree without rebuilding parent links themselves.
+    """
+    by_parent: Dict[Optional[int], List[dict]] = {}
+    ids = {s["span_id"] for s in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        # A span whose parent is outside the filtered set roots its subtree.
+        key = parent if parent in ids else None
+        by_parent.setdefault(key, []).append(span)
+
+    def subtree(span: dict):
+        children = by_parent.get(span["span_id"], [])
+        return span, [subtree(c) for c in children]
+
+    for root in by_parent.get(None, []):
+        yield subtree(root)

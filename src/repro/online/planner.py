@@ -23,7 +23,7 @@ from ..algorithms.base import Scheduler
 from ..core.instance import ProblemInstance
 from ..core.machine import Cluster
 from ..core.schedule import Schedule
-from ..telemetry import get_collector
+from ..telemetry import ensure_trace, get_collector
 from ..utils.errors import ValidationError
 from ..utils.validation import check_positive
 from ..workloads.arrivals import Request, window_batches
@@ -130,6 +130,7 @@ class RollingHorizonPlanner:
         tele.counter("planner_windows_total").inc()
         tele.counter("planner_requests_total").add(len(batch))
         tele.counter("planner_on_time_total").add(on_time)
+        tele.counter("planner_accuracy_total").add(float(schedule.task_accuracies.sum()))
         tele.histogram("planner_window_requests", buckets=(1, 2, 5, 10, 20, 50, 100, 200, 500)).observe(
             len(batch)
         )
@@ -147,9 +148,13 @@ class RollingHorizonPlanner:
         )
 
     def run(self, requests: Sequence[Request]) -> ServingReport:
-        """Plan an entire stream; empty streams yield an empty report."""
+        """Plan an entire stream; empty streams yield an empty report.
+
+        The whole run executes under one trace (the caller's active
+        trace id, or a fresh one), so every window's spans correlate.
+        """
         outcomes: List[WindowOutcome] = []
-        with get_collector().span("planner.run"):
+        with ensure_trace(), get_collector().span("planner.run"):
             for start, batch in window_batches(list(requests), self.window_seconds):
                 outcomes.append(self.plan_window(start, batch))
         return ServingReport(tuple(outcomes))
@@ -217,7 +222,7 @@ class RollingHorizonPlanner:
 
         tele = get_collector()
         outcomes: List[WindowOutcome] = []
-        with tele.span("planner.run_with_failures"):
+        with ensure_trace(), tele.span("planner.run_with_failures"):
             for start, batch in window_batches(list(requests), self.window_seconds):
                 deadlines = [max(r.deadline - start, 1e-3) for r in batch]
                 thetas = [r.theta_per_tflop for r in batch]
@@ -239,6 +244,7 @@ class RollingHorizonPlanner:
                 tele.counter("planner_windows_total").inc()
                 tele.counter("planner_requests_total").add(len(batch))
                 tele.counter("planner_on_time_total").add(on_time)
+                tele.counter("planner_accuracy_total").add(float(report.task_accuracies.sum()))
                 outcomes.append(
                     WindowOutcome(
                         start=start,

@@ -31,6 +31,7 @@ solver has its own internal limit accounting (the MIP's
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from dataclasses import dataclass
@@ -39,7 +40,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..algorithms.base import Scheduler, SolveInfo, SolveResult
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
-from ..telemetry import active_collector, collector, get_collector
+from ..telemetry import get_collector
 from ..utils.errors import FallbackExhaustedError, ReproError, SolverTimeoutError
 from ..utils.validation import check_positive, require
 
@@ -52,9 +53,11 @@ DEFAULT_TIERS: Tuple[str, ...] = ("mip", "lp", "approx", "greedy-energy")
 def run_with_deadline(fn, deadline_seconds: Optional[float], *, solver: str = "solver"):
     """Run ``fn()`` under a wall-clock deadline; returns its result.
 
-    Executes ``fn`` in a daemon thread that inherits the caller's active
-    telemetry collector (context variables do not cross thread starts on
-    their own).  On timeout the worker is abandoned, the uniform
+    Executes ``fn`` in a daemon thread under a *copy* of the caller's
+    context (``contextvars.copy_context``), so the active telemetry
+    collector, trace id and open-span chain all carry across the thread
+    hop — spans opened by the solver keep their parent links and trace
+    id.  On timeout the worker is abandoned, the uniform
     ``solver_timeouts_total{solver=...}`` counter is bumped and
     :class:`SolverTimeoutError` is raised.  Exceptions raised by ``fn``
     propagate to the caller unchanged.  ``deadline_seconds=None`` runs
@@ -63,17 +66,13 @@ def run_with_deadline(fn, deadline_seconds: Optional[float], *, solver: str = "s
     if deadline_seconds is None:
         return fn()
     check_positive(deadline_seconds, "deadline_seconds")
-    registry = active_collector()
+    context = contextvars.copy_context()
     outcome: dict = {}
     done = threading.Event()
 
     def worker() -> None:
         try:
-            if registry is not None:
-                with collector(registry):
-                    outcome["result"] = fn()
-            else:
-                outcome["result"] = fn()
+            outcome["result"] = context.run(fn)
         except BaseException as exc:  # noqa: BLE001 — relayed to the caller
             outcome["error"] = exc
         finally:

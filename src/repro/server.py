@@ -7,9 +7,20 @@ MLaaS control plane would embed:
 * ``GET  /schedulers``        — registered method names;
 * ``GET  /metrics``           — Prometheus text exposition of the
   server's telemetry registry (request counters, solve-phase spans);
+* ``GET  /slo``               — the configured SLOs evaluated against
+  the live registry (see :mod:`repro.observe.slo`);
+* ``GET  /trace/<id>``        — one request's spans as Chrome/Perfetto
+  ``trace_event`` JSON (load at https://ui.perfetto.dev);
 * ``POST /solve?scheduler=X`` — body: an instance document (the
   ``repro.core.serialization`` format); response: the schedule document
   plus headline metrics and the feasibility audit.
+
+Every ``/solve`` request runs under a trace: the ``X-Repro-Trace-Id``
+request header (when well-formed) or a fresh id becomes the request's
+trace id, is echoed back on the response, stamps every span the solve
+opens (admission → solve → schedule), and is attached to the journal
+record — so one id correlates the HTTP exchange, the flame graph at
+``/trace/<id>`` and the durable ledger entry.
 
 The serving path is guarded by :mod:`repro.resilience`: an
 :class:`~repro.resilience.admission.AdmissionController` bounds
@@ -38,15 +49,27 @@ from urllib.parse import parse_qs, urlparse
 from . import __version__
 from .algorithms.registry import available_schedulers, make_scheduler
 from .core.serialization import instance_from_dict, schedule_to_dict
+from .observe.slo import SLOSpec, evaluate
+from .observe.tracing import to_trace_events, trace_spans, valid_trace_id
 from .resilience.admission import AdmissionController
 from .resilience.fallback import FallbackChain, run_with_deadline
-from .telemetry import MetricsRegistry, collector, export_file, prometheus_text
+from .telemetry import (
+    MetricsRegistry,
+    collector,
+    export_file,
+    new_trace_id,
+    prometheus_text,
+    trace_scope,
+)
 from .utils.errors import FallbackExhaustedError, ReproError, SolverTimeoutError
 
 __all__ = ["make_server", "serve"]
 
+#: The Prometheus text exposition content type, including charset.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
-def _journal_solve(server, scheduler_name: str, energy: float) -> None:
+
+def _journal_solve(server, scheduler_name: str, energy: float, trace_id: Optional[str] = None) -> None:
     """Append one solve to the server's energy ledger (crash-safe).
 
     Handler threads race here, so the whole append-snapshot sequence runs
@@ -58,14 +81,15 @@ def _journal_solve(server, scheduler_name: str, energy: float) -> None:
         return
     with server.journal_lock:
         server.energy_spent += float(energy)
-        journal.append(
-            {
-                "type": "solve",
-                "scheduler": scheduler_name,
-                "energy": float(energy),
-                "cum_energy": server.energy_spent,
-            }
-        )
+        record = {
+            "type": "solve",
+            "scheduler": scheduler_name,
+            "energy": float(energy),
+            "cum_energy": server.energy_spent,
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        journal.append(record)
         server.solves_since_snapshot += 1
         if server.snapshot_every > 0 and server.solves_since_snapshot >= server.snapshot_every:
             server.snapshots.save(
@@ -85,11 +109,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- helpers ---------------------------------------------------------------
 
+    #: Trace id of the request being handled (set by the solve route);
+    #: echoed back on every response while set.
+    _trace_id: Optional[str] = None
+
     def _send_json(self, payload: dict, status: int = 200, headers: Optional[dict] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id is not None:
+            self.send_header("X-Repro-Trace-Id", self._trace_id)
         for key, value in (headers or {}).items():
             self.send_header(key, value)
         self.end_headers()
@@ -121,10 +151,25 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/metrics":
             body = prometheus_text(self._telemetry).encode()
             self.send_response(200)
-            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+        elif path == "/slo":
+            spec: SLOSpec = getattr(self.server, "slo", None) or SLOSpec()
+            payload = evaluate(self._telemetry, spec).to_dict()
+            payload["configured"] = not spec.empty
+            self._send_json(payload)
+        elif path.startswith("/trace/"):
+            trace_id = path[len("/trace/") :]
+            if valid_trace_id(trace_id) is None:
+                self._send_error_json(f"malformed trace id {trace_id!r}", 400)
+                return
+            spans = trace_spans(self._telemetry, trace_id)
+            if not spans:
+                self._send_error_json(f"unknown trace {trace_id!r}", 404)
+                return
+            self._send_json(to_trace_events(spans, trace_id=trace_id))
         else:
             self._send_error_json(f"unknown path {path!r}", 404)
 
@@ -147,6 +192,21 @@ class _Handler(BaseHTTPRequestHandler):
         if parsed.path != "/solve":
             self._send_error_json(f"unknown path {parsed.path!r}", 404)
             return
+        # The request's trace identity: honour a well-formed inbound
+        # X-Repro-Trace-Id (cross-service propagation), mint one otherwise.
+        # Echoed on every response from here on, including errors.
+        trace_id = valid_trace_id(self.headers.get("X-Repro-Trace-Id")) or new_trace_id()
+        self._trace_id = trace_id
+        try:
+            # Activate the server's registry for this handler thread so
+            # every span and counter below lands in it, under the trace.
+            with collector(tele), trace_scope(trace_id):
+                with tele.span("server.request", path="/solve"):
+                    self._solve_route(parsed, tele)
+        finally:
+            self._trace_id = None  # keep-alive connections reuse the handler
+
+    def _solve_route(self, parsed, tele: MetricsRegistry) -> None:
         query = parse_qs(parsed.query)
         name = query.get("scheduler", ["approx"])[0]
         try:
@@ -166,7 +226,8 @@ class _Handler(BaseHTTPRequestHandler):
             return
 
         admission: AdmissionController = self.server.admission  # type: ignore[attr-defined]
-        decision = admission.try_begin()
+        with tele.span("server.admission"):
+            decision = admission.try_begin()
         if not decision.admitted:
             tele.counter("server_errors_total", status="503").inc()
             self._send_error_json(
@@ -176,9 +237,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         try:
-            # Activate the server's registry for this handler thread so the
-            # solver's own spans/counters land in it, and trace the solve.
-            with collector(tele), tele.span("server.solve", scheduler=name):
+            with tele.span("server.solve", scheduler=name):
                 result = self._solve(scheduler, instance)
         except (SolverTimeoutError, FallbackExhaustedError) as exc:
             # Record the failure BEFORE responding: a client retrying on the
@@ -201,23 +260,25 @@ class _Handler(BaseHTTPRequestHandler):
             raise  # the outer wall answers with the JSON 500
         admission.finish(failure=False)
         schedule = result.schedule
-        _journal_solve(self.server, scheduler.name, schedule.total_energy)
-        audit = schedule.feasibility()
-        payload = {
-            "scheduler": scheduler.name,
-            "schedule": schedule_to_dict(schedule, embed_instance=False),
-            "metrics": {
-                "mean_accuracy": schedule.mean_accuracy,
-                "total_accuracy": schedule.total_accuracy,
-                "energy_joules": schedule.total_energy,
-                "budget_joules": instance.budget,
-                "runtime_seconds": result.info.runtime_seconds,
-            },
-            "feasible": audit.feasible,
-            "violations": [str(v) for v in audit.violations],
-        }
-        if "tier" in result.info.extra:
-            payload["served_tier"] = result.info.extra["tier"]
+        with tele.span("server.schedule"):
+            _journal_solve(self.server, scheduler.name, schedule.total_energy, self._trace_id)
+            audit = schedule.feasibility()
+            payload = {
+                "scheduler": scheduler.name,
+                "trace_id": self._trace_id,
+                "schedule": schedule_to_dict(schedule, embed_instance=False),
+                "metrics": {
+                    "mean_accuracy": schedule.mean_accuracy,
+                    "total_accuracy": schedule.total_accuracy,
+                    "energy_joules": schedule.total_energy,
+                    "budget_joules": instance.budget,
+                    "runtime_seconds": result.info.runtime_seconds,
+                },
+                "feasible": audit.feasible,
+                "violations": [str(v) for v in audit.violations],
+            }
+            if "tier" in result.info.extra:
+                payload["served_tier"] = result.info.extra["tier"]
         self._send_json(payload)
 
     def _build_scheduler(self, name: str):
@@ -253,6 +314,7 @@ def make_server(
     fallback: bool = False,
     journal_dir: Optional[str] = None,
     snapshot_every: int = 10,
+    slo: Optional[SLOSpec] = None,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server; port 0 picks a free port.
 
@@ -270,6 +332,9 @@ def make_server(
     ``snapshot_every`` solves), and on startup the previous incarnation's
     cumulative spend is recovered into ``server.energy_spent`` (surfaced
     on ``GET /health``) — a restarted server keeps its ledger.
+
+    ``slo`` configures the targets ``GET /slo`` evaluates against the
+    live registry (an empty spec answers with no objectives).
     """
     server = ThreadingHTTPServer((host, port), _Handler)
     server.verbose = verbose  # type: ignore[attr-defined]
@@ -277,6 +342,7 @@ def make_server(
     server.admission = admission if admission is not None else AdmissionController(max_in_flight=8)  # type: ignore[attr-defined]
     server.solver_timeout = solver_timeout  # type: ignore[attr-defined]
     server.fallback = fallback  # type: ignore[attr-defined]
+    server.slo = slo  # type: ignore[attr-defined]
     server.journal = None  # type: ignore[attr-defined]
     if journal_dir is not None:
         from .durability import JournalWriter, SnapshotStore, recover
@@ -305,6 +371,7 @@ def serve(
     max_in_flight: int = 8,
     journal_dir: Optional[str] = None,
     snapshot_every: int = 10,
+    slo: Optional[SLOSpec] = None,
 ) -> None:
     """Run the service until interrupted (the CLI's ``serve`` command).
 
@@ -320,6 +387,7 @@ def serve(
         fallback=fallback,
         journal_dir=journal_dir,
         snapshot_every=snapshot_every,
+        slo=slo,
     )
     print(f"repro scheduling service on http://{host}:{server.server_address[1]}")
     print(f"methods: {', '.join(available_schedulers())}")

@@ -43,7 +43,7 @@ import numpy as np
 from ..algorithms.base import Scheduler
 from ..core.instance import ProblemInstance
 from ..core.machine import Cluster, Machine
-from ..telemetry import get_collector
+from ..telemetry import current_trace_id, ensure_trace, get_collector
 from ..utils.errors import ReproError, SimulationError
 from ..utils.validation import check_nonnegative, check_positive, require
 from ..workloads.arrivals import Request
@@ -166,6 +166,12 @@ class OnlineSimulation:
         ``recover(journal_dir).energy_spent`` and the budget clipping
         and degradation watermarks resume where the crash left them
         instead of silently granting the budget twice.
+    slo:
+        Optional :class:`~repro.observe.slo.BurnRateMonitor`: after
+        every planning window the cumulative energy ledger is fed to it
+        (``observe(window_start, cum_energy)``); alerts it fires bump
+        ``slo_alerts_total{severity=...}`` and are journaled as
+        ``slo_alert`` events.
     """
 
     def __init__(
@@ -181,6 +187,7 @@ class OnlineSimulation:
         degradation=None,
         journal=None,
         initial_energy_spent: float = 0.0,
+        slo=None,
     ):
         check_positive(window_seconds, "window_seconds")
         require(power_cap_fraction > 0, "power_cap_fraction must be > 0")
@@ -199,6 +206,7 @@ class OnlineSimulation:
         self.degradation = degradation
         self.journal = journal
         self.initial_energy_spent = float(initial_energy_spent)
+        self.slo = slo
         for o in self.failures.outages:
             require(0 <= o.machine < len(cluster), f"outage references machine {o.machine}")
         for s in self.failures.slowdowns:
@@ -209,12 +217,20 @@ class OnlineSimulation:
         return self.power_cap_fraction * self.window_seconds * self.cluster.total_power
 
     def run(self, requests: Sequence[Request]) -> OnlineSimReport:
-        """Simulate the full stream; returns measured per-request records."""
-        with get_collector().span("online_sim.run"):
+        """Simulate the full stream; returns measured per-request records.
+
+        Runs under one trace (the caller's active trace id or a fresh
+        one); journaled events carry it, so a journal correlates with
+        the run's spans post hoc.
+        """
+        with ensure_trace(), get_collector().span("online_sim.run"):
             report = self._run(requests)
         tele = get_collector()
         tele.counter("online_sim_requests_total").add(report.n_requests)
         tele.counter("online_sim_slo_met_total").add(sum(r.met_slo for r in report.records))
+        tele.counter("online_sim_accuracy_total").add(
+            float(sum(r.accuracy for r in report.records))
+        )
         return report
 
     def _run(self, requests: Sequence[Request]) -> OnlineSimReport:
@@ -346,7 +362,28 @@ class OnlineSimulation:
 
     def _journal(self, event: dict) -> None:
         if self.journal is not None:
+            trace_id = current_trace_id()
+            if trace_id is not None and "trace_id" not in event:
+                event = {**event, "trace_id": trace_id}
             self.journal.append(event)
+
+    def _observe_slo(self, t: float, cum_energy: float) -> None:
+        """Feed the burn-rate monitor one ledger sample; record alerts."""
+        if self.slo is None:
+            return
+        tele = get_collector()
+        for alert in self.slo.observe(t, cum_energy):
+            tele.counter("slo_alerts_total", severity=alert.severity).inc()
+            self._journal(
+                {
+                    "type": "slo_alert",
+                    "severity": alert.severity,
+                    "t": alert.at,
+                    "burn_rate": alert.burn_rate,
+                    "window": alert.window,
+                    "threshold": alert.threshold,
+                }
+            )
 
     def _planning_view(self, alive: np.ndarray, factor: np.ndarray):
         """The cluster the planner sees, plus sub-index → machine map.
@@ -417,6 +454,7 @@ class OnlineSimulation:
                     "note": note,
                 }
             )
+            self._observe_slo(window_start, ledger["cum"])
 
         cluster, index_map = self._planning_view(alive, factor)
         reqs = [records[i].request for i in batch]
@@ -540,6 +578,7 @@ class OnlineSimulation:
             queue.schedule_at(start + duration, finish)
 
         ledger["cum"] += window_energy
+        self._observe_slo(window_start, ledger["cum"])
         if self.journal is not None:
             caps: List[float] = []
             if self.degradation is not None and decision.degraded:

@@ -43,10 +43,18 @@ from .registry import (
     MetricsRegistry,
     SpanRecord,
     TelemetryError,
+    current_trace_id,
+    ensure_trace,
+    new_trace_id,
+    trace_scope,
 )
 
 __all__ = [
     "MetricsRegistry",
+    "new_trace_id",
+    "current_trace_id",
+    "trace_scope",
+    "ensure_trace",
     "Counter",
     "Gauge",
     "Histogram",

@@ -65,6 +65,8 @@ _CSV_COLUMNS = [
     "depth",
     "start",
     "duration",
+    "wall_start",
+    "trace_id",
 ]
 
 _PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -137,6 +139,8 @@ def write_csv(source: Union[MetricsRegistry, Snapshot], path: Union[str, Path]) 
                     "depth": span["depth"],
                     "start": repr(span["start"]),
                     "duration": "" if span["duration"] is None else repr(span["duration"]),
+                    "wall_start": repr(span.get("wall_start", 0.0)),
+                    "trace_id": span.get("trace_id") or "",
                 }
             )
         return atomic_write(path, fh.getvalue())
@@ -163,6 +167,9 @@ def read_csv(path: Union[str, Path]) -> Snapshot:
                         "start": _num(row["start"]),
                         "duration": _num(row["duration"]) if row["duration"] else None,
                         "labels": labels,
+                        # Columns added later; absent in older exports.
+                        "wall_start": _num(row["wall_start"]) if row.get("wall_start") else 0.0,
+                        "trace_id": row.get("trace_id") or None,
                     }
                 )
                 continue

@@ -18,14 +18,26 @@ series — restricted to what an offline scheduling library needs:
   latency distributions come for free.
 
 The registry is thread-safe: scalar updates take a lock, and the span
-stack is thread-local so concurrent server requests trace independently.
+stack lives in a :class:`~contextvars.ContextVar` so concurrent server
+requests trace independently *and* parent links survive context-aware
+thread hops (``contextvars.copy_context().run`` in the resilience
+layer's deadline workers).
+
+Tracing (see :mod:`repro.observe.tracing` for the high-level API) hangs
+off the same spans: a *trace id* set with :func:`trace_scope` is stamped
+onto every span opened while the scope is active, which is what lets one
+served request be followed across the server, solver and journal.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
+import uuid
+import warnings
 from bisect import bisect_left
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -37,6 +49,10 @@ __all__ = [
     "SpanRecord",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "new_trace_id",
+    "current_trace_id",
+    "trace_scope",
+    "ensure_trace",
 ]
 
 #: Latency-oriented default histogram buckets (seconds); an implicit
@@ -70,8 +86,55 @@ MAX_SERIES_PER_METRIC = 1000
 LabelItems = Tuple[Tuple[str, str], ...]
 
 
+#: Self-metric bumped when a series is dropped at the cardinality cap.
+#: Exempt from the cap itself (its cardinality is bounded by the number
+#: of distinct metric *names*, which is finite by construction).
+DROPPED_SERIES_METRIC = "telemetry_series_dropped_total"
+
+
 class TelemetryError(ValueError):
     """Raised on inconsistent metric declarations (kind/labels clashes)."""
+
+
+# -- trace identity ----------------------------------------------------------------
+#
+# The trace id is a context-local string; spans opened while one is set
+# carry it.  These primitives live here (not in repro.observe) so the
+# registry can stamp spans without an upward dependency.
+
+_TRACE_ID: ContextVar[Optional[str]] = ContextVar("repro_trace_id", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id active in this context, or ``None``."""
+    return _TRACE_ID.get()
+
+
+@contextlib.contextmanager
+def trace_scope(trace_id: str) -> Iterator[str]:
+    """Activate ``trace_id`` for the enclosed block (nested scopes shadow)."""
+    tid = str(trace_id)
+    token = _TRACE_ID.set(tid)
+    try:
+        yield tid
+    finally:
+        _TRACE_ID.reset(token)
+
+
+@contextlib.contextmanager
+def ensure_trace() -> Iterator[str]:
+    """Reuse the active trace id, or open a fresh scope around the block."""
+    tid = _TRACE_ID.get()
+    if tid is not None:
+        yield tid
+        return
+    with trace_scope(new_trace_id()) as tid:
+        yield tid
 
 
 def _label_items(labels: Dict[str, object]) -> LabelItems:
@@ -173,15 +236,25 @@ class Histogram:
 
 @dataclass
 class SpanRecord:
-    """One traced phase: a named interval with nesting links."""
+    """One traced phase: a named interval with nesting links.
+
+    ``start`` and ``duration`` come from ``time.perf_counter()`` — a
+    monotonic clock that cannot run backwards under NTP adjustment —
+    while ``wall_start`` is the ``time.time()`` instant the span opened,
+    kept for aligning traces against external timestamps (journal
+    records, log lines).  ``trace_id`` is the request-scoped trace the
+    span belongs to (``None`` outside any :func:`trace_scope`).
+    """
 
     span_id: int
     parent_id: Optional[int]
     name: str
     depth: int
-    start: float  #: seconds since the registry was created
+    start: float  #: monotonic seconds since the registry was created
     labels: LabelItems = ()
     duration: Optional[float] = None  #: filled when the span closes
+    wall_start: float = 0.0  #: wall-clock (epoch) seconds at open
+    trace_id: Optional[str] = None  #: active trace id at open
 
     @property
     def closed(self) -> bool:
@@ -215,8 +288,13 @@ class MetricsRegistry:
         self._kinds: Dict[str, str] = {}
         self._label_keys: Dict[str, Tuple[str, ...]] = {}
         self._series_count: Dict[str, int] = {}
+        self._overflow_warned: set = set()
         self.spans: List[SpanRecord] = []
-        self._local = threading.local()
+        # Immutable tuple per context: new threads/contexts start empty,
+        # copy_context() hand-offs inherit the parent chain read-only.
+        self._stack: ContextVar[Tuple[SpanRecord, ...]] = ContextVar(
+            "repro_span_stack", default=()
+        )
         self._next_span_id = 0
         self._epoch = time.perf_counter()
 
@@ -225,6 +303,7 @@ class MetricsRegistry:
     def _series(self, cls, name: str, labels: Dict[str, object], **kwargs):
         items = _label_items(labels)
         key = (name, items)
+        warn = False
         with self._lock:
             kind = self._kinds.get(name)
             if kind is not None and kind != cls.kind:
@@ -239,17 +318,35 @@ class MetricsRegistry:
                     f"metric {name!r} used with label keys {keys}, previously {known_keys} — "
                     "label *values* may vary, label keys must not"
                 )
-            if self._series_count.get(name, 0) >= MAX_SERIES_PER_METRIC:
-                raise TelemetryError(
-                    f"metric {name!r} exceeded {MAX_SERIES_PER_METRIC} label combinations — "
-                    "an unbounded value (id, timestamp) is probably being used as a label"
-                )
-            metric = cls(name, items, **kwargs)
-            self._metrics[key] = metric
-            self._kinds[name] = cls.kind
-            self._label_keys[name] = keys
-            self._series_count[name] = self._series_count.get(name, 0) + 1
-            return metric
+            if (
+                self._series_count.get(name, 0) >= MAX_SERIES_PER_METRIC
+                and name != DROPPED_SERIES_METRIC
+            ):
+                # Over the cap: do NOT register the new combination.  The
+                # caller still gets a working (detached) series so hot
+                # paths never crash on cardinality, and the overflow is
+                # made visible below instead of silently capping.
+                if name not in self._overflow_warned:
+                    self._overflow_warned.add(name)
+                    warn = True
+            else:
+                metric = cls(name, items, **kwargs)
+                self._metrics[key] = metric
+                self._kinds[name] = cls.kind
+                self._label_keys[name] = keys
+                self._series_count[name] = self._series_count.get(name, 0) + 1
+                return metric
+        # Overflow path, outside the lock (the self-metric re-enters _series).
+        if warn:
+            warnings.warn(
+                f"metric {name!r} exceeded {MAX_SERIES_PER_METRIC} label combinations — "
+                "an unbounded value (id, timestamp) is probably being used as a label; "
+                "further combinations are dropped (see telemetry_series_dropped_total)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        self.counter(DROPPED_SERIES_METRIC, metric=name).inc()
+        return cls(name, items, **kwargs)
 
     def counter(self, name: str, **labels) -> Counter:
         """Get or create the counter series ``name{labels}``."""
@@ -272,9 +369,8 @@ class MetricsRegistry:
     # -- spans -----------------------------------------------------------------
 
     def span(self, name: str, **labels) -> _SpanContext:
-        """Open a traced phase; nest freely (per thread)."""
-        stack: List[SpanRecord] = getattr(self._local, "stack", None) or []
-        self._local.stack = stack
+        """Open a traced phase; nest freely (per thread / context)."""
+        stack = self._stack.get()
         parent = stack[-1] if stack else None
         with self._lock:
             span_id = self._next_span_id
@@ -286,18 +382,20 @@ class MetricsRegistry:
                 depth=len(stack),
                 start=time.perf_counter() - self._epoch,
                 labels=_label_items(labels),
+                wall_start=time.time(),
+                trace_id=current_trace_id(),
             )
             self.spans.append(record)
-        stack.append(record)
+        self._stack.set(stack + (record,))
         return _SpanContext(self, record)
 
     def _close_span(self, record: SpanRecord, elapsed: float) -> None:
         record.duration = elapsed
-        stack: List[SpanRecord] = self._local.stack
+        stack = self._stack.get()
         # The span being closed is normally the innermost; guard against
         # out-of-order exits from generator-based context managers.
         if record in stack:
-            stack.remove(record)
+            self._stack.set(tuple(s for s in stack if s is not record))
         self.histogram("span_duration_seconds", span=record.name).observe(elapsed)
 
     def timer(self, name: str, *, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels) -> "_TimerContext":
@@ -348,6 +446,8 @@ class MetricsRegistry:
                     "start": s.start,
                     "duration": s.duration,
                     "labels": dict(s.labels),
+                    "wall_start": s.wall_start,
+                    "trace_id": s.trace_id,
                 }
                 for s in self.spans
             ]

@@ -1,0 +1,150 @@
+"""Decision provenance: regime attribution must agree with the LP duals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exact import solve_lp_with_duals
+from repro.observe import (
+    REGIMES,
+    MarginalValues,
+    ProvenanceReport,
+    TaskDecision,
+    explain_instance,
+    explain_schedule,
+)
+
+from conftest import make_instance
+
+
+@pytest.fixture(scope="module")
+def energy_bound():
+    """A starved budget: every funded task should be energy-bound."""
+    return explain_instance(make_instance(n=8, m=3, beta=0.2, rho=0.5, seed=1))
+
+
+@pytest.fixture(scope="module")
+def time_bound():
+    """A lavish budget: tasks stop at deadlines or work caps, never energy."""
+    return explain_instance(make_instance(n=8, m=3, beta=5.0, rho=0.5, seed=1))
+
+
+class TestAttribution:
+    def test_every_task_gets_exactly_one_regime(self, energy_bound, time_bound):
+        for report in (energy_bound, time_bound):
+            assert len(report.decisions) == 8
+            for d in report.decisions:
+                assert d.regime in REGIMES
+
+    def test_starved_budget_attributes_to_energy(self, energy_bound):
+        counts = energy_bound.counts()
+        assert set(counts) == set(REGIMES)
+        # A starved budget makes energy the dominant scarce resource
+        # (deadlines may still bind for a minority of tight tasks).
+        assert counts["energy-bound"] >= 5
+        assert counts["energy-bound"] > counts["deadline-bound"]
+        # The budget's shadow price is strictly positive: +1 J buys accuracy.
+        assert energy_bound.marginal.energy > 0.0
+        assert energy_bound.duals.budget > 0.0
+        # Any deadline-bound task must be backed by a scarce machine: the
+        # machine-time dual it is charged against is strictly positive.
+        for d in energy_bound.by_regime("deadline-bound"):
+            assert d.deadline_price > 0.0
+
+    def test_lavish_budget_never_attributes_to_energy(self, time_bound):
+        counts = time_bound.counts()
+        assert counts["energy-bound"] == 0
+        assert counts["work-cap-bound"] + counts["deadline-bound"] == 8
+        # The budget dual vanishes; machine time is what's scarce.
+        assert time_bound.marginal.energy == pytest.approx(0.0, abs=1e-9)
+        assert any(v > 0.0 for v in time_bound.marginal.machine_time)
+
+    def test_regimes_consistent_with_dual_prices(self, energy_bound, time_bound):
+        """The named regime must match the dominant shadow-price component."""
+        for report in (energy_bound, time_bound):
+            for d in report.decisions:
+                if d.regime == "deadline-bound":
+                    assert d.deadline_price >= d.energy_price
+                    assert d.deadline_price > 0.0
+                elif d.regime == "energy-bound":
+                    assert d.energy_price > d.deadline_price
+                    assert d.energy_price > 0.0
+
+    def test_work_cap_bound_tasks_sit_at_their_ceiling(self, time_bound):
+        for d in time_bound.by_regime("work-cap-bound"):
+            assert d.accuracy == pytest.approx(d.accuracy_ceiling, rel=1e-6)
+            assert d.accuracy_gap == pytest.approx(0.0, abs=1e-6)
+
+    def test_energy_bound_tasks_leave_accuracy_on_the_table(self, energy_bound):
+        assert all(d.accuracy_gap > 1e-6 for d in energy_bound.by_regime("energy-bound"))
+
+    def test_machines_listed_busiest_first(self, energy_bound):
+        schedule, _, _ = solve_lp_with_duals(make_instance(n=8, m=3, beta=0.2, rho=0.5, seed=1))
+        for d in energy_bound.decisions:
+            row = schedule.times[d.task]
+            assert list(d.machines) == sorted(
+                np.nonzero(row > 0)[0], key=lambda r: -row[r]
+            )
+
+
+class TestHeuristicFallback:
+    def test_without_duals_uses_primal_slack(self):
+        instance = make_instance(n=6, m=2, beta=0.2, seed=3)
+        schedule, _, _ = solve_lp_with_duals(instance)
+        report = explain_schedule(schedule)  # no duals given
+        assert report.from_duals is False
+        assert report.marginal.energy == 0.0
+        # A starved budget is still recognisably the binding resource.
+        assert report.counts()["energy-bound"] >= 1
+        for d in report.decisions:
+            assert d.regime in REGIMES
+
+
+class TestReportSurface:
+    def test_to_dict_is_json_ready(self, energy_bound):
+        import json
+
+        doc = json.loads(json.dumps(energy_bound.to_dict()))
+        assert doc["from_duals"] is True
+        assert set(doc["regimes"]) == set(REGIMES)
+        assert len(doc["tasks"]) == 8
+        assert doc["marginal_value"]["accuracy_per_joule"] > 0.0
+        assert len(doc["marginal_value"]["accuracy_per_machine_second"]) == 3
+
+    def test_infinite_budget_serialises_as_null(self):
+        # Build a report directly; the dict must stay JSON-clean.
+        report = ProvenanceReport(
+            decisions=(),
+            marginal=MarginalValues.unknown(2),
+            total_accuracy=0.0,
+            total_energy=0.0,
+            budget=math.inf,
+            from_duals=False,
+        )
+        assert report.to_dict()["budget"] is None
+
+    def test_summary_mentions_every_regime_and_task(self, time_bound):
+        text = time_bound.summary()
+        for regime in REGIMES:
+            assert regime in text
+        for d in time_bound.decisions:
+            assert f"task {d.task}:" in text
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ValueError, match="unknown regime"):
+            TaskDecision(
+                task=0,
+                machines=(),
+                flops=0.0,
+                accuracy=0.0,
+                accuracy_ceiling=1.0,
+                regime="vibes-bound",
+                marginal_gain=0.0,
+                deadline_price=0.0,
+                energy_price=0.0,
+            )
+
+    def test_by_regime_validates_name(self, energy_bound):
+        with pytest.raises(ValueError, match="unknown regime"):
+            energy_bound.by_regime("nope")

@@ -104,3 +104,85 @@ class TestSolve:
             t.join()
         accs = {r["metrics"]["mean_accuracy"] for r in results}
         assert len(accs) == 1  # identical deterministic answers
+
+
+class TestObservability:
+    """The observe surfaces: trace propagation, /trace, /slo, /metrics."""
+
+    def post_raw(self, url, payload, headers=None):
+        body = json.dumps(payload).encode()
+        req = urllib.request.Request(url, data=body, method="POST", headers=headers or {})
+        return urllib.request.urlopen(req, timeout=30)
+
+    def test_metrics_prometheus_content_type(self, base_url):
+        resp = urllib.request.urlopen(base_url + "/metrics", timeout=10)
+        assert resp.headers.get("Content-Type") == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_response_carries_trace_id(self, base_url):
+        inst = make_instance(n=3, m=2, beta=0.5, seed=620)
+        resp = self.post_raw(base_url + "/solve", instance_to_dict(inst))
+        trace_id = resp.headers.get("X-Repro-Trace-Id")
+        payload = json.load(resp)
+        assert trace_id  # minted server-side when the client sends none
+        assert payload["trace_id"] == trace_id
+
+    def test_inbound_trace_id_propagates(self, base_url):
+        inst = make_instance(n=3, m=2, beta=0.5, seed=621)
+        resp = self.post_raw(
+            base_url + "/solve",
+            instance_to_dict(inst),
+            headers={"X-Repro-Trace-Id": "feedc0de12345678"},
+        )
+        assert resp.headers.get("X-Repro-Trace-Id") == "feedc0de12345678"
+
+    def test_trace_endpoint_returns_nested_trace_events(self, base_url):
+        inst = make_instance(n=3, m=2, beta=0.5, seed=622)
+        self.post_raw(
+            base_url + "/solve",
+            instance_to_dict(inst),
+            headers={"X-Repro-Trace-Id": "abad1dea00000001"},
+        )
+        doc = get(base_url + "/trace/abad1dea00000001")
+        events = doc["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        by_name = {e["name"]: e for e in events}
+        root = by_name["server.request"]
+        assert root["args"]["parent_id"] is None
+        for child in ("server.admission", "server.solve", "server.schedule"):
+            assert by_name[child]["args"]["parent_id"] == root["args"]["span_id"]
+        # The solver ran *inside* server.solve.
+        solver = next(e for e in events if e["name"].endswith(".solve") and e["name"] != "server.solve")
+        assert solver["args"]["depth"] > by_name["server.solve"]["args"]["depth"]
+
+    def test_trace_endpoint_unknown_and_malformed(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(base_url + "/trace/ffffffffffffffff")
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(base_url + "/trace/not%20hex!")
+        assert err.value.code == 400
+
+    def test_slo_endpoint_unconfigured(self, base_url):
+        doc = get(base_url + "/slo")
+        assert doc["configured"] is False
+        assert doc["ok"] is True  # vacuous
+
+    def test_slo_endpoint_configured(self):
+        from repro.observe import SLOSpec
+
+        server = make_server(slo=SLOSpec(p99_solve_latency=30.0))
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{port}"
+            inst = make_instance(n=3, m=2, beta=0.5, seed=623)
+            post(url + "/solve", instance_to_dict(inst))
+            doc = get(url + "/slo")
+            assert doc["configured"] is True
+            assert doc["ok"] is True
+            latency = next(s for s in doc["objectives"] if s["objective"] == "p99_solve_latency")
+            assert latency["actual"] is not None and latency["actual"] < 30.0
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -1,0 +1,208 @@
+"""SLO evaluation and the energy burn-rate monitor."""
+
+import pytest
+
+from repro.algorithms.registry import make_scheduler
+from repro.observe import (
+    BurnRateMonitor,
+    SLOSpec,
+    evaluate,
+    histogram_quantile,
+)
+from repro.simulator.online_sim import OnlineSimulation
+from repro.telemetry import MetricsRegistry, collector
+from repro.utils.errors import ValidationError
+from repro.workloads.arrivals import PoissonArrivals
+
+from conftest import make_cluster
+
+
+class TestHistogramQuantile:
+    def test_empty_returns_none(self):
+        assert histogram_quantile(0.99, [1.0, 10.0], [0, 0, 0]) is None
+
+    def test_interpolates_within_bucket(self):
+        # 10 obs in (0, 1]: p50 lands mid-bucket.
+        assert histogram_quantile(0.5, [1.0, 10.0], [10, 0, 0]) == pytest.approx(0.5)
+        # 5 in (0,.1], 5 in (.1,1]: p99 interpolates near the top of bucket 2.
+        assert histogram_quantile(0.99, [0.1, 1.0], [5, 5, 0]) == pytest.approx(0.982)
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        assert histogram_quantile(0.99, [0.1, 1.0], [0, 0, 10]) == 1.0
+
+    def test_validates_quantile(self):
+        with pytest.raises(ValidationError):
+            histogram_quantile(1.5, [1.0], [1, 0])
+
+
+class TestSpec:
+    def test_empty_detection(self):
+        assert SLOSpec().empty
+        assert not SLOSpec(p99_solve_latency=1.0).empty
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SLOSpec(p99_solve_latency=-1.0)
+        with pytest.raises(ValidationError):
+            SLOSpec(accuracy_floor=1.5)
+        with pytest.raises(ValidationError):
+            SLOSpec(deadline_miss_rate=-0.1)
+
+
+class TestEvaluate:
+    def registry_with_traffic(self, latencies=(0.01, 0.02), acc=7.2, requests=10, on_time=9):
+        reg = MetricsRegistry()
+        hist = reg.histogram(
+            "span_duration_seconds", span="server.solve", buckets=(0.005, 0.05, 0.5)
+        )
+        for value in latencies:
+            hist.observe(value)
+        reg.counter("planner_accuracy_total").add(acc)
+        reg.counter("planner_requests_total").add(requests)
+        reg.counter("planner_on_time_total").add(on_time)
+        return reg
+
+    def test_all_objectives_pass(self):
+        reg = self.registry_with_traffic()
+        report = evaluate(
+            reg,
+            SLOSpec(p99_solve_latency=0.5, accuracy_floor=0.5, deadline_miss_rate=0.2),
+        )
+        assert report.ok
+        assert len(report.statuses) == 3
+        assert all(s.actual is not None for s in report.statuses)
+
+    def test_latency_breach_fails(self):
+        reg = self.registry_with_traffic(latencies=(0.4,) * 20)
+        report = evaluate(reg, SLOSpec(p99_solve_latency=0.01))
+        assert not report.ok
+        (latency,) = report.statuses
+        assert latency.actual > 0.01
+        assert "FAIL" in report.summary()
+
+    def test_accuracy_floor_breach_fails(self):
+        reg = self.registry_with_traffic(acc=2.0, requests=10)  # mean 0.2
+        report = evaluate(reg, SLOSpec(accuracy_floor=0.5))
+        assert not report.ok
+
+    def test_miss_rate_breach_fails(self):
+        reg = self.registry_with_traffic(requests=10, on_time=5)  # 50% misses
+        report = evaluate(reg, SLOSpec(deadline_miss_rate=0.2))
+        assert not report.ok
+        (miss,) = report.statuses
+        assert miss.actual == pytest.approx(0.5)
+
+    def test_no_data_passes_vacuously(self):
+        report = evaluate(
+            MetricsRegistry(),
+            SLOSpec(p99_solve_latency=1.0, accuracy_floor=0.9, deadline_miss_rate=0.0),
+        )
+        assert report.ok
+        assert all(s.actual is None for s in report.statuses)
+        assert "no data" in report.summary()
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        report = evaluate(self.registry_with_traffic(), SLOSpec(accuracy_floor=0.5))
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["ok"] is True
+        assert doc["objectives"][0]["objective"] == "accuracy_floor"
+
+
+class TestBurnRateMonitor:
+    def test_nominal_spend_stays_silent(self):
+        monitor = BurnRateMonitor(budget=100.0, horizon=100.0)
+        # Exactly sustainable (1 J/s) the whole way: below both thresholds.
+        for t in range(1, 101):
+            assert monitor.observe(float(t), float(t)) == []
+        assert monitor.alerts == []
+        assert monitor.spent_fraction == pytest.approx(1.0)
+        assert monitor.exhausted
+
+    def test_fast_burn_fires_on_budget_exhaustion_rate(self):
+        monitor = BurnRateMonitor(budget=100.0, horizon=100.0)
+        fired = monitor.observe(5.0, 50.0)  # 10 W against 1 W sustainable
+        severities = {a.severity for a in fired}
+        assert severities == {"fast", "slow"}
+        fast = next(a for a in fired if a.severity == "fast")
+        assert fast.burn_rate >= fast.threshold
+        assert "fast-burn" in str(fast)
+
+    def test_alerts_latch_per_severity(self):
+        monitor = BurnRateMonitor(budget=100.0, horizon=100.0)
+        assert len(monitor.observe(5.0, 50.0)) == 2
+        assert monitor.observe(6.0, 70.0) == []  # both already latched
+        assert len(monitor.alerts) == 2
+
+    def test_slow_drift_fires_slow_only(self):
+        monitor = BurnRateMonitor(budget=100.0, horizon=100.0)
+        # 1.5 W sustained: over the slow threshold (1.2x), under fast (2x).
+        fired = []
+        for t in range(1, 40):
+            fired += monitor.observe(float(t), 1.5 * t)
+        assert {a.severity for a in fired} == {"slow"}
+
+    def test_monotonicity_enforced(self):
+        monitor = BurnRateMonitor(budget=10.0, horizon=10.0)
+        monitor.observe(2.0, 1.0)
+        with pytest.raises(ValidationError, match="time went backwards"):
+            monitor.observe(1.0, 2.0)
+        with pytest.raises(ValidationError, match="energy decreased"):
+            monitor.observe(3.0, 0.5)
+
+    def test_projected_exhaustion(self):
+        monitor = BurnRateMonitor(budget=100.0, horizon=100.0)
+        monitor.observe(10.0, 20.0)  # 2 W -> 40 s left for the remaining 80 J
+        assert monitor.projected_exhaustion() == pytest.approx(50.0)
+        silent = BurnRateMonitor(budget=100.0, horizon=100.0)
+        assert silent.projected_exhaustion() is None
+
+    def test_status_is_json_ready(self):
+        import json
+
+        monitor = BurnRateMonitor(budget=100.0, horizon=100.0)
+        monitor.observe(5.0, 50.0)
+        doc = json.loads(json.dumps(monitor.status()))
+        assert doc["spent"] == 50.0
+        assert doc["fast"]["burn_rate"] > doc["fast"]["threshold"]
+        assert {a["severity"] for a in doc["alerts"]} == {"fast", "slow"}
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BurnRateMonitor(budget=0.0, horizon=10.0)
+        with pytest.raises(ValidationError):
+            BurnRateMonitor(budget=10.0, horizon=-1.0)
+
+
+class TestOnlineSimIntegration:
+    def simulate(self, budget_fraction):
+        cluster = make_cluster(m=3)
+        requests = PoissonArrivals(6.0, seed=11).generate(8.0)
+        horizon = 8.0
+        budget = budget_fraction * horizon * cluster.total_power
+        monitor = BurnRateMonitor(budget=budget, horizon=horizon)
+        reg = MetricsRegistry()
+        sim = OnlineSimulation(
+            cluster, make_scheduler("approx"), window_seconds=2.0, slo=monitor
+        )
+        with collector(reg):
+            sim.run(requests)
+        return monitor, reg
+
+    def test_starved_budget_fires_fast_burn(self):
+        monitor, reg = self.simulate(budget_fraction=0.02)
+        assert any(a.severity == "fast" for a in monitor.alerts)
+        snap = reg.snapshot()
+        fired = {
+            m["labels"]["severity"]: m["value"]
+            for m in snap["metrics"]
+            if m["name"] == "slo_alerts_total"
+        }
+        assert fired.get("fast") == 1.0
+
+    def test_ample_budget_stays_silent(self):
+        monitor, reg = self.simulate(budget_fraction=10.0)
+        assert monitor.alerts == []
+        snap = reg.snapshot()
+        assert all(m["name"] != "slo_alerts_total" for m in snap["metrics"])

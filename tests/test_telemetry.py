@@ -76,14 +76,30 @@ class TestRegistry:
         with pytest.raises(TelemetryError, match="already registered"):
             reg.gauge("v")
 
-    def test_series_cardinality_capped(self):
-        from repro.telemetry.registry import MAX_SERIES_PER_METRIC
+    def test_series_cardinality_overflow_degrades_not_raises(self):
+        from repro.telemetry.registry import DROPPED_SERIES_METRIC, MAX_SERIES_PER_METRIC
 
         reg = MetricsRegistry()
         for i in range(MAX_SERIES_PER_METRIC):
             reg.counter("unbounded_total", i=i)
-        with pytest.raises(TelemetryError, match="label combinations"):
-            reg.counter("unbounded_total", i="one too many")
+        # Past the cap: warn once, hand back a working detached series,
+        # and count the drop — never raise on a hot path.
+        with pytest.warns(RuntimeWarning, match="label combinations"):
+            extra = reg.counter("unbounded_total", i="one too many")
+        extra.inc()  # detached but functional
+        assert extra.value == 1.0
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")  # second overflow must NOT warn again
+            reg.counter("unbounded_total", i="two too many").inc()
+        dropped = reg.counter(DROPPED_SERIES_METRIC, metric="unbounded_total")
+        assert dropped.value == 2.0
+        # The registered series are untouched and still retrievable.
+        snap = reg.snapshot()
+        names = [m["name"] for m in snap["metrics"]]
+        assert names.count("unbounded_total") == MAX_SERIES_PER_METRIC
+        assert DROPPED_SERIES_METRIC in names
 
     def test_histogram_buckets(self):
         reg = MetricsRegistry()

@@ -1,0 +1,139 @@
+"""Property tests: telemetry snapshots survive every exporter round trip.
+
+JSONL and CSV are lossless; the Prometheus exposition format is lossless
+modulo what the format cannot carry (spans, histogram min/max).  Label
+*values* are adversarial on purpose — quotes, newlines, commas and
+backslashes are exactly what breaks naive text escaping.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import (
+    MetricsRegistry,
+    collector,
+    read_csv,
+    read_jsonl,
+    trace_scope,
+    write_csv,
+    write_jsonl,
+    write_prometheus,
+    parse_prometheus,
+    prometheus_text,
+)
+
+# Names must be Prometheus-safe so the .prom trip is comparable; the
+# JSONL/CSV trips don't care but share the strategy for simplicity.
+names = st.from_regex(r"[a-z][a-z0-9_]{0,11}", fullmatch=True)
+label_keys = st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True)
+# Hostile label values: quotes, commas, newlines, backslashes, equals,
+# braces — everything the CSV/Prometheus escapers must cope with.
+label_values = st.text(
+    alphabet='abcXYZ0189 ",\n\\={}[]#\'', min_size=0, max_size=10
+)
+finite = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def registries(draw):
+    """A registry with random counters, gauges, histograms and spans."""
+    reg = MetricsRegistry()
+    metric_names = draw(st.lists(names, min_size=1, max_size=3, unique=True))
+    for i, name in enumerate(metric_names):
+        kind = draw(st.sampled_from(["counter", "gauge", "histogram"]))
+        keys = draw(st.lists(label_keys, min_size=0, max_size=2, unique=True))
+        for _ in range(draw(st.integers(1, 3))):
+            labels = {k: draw(label_values) for k in keys}
+            series_name = f"m{i}_{name}"  # kinds must not clash across names
+            if kind == "counter":
+                reg.counter(series_name, **labels).add(draw(finite))
+            elif kind == "gauge":
+                reg.gauge(series_name, **labels).set(draw(finite) - 5e11)
+            else:
+                hist = reg.histogram(series_name, buckets=(0.1, 1.0, 10.0), **labels)
+                for value in draw(st.lists(finite, min_size=1, max_size=4)):
+                    hist.observe(value)
+    if draw(st.booleans()):
+        with collector(reg), trace_scope("abcd1234abcd1234"):
+            with reg.span("outer", note=draw(label_values)):
+                with reg.span("inner"):
+                    pass
+    return reg
+
+
+def canonical_metrics(snap, *, drop_extremes=False):
+    """Order-independent, comparable rendering of the metric series."""
+    out = []
+    for m in snap["metrics"]:
+        entry = dict(m)
+        if drop_extremes:
+            entry.pop("min", None)
+            entry.pop("max", None)
+        entry["labels"] = tuple(sorted(entry["labels"].items()))
+        if "buckets" in entry:
+            entry["buckets"] = tuple(float(b) for b in entry["buckets"])
+            entry["bucket_counts"] = tuple(int(c) for c in entry["bucket_counts"])
+            entry["count"] = int(entry["count"])
+            entry["sum"] = float(entry["sum"])
+        else:
+            entry["value"] = float(entry["value"])
+        out.append(tuple(sorted(entry.items())))
+    return sorted(out)
+
+
+def canonical_spans(snap):
+    out = []
+    for s in snap["spans"]:
+        entry = dict(s)
+        entry["labels"] = tuple(sorted(entry["labels"].items()))
+        out.append(tuple(sorted(entry.items())))
+    return sorted(out)
+
+
+@settings(max_examples=40, deadline=None)
+@given(reg=registries())
+def test_jsonl_round_trip_is_lossless(reg, tmp_path_factory):
+    path = tmp_path_factory.mktemp("jsonl") / "metrics.jsonl"
+    snap = reg.snapshot()
+    write_jsonl(snap, path)
+    loaded = read_jsonl(path)
+    assert canonical_metrics(loaded) == canonical_metrics(snap)
+    assert canonical_spans(loaded) == canonical_spans(snap)
+
+
+@settings(max_examples=40, deadline=None)
+@given(reg=registries())
+def test_csv_round_trip_is_lossless(reg, tmp_path_factory):
+    path = tmp_path_factory.mktemp("csv") / "metrics.csv"
+    snap = reg.snapshot()
+    write_csv(snap, path)
+    loaded = read_csv(path)
+    assert canonical_metrics(loaded) == canonical_metrics(snap)
+    assert canonical_spans(loaded) == canonical_spans(snap)
+
+
+@settings(max_examples=40, deadline=None)
+@given(reg=registries())
+def test_prometheus_round_trip_is_lossless_modulo_spans(reg, tmp_path_factory):
+    path = tmp_path_factory.mktemp("prom") / "metrics.prom"
+    snap = reg.snapshot()
+    write_prometheus(snap, path)
+    loaded = parse_prometheus(path)
+    # Spans and histogram min/max cannot ride the exposition format.
+    assert loaded["spans"] == []
+    assert canonical_metrics(loaded, drop_extremes=True) == canonical_metrics(
+        snap, drop_extremes=True
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(value=label_values)
+def test_prometheus_label_escaping_round_trips(value):
+    reg = MetricsRegistry()
+    reg.counter("escaped_total", v=value).inc()
+    loaded = parse_prometheus(prometheus_text(reg))
+    (metric,) = [m for m in loaded["metrics"] if m["name"] == "escaped_total"]
+    assert metric["labels"]["v"] == value
+    assert metric["value"] == 1.0
