@@ -5,14 +5,14 @@ implementation decisions: RefineProfile's value, the K = 5 segment
 choice, and the busy-power-only energy model.
 """
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import (
     AblationConfig,
     run_idle_power_ablation,
     run_refine_ablation,
     run_segments_ablation,
 )
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = AblationConfig(n=100, repetitions=5) if PAPER_SCALE else AblationConfig(n=50, repetitions=3)
 

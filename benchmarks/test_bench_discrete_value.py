@@ -1,8 +1,8 @@
 """Ablation bench (extension): continuous vs discrete compression value."""
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import DiscreteValueConfig, run_discrete_value
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = (
     DiscreteValueConfig(n=30, repetitions=3, time_limit=30.0)

@@ -4,9 +4,9 @@
 task accuracy, compared to a scenario without compression."
 """
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import EnergyGainConfig, headline_at_loss, run_energy_gain
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = EnergyGainConfig() if PAPER_SCALE else EnergyGainConfig(n=60, repetitions=4)
 

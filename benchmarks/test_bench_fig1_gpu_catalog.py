@@ -1,9 +1,9 @@
 """Fig. 1 — GPU energy efficiency vs speed (catalog + linear trend)."""
 
-from conftest import run_once
-
 from repro.experiments import run_fig1
 from repro.hardware import fit_efficiency_trend
+
+from conftest import run_once
 
 
 def test_fig1_gpu_catalog(benchmark, save_table):

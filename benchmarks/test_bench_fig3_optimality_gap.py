@@ -5,9 +5,9 @@ Default bench runs a reduced sweep; REPRO_PAPER_SCALE=1 restores the
 published parameters.
 """
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import Fig3Config, run_fig3
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = (
     Fig3Config()

@@ -5,9 +5,9 @@ limit; the solver starts timing out at n ≈ 30 while APPROX scales to
 hundreds of tasks.
 """
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import Fig4Config, run_fig4_tasks
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = (
     Fig4Config()

@@ -4,9 +4,9 @@ Paper: m from 2 to 10 at n = 50; the solver times out from m ≈ 4 while
 APPROX stays interactive.
 """
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import Fig4Config, run_fig4_machines
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = (
     Fig4Config()

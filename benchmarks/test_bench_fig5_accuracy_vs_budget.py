@@ -5,10 +5,10 @@ Expected: APPROX ≈ UB ≫ EDF-3Levels ≫ EDF-NoCompression under tight
 budgets, all converging to a_max at β = 1.
 """
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import Fig5Config, run_fig5
 from repro.workloads.generator import PAPER_A_MAX
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = Fig5Config() if PAPER_SCALE else Fig5Config(n=60, repetitions=4)
 

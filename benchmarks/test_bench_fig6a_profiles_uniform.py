@@ -4,9 +4,9 @@ Expected: the final profile computed by DSCT-EA-APPROX stays close to
 the naive profile (most-efficient machine funded first).
 """
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import Fig6Config, run_fig6
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = Fig6Config() if PAPER_SCALE else Fig6Config(n=60, repetitions=3)
 

@@ -1,8 +1,8 @@
 """GA-vs-APPROX trade-off bench (extension)."""
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import GATradeoffConfig, run_ga_tradeoff
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = (
     GATradeoffConfig(task_counts=(10, 25, 50, 100), repetitions=3)

@@ -1,8 +1,8 @@
 """Method-matrix bench (extension): every scheduler on a shared grid."""
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import MethodMatrixConfig, run_method_matrix
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = (
     MethodMatrixConfig(n=100, repetitions=5)

@@ -1,13 +1,13 @@
 """Pareto frontier + DVFS ablation benches (extensions)."""
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import (
     AblationConfig,
     ParetoConfig,
     run_dvfs_ablation,
     run_pareto,
 )
+
+from conftest import PAPER_SCALE, run_once
 
 PARETO_CONFIG = (
     ParetoConfig(n=100, repetitions=5) if PAPER_SCALE else ParetoConfig(n=40, repetitions=2)

@@ -1,12 +1,12 @@
 """Robustness benches (extension): failure injection on APPROX plans."""
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments.robustness import (
     RobustnessConfig,
     run_outage_sweep,
     run_slowdown_sweep,
 )
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = RobustnessConfig(n=100, repetitions=5) if PAPER_SCALE else RobustnessConfig(n=40, repetitions=3)
 

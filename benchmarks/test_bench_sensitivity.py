@@ -1,8 +1,8 @@
 """Sensitivity bench (extension): planning on misestimated θ."""
 
-from conftest import PAPER_SCALE, run_once
-
 from repro.experiments import SensitivityConfig, run_theta_sensitivity
+
+from conftest import PAPER_SCALE, run_once
 
 CONFIG = (
     SensitivityConfig(n=100, repetitions=6)

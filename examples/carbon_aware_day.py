@@ -22,13 +22,7 @@ import numpy as np
 
 from repro.algorithms import ApproxScheduler
 from repro.core import ProblemInstance
-from repro.extensions import (
-    RenewablePlanner,
-    duck_curve_grid,
-    report_carbon,
-    solar_curve,
-)
-from repro.extensions.carbon import JOULES_PER_KWH
+from repro.extensions import RenewablePlanner, duck_curve_grid, solar_curve
 from repro.hardware import sample_uniform_cluster
 from repro.workloads import TaskGenConfig, generate_tasks
 

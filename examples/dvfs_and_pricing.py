@@ -17,7 +17,6 @@ Run:  python examples/dvfs_and_pricing.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.algorithms import ApproxScheduler
 from repro.experiments import ParetoConfig, plot_table, run_pareto

@@ -9,7 +9,6 @@ Run:  python examples/hardware_catalog.py
 
 from __future__ import annotations
 
-from repro.core import Cluster
 from repro.hardware import (
     GPU_CATALOG,
     catalog_cluster,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.algorithms import ApproxScheduler, performance_guarantee
 from repro.baselines import EDFNoCompressionScheduler
-from repro.core import Cluster, ProblemInstance, Task, TaskSet
+from repro.core import ProblemInstance, Task, TaskSet
 from repro.hardware import catalog_cluster
 from repro.models import SimulatedProfiler, accuracy_from_measurements, ofa_resnet50
 from repro.simulator import ClusterSimulator

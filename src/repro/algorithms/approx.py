@@ -23,7 +23,6 @@ The result carries the absolute guarantee of Eq. (13):
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 import numpy as np
 

@@ -25,9 +25,9 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..core.segments import SegmentState, order_by_slope
 from ..utils.errors import ValidationError
 from ..utils.validation import check_positive, check_sorted
-from ..core.segments import SegmentState, order_by_slope
 
 __all__ = ["solve_single_machine"]
 

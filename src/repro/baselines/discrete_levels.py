@@ -19,10 +19,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.instance import ProblemInstance
-from ..core.schedule import Schedule
 from ..algorithms.base import Scheduler
 from ..algorithms.refine_profile import deadline_slack
+from ..core.instance import ProblemInstance
+from ..core.schedule import Schedule
 from ..utils.errors import ValidationError
 from .edf import PlacementState
 

@@ -21,7 +21,7 @@ framing makes against the metaheuristic line of work.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -11,11 +11,9 @@ late steep ones.
 
 from __future__ import annotations
 
-import numpy as np
-
+from ..algorithms.base import Scheduler
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
-from ..algorithms.base import Scheduler
 from .edf import PlacementState
 
 __all__ = ["GreedyEnergyScheduler"]

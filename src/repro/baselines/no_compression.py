@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..algorithms.base import Scheduler
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
-from ..algorithms.base import Scheduler
 from .edf import PlacementState
 
 __all__ = ["EDFNoCompressionScheduler"]

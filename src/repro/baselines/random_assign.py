@@ -7,11 +7,9 @@ processing time there.  Any serious scheduler must beat it.
 
 from __future__ import annotations
 
-import numpy as np
-
+from ..algorithms.base import Scheduler
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
-from ..algorithms.base import Scheduler
 from ..utils.rng import SeedLike, ensure_rng
 from .edf import PlacementState
 

@@ -56,6 +56,12 @@ Commands
     Decision provenance: attribute every task's compression level to
     its binding constraint (deadline / energy / work cap / none) using
     LP shadow prices, and price +1 J and +1 s of slack.
+``lint``
+    Domain-aware static analysis (see repro.lint): unit-dimension
+    checking, float-equality and atomic-write rules, concurrency-safety
+    lints, and scheduling-invariant conventions; ``--select/--ignore``
+    filter rules, ``--format json`` is machine-readable, exit code 1
+    means findings.
 
 ``solve``, ``compare`` and ``serve`` accept ``--metrics-out PATH``:
 the run executes under an active telemetry collector and the collected
@@ -69,7 +75,7 @@ import argparse
 import contextlib
 import sys
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from .algorithms.registry import available_schedulers, make_scheduler
 from .core.instance import ProblemInstance
@@ -710,6 +716,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repro.lint static analyzer (exit 1 on findings)."""
+    from .lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     """Audit FR-OPT against the exact LP on random instances."""
     import numpy as np
@@ -994,6 +1007,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--horizon", type=float, default=None, metavar="SECONDS", help="horizon the budget must last"
     )
     p_slo.set_defaults(fn=_cmd_slo)
+
+    p_lnt = sub.add_parser(
+        "lint", help="domain-aware static analysis (units, concurrency, invariants)"
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lnt)
+    p_lnt.set_defaults(fn=_cmd_lint)
 
     p_exp = sub.add_parser(
         "explain", help="decision provenance: why each task got its compression level"

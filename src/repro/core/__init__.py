@@ -1,16 +1,17 @@
 """Core data model: accuracy functions, tasks, machines, instances, schedules."""
 
-from .analysis import ScheduleAnalysis, describe, format_analysis
 from .accuracy import (
     AccuracyFunction,
     ExponentialAccuracy,
     PiecewiseLinearAccuracy,
     fit_piecewise,
 )
+from .analysis import ScheduleAnalysis, describe, format_analysis
 from .instance import ProblemInstance, beta_of_budget, budget_for_beta
 from .machine import Cluster, Machine
 from .profiles import EnergyProfile, naive_profile
 from .schedule import FeasibilityReport, Schedule, Violation, check_feasibility
+from .segments import SegmentState, build_segment_list, order_by_slope, task_used_flops
 from .serialization import (
     cluster_from_dict,
     cluster_to_dict,
@@ -23,7 +24,6 @@ from .serialization import (
     schedule_from_dict,
     schedule_to_dict,
 )
-from .segments import SegmentState, build_segment_list, order_by_slope, task_used_flops
 from .task import Task, TaskSet
 
 __all__ = [

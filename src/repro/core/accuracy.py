@@ -21,8 +21,8 @@ fractions in ``[0, 1]``.
 from __future__ import annotations
 
 import math
-from functools import lru_cache
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -107,7 +107,7 @@ class PiecewiseLinearAccuracy(AccuracyFunction):
         (chord slopes non-increasing).
     """
 
-    def __init__(self, breakpoints: Sequence[float], accuracies: Sequence[float]):
+    def __init__(self, breakpoints: Sequence[float], accuracies: Sequence[float]) -> None:
         p = np.asarray(breakpoints, dtype=float)
         a = np.asarray(accuracies, dtype=float)
         if p.ndim != 1 or a.ndim != 1 or p.size != a.size:
@@ -318,7 +318,7 @@ class ExponentialAccuracy(AccuracyFunction):
         a_min: float = 0.001,
         a_max: float = 0.82,
         coverage: float = 0.99999,
-    ):
+    ) -> None:
         check_positive(theta, "theta")
         check_fraction(a_min, "a_min")
         check_fraction(a_max, "a_max")

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..utils import units
 from .schedule import Schedule
 
 __all__ = ["ScheduleAnalysis", "describe"]

@@ -16,14 +16,13 @@ running every machine flat-out until ``d_max``.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 import numpy as np
 
 from ..utils.errors import ValidationError
 from ..utils.validation import check_nonnegative, require
-from .machine import Cluster, Machine
-from .task import Task, TaskSet
+from .machine import Cluster
+from .task import TaskSet
 
 __all__ = ["ProblemInstance", "budget_for_beta", "beta_of_budget"]
 

@@ -9,7 +9,7 @@ the user order and the canonical efficiency order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
@@ -94,7 +94,7 @@ class Machine:
 class Cluster:
     """An ordered collection of machines with vectorised attribute access."""
 
-    def __init__(self, machines: Sequence[Machine]):
+    def __init__(self, machines: Sequence[Machine]) -> None:
         machines = list(machines)
         require(len(machines) >= 1, "a cluster needs at least one machine")
         self._machines = tuple(machines)

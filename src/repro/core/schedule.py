@@ -20,8 +20,8 @@ constraint is exactly "task j completes by d_j".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
@@ -80,7 +80,7 @@ class FeasibilityReport:
 class Schedule:
     """An assignment of processing times ``t_jr`` for one instance."""
 
-    def __init__(self, instance: ProblemInstance, times: np.ndarray):
+    def __init__(self, instance: ProblemInstance, times: np.ndarray) -> None:
         times = np.asarray(times, dtype=float)
         expected = (instance.n_tasks, instance.n_machines)
         if times.shape != expected:

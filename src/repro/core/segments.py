@@ -14,7 +14,7 @@ concavity makes earlier segments at least as steep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
 from ..utils.errors import ValidationError

@@ -9,8 +9,8 @@ EDF order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -77,7 +77,7 @@ class Task:
 class TaskSet:
     """Tasks sorted by non-decreasing deadline (the paper's job order)."""
 
-    def __init__(self, tasks: Sequence[Task], *, assume_sorted: bool = False):
+    def __init__(self, tasks: Sequence[Task], *, assume_sorted: bool = False) -> None:
         tasks = list(tasks)
         require(len(tasks) >= 1, "a task set needs at least one task")
         if not assume_sorted:

@@ -123,7 +123,8 @@ def _truncate_journal(source: Path, target: Path, offset: int) -> int:
             break
         data = segment.read_bytes()
         take = min(len(data), remaining)
-        (target / segment.name).write_bytes(data[:take])
+        # Simulating the crash: the torn, non-atomic write is the test.
+        (target / segment.name).write_bytes(data[:take])  # repro: noqa[RL003]
         records += len(decode_stream(data[:take])[0])
         remaining -= take
     return records

@@ -45,7 +45,7 @@ import json
 import os
 import zlib
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from ..telemetry import get_collector
 from ..utils.errors import JournalCorruptError, ValidationError

@@ -69,19 +69,28 @@ class DurableWindow:
     def n_requests(self) -> int:
         return len(self.ids)
 
-    def same_outcome(self, other: "DurableWindow") -> bool:
-        """Exact outcome equality, ignoring how the window was obtained."""
+    def _outcome_key(self) -> tuple:
+        """Every field that defines the window's outcome, replay-invariant."""
         return (
-            self.index == other.index
-            and self.start == other.start
-            and self.ids == other.ids
-            and self.accuracies == other.accuracies
-            and self.flops == other.flops
-            and self.on_time == other.on_time
-            and self.energy == other.energy
-            and self.cum_energy == other.cum_energy
-            and self.level == other.level
+            self.index,
+            self.start,
+            self.ids,
+            self.accuracies,
+            self.flops,
+            self.on_time,
+            self.energy,
+            self.cum_energy,
+            self.level,
         )
+
+    def same_outcome(self, other: "DurableWindow") -> bool:
+        """Exact outcome equality, ignoring how the window was obtained.
+
+        Deliberately bit-exact on the float fields: deterministic resume
+        promises the *identical* result, not a close one — tolerance here
+        would mask replay divergence (the bug class crashtest exists for).
+        """
+        return self._outcome_key() == other._outcome_key()
 
 
 @dataclass(frozen=True)

@@ -13,9 +13,9 @@ import time
 import numpy as np
 from scipy.optimize import linprog
 
+from ..algorithms.base import Scheduler, SolveInfo, SolveResult
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
-from ..algorithms.base import Scheduler, SolveInfo, SolveResult
 from ..telemetry import get_collector
 from ..utils.errors import SolverError
 from .duals import LPDuals

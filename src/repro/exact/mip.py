@@ -15,9 +15,9 @@ from typing import Optional
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from ..algorithms.base import Scheduler, SolveInfo, SolveResult
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
-from ..algorithms.base import Scheduler, SolveInfo, SolveResult
 from ..telemetry import get_collector
 from ..utils.errors import SolverError
 from .model import build_mip, extract_times

@@ -52,16 +52,16 @@ from .fig3_optimality_gap import Fig3Config, run_fig3
 from .fig4_runtime import Fig4Config, run_fig4_machines, run_fig4_tasks
 from .fig5_energy_budget import Fig5Config, run_fig5
 from .fig6_energy_profiles import Fig6Config, run_fig6
-from .parallel import parallel_map, seeded_items
 from .ga_tradeoff import GATradeoffConfig, run_ga_tradeoff
 from .method_matrix import MethodMatrixConfig, run_method_matrix
+from .parallel import parallel_map, seeded_items
 from .pareto import ParetoConfig, frontier_area, run_pareto
 from .plots import ascii_plot, plot_table
 from .records import ResultTable
 from .report import ReportConfig, generate_report, write_report
 from .robustness import RobustnessConfig, run_outage_sweep, run_slowdown_sweep
-from .sensitivity import SensitivityConfig, run_theta_sensitivity
 from .runner import Aggregate, aggregate, evaluate_schedulers, repeat
+from .sensitivity import SensitivityConfig, run_theta_sensitivity
 from .sweep import grid_points, run_sweep
 from .table1_fr_runtime import Table1Config, run_table1
 

@@ -21,12 +21,12 @@ import numpy as np
 from ..algorithms.approx import ApproxScheduler
 from ..baselines.no_compression import EDFNoCompressionScheduler
 from ..core.instance import ProblemInstance
+from ..hardware.sampling import sample_uniform_cluster
 from ..simulator.cluster_sim import ClusterSimulator
 from ..simulator.power import PowerModel
 from ..utils.rng import SeedLike, spawn
 from ..workloads.generator import TaskGenConfig, generate_tasks
 from ..workloads.scenarios import budget_sweep_instance, fig6_instance
-from ..hardware.sampling import sample_uniform_cluster
 from .records import ResultTable
 
 __all__ = [

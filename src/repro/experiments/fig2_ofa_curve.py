@@ -12,6 +12,7 @@ import numpy as np
 
 from ..models.zoo import ofa_resnet50
 from ..utils.rng import SeedLike
+from ..utils.units import as_gflop
 from .records import ResultTable
 
 __all__ = ["run_fig2"]
@@ -26,9 +27,9 @@ def run_fig2(*, n_curve: int = 25, n_scatter: int = 40, seed: SeedLike = 0) -> R
         columns=["kind", "flops_gflop", "accuracy"],
     )
     for f, a in zip(flops, accs):
-        table.add_row("envelope", float(f) / 1e9, float(a))
+        table.add_row("envelope", as_gflop(float(f)), float(a))
     for profile in family.scatter(n_scatter, seed=seed):
-        table.add_row("subnetwork", profile.flops / 1e9, profile.accuracy)
+        table.add_row("subnetwork", as_gflop(profile.flops), profile.accuracy)
 
     pla = family.accuracy_function(5)
     grid = np.linspace(0.0, family.full_flops, 2000)

@@ -9,7 +9,7 @@ DSCT-EA-APPROX handles hundreds of tasks — the *shape* we reproduce.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

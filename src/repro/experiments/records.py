@@ -8,12 +8,14 @@ the paper reports) or exported to CSV/JSON for plotting.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Union
+from typing import Any, Dict, List, Union
 
 from ..utils.errors import ValidationError
+from ..utils.fileio import atomic_write
 
 __all__ = ["ResultTable"]
 
@@ -79,11 +81,11 @@ class ResultTable:
     # -- export --------------------------------------------------------------
 
     def to_csv(self, path: Union[str, Path]) -> None:
-        path = Path(path)
-        with path.open("w", newline="") as fh:
-            writer = csv.writer(fh)
-            writer.writerow(self.columns)
-            writer.writerows(self.rows)
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        atomic_write(path, buffer.getvalue())
 
     def to_json(self, path: Union[str, Path]) -> None:
         payload: Dict[str, Any] = {
@@ -92,7 +94,7 @@ class ResultTable:
             "rows": self.rows,
             "notes": self.notes,
         }
-        Path(path).write_text(json.dumps(payload, indent=2))
+        atomic_write(path, json.dumps(payload, indent=2))
 
     def __str__(self) -> str:
         return self.format()

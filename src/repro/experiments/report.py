@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Union
 
+from ..utils.fileio import atomic_write
 from .ablations import AblationConfig, run_idle_power_ablation, run_refine_ablation, run_segments_ablation
 from .energy_gain import EnergyGainConfig, headline_at_loss, run_energy_gain
 from .fig1_gpu_catalog import run_fig1
@@ -131,7 +132,7 @@ def generate_report(config: ReportConfig = ReportConfig(), *, progress: Callable
 
 
 def write_report(path: Union[str, Path], config: ReportConfig = ReportConfig(), *, progress=lambda s: None) -> Path:
-    """Generate and write the report; returns the path."""
+    """Generate and write the report (atomically); returns the path."""
     path = Path(path)
-    path.write_text(generate_report(config, progress=progress))
+    atomic_write(path, generate_report(config, progress=progress))
     return path

@@ -20,9 +20,7 @@ import numpy as np
 
 from ..algorithms.approx import ApproxScheduler
 from ..core.instance import ProblemInstance
-from ..core.task import Task, TaskSet
 from ..hardware.sampling import sample_uniform_cluster
-from ..utils import units
 from ..utils.rng import SeedLike, spawn
 from ..workloads.generator import tasks_from_thetas
 from .records import ResultTable

@@ -11,8 +11,8 @@ from .communication import CommAwareScheduler, CommunicationModel, communication
 from .consolidation import ConsolidatingScheduler
 from .dvfs import DVFSScheduler, OperatingPoint, dvfs_curve
 from .pricing import cheapest_budget_for_accuracy, cheapest_cost_for_accuracy
-from .weighted import weighted_instance, weighted_total_accuracy
 from .renewable import EpochOutcome, RenewablePlanner, RenewableReport, solar_curve
+from .weighted import weighted_instance, weighted_total_accuracy
 
 __all__ = [
     "CarbonIntensityCurve",

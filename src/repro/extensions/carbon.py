@@ -22,7 +22,7 @@ import numpy as np
 from ..core.schedule import Schedule
 from ..extensions.renewable import RenewableReport
 from ..utils.errors import ValidationError
-from ..utils.validation import check_nonnegative, require
+from ..utils.validation import check_nonnegative
 
 __all__ = [
     "CarbonIntensityCurve",

@@ -25,8 +25,6 @@ from ..algorithms.base import Scheduler, SolveInfo, SolveResult
 from ..core.instance import ProblemInstance
 from ..core.machine import Cluster
 from ..core.schedule import Schedule
-from ..core.task import TaskSet
-from ..utils.errors import ValidationError
 from ..utils.validation import require
 
 __all__ = ["ConsolidatingScheduler"]

@@ -12,13 +12,12 @@ per kWh), the pattern behind time-of-use electricity contracts.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Optional
+from typing import Optional
 
 from ..algorithms.base import Scheduler
 from ..algorithms.fractional import FractionalScheduler
 from ..core.instance import ProblemInstance
-from ..utils.errors import InfeasibleError, ValidationError
+from ..utils.errors import InfeasibleError
 from ..utils.validation import check_nonnegative, check_positive, require
 
 __all__ = ["cheapest_budget_for_accuracy", "cheapest_cost_for_accuracy", "JOULES_PER_KWH"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from ..core.machine import Cluster
 from ..core.schedule import Schedule
 from ..core.task import TaskSet
 from ..utils.errors import ValidationError
-from ..utils.validation import check_fraction, check_positive, require
+from ..utils.validation import check_positive, require
 
 __all__ = ["solar_curve", "EpochOutcome", "RenewableReport", "RenewablePlanner"]
 

@@ -17,7 +17,7 @@ U(1, 20) TFLOPS × U(5, 60) GFLOPS/W sampling the experiments use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

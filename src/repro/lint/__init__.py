@@ -1,0 +1,62 @@
+"""repro.lint — domain-aware static analysis for the DSCT-EA codebase.
+
+Generic linters see Python; they do not see the *physics*.  DSCT-EA
+correctness hinges on arithmetic Python cannot type-check — FLOPs,
+joules, seconds and their ratios (s_r, P_r, E_r = s_r/P_r) flow through
+every solver as plain ``float`` — and on serving-stack disciplines
+(crash-safe writes, monotonic clocks, lock hygiene, trace propagation)
+that are enforced only by convention.  This package encodes those
+conventions as machine-checked AST rules:
+
+Domain rules
+    ========  =====================================================
+    RL001     unit-dimension mismatch (adding seconds to joules,
+              double-converting through :mod:`repro.utils.units`)
+    RL002     float ``==``/``!=`` on energy/accuracy/time values
+    RL003     non-atomic state-file write (use ``utils.atomic_write``)
+    RL004     ``time.time()`` in scheduling/timeout paths
+              (wall clocks jump; use ``time.monotonic()``)
+    RL005     raw power-of-ten scale factor (use the units helpers)
+    ========  =====================================================
+
+Concurrency rules
+    ========  =====================================================
+    RL010     ``Lock.acquire()`` without ``with``/``try‑finally``
+    RL011     blocking call (fsync, solve, sleep, network/file I/O)
+              inside a ``with lock:`` body
+    RL012     ``threading.Thread`` target that drops the ambient
+              trace/collector context (silent trace-id loss)
+    ========  =====================================================
+
+Any finding can be suppressed per line with ``# repro: noqa[RL001]``
+(or blanket ``# repro: noqa``); see :mod:`repro.lint.suppress`.
+
+Entry points: :func:`lint_paths` / :func:`lint_source` for programmatic
+use, ``repro lint`` (see :mod:`repro.lint.cli`) for the command line.
+"""
+
+from __future__ import annotations
+
+from .engine import LintEngine, lint_file, lint_paths, lint_source
+from .finding import Finding, Severity
+from .registry import RuleRegistry, all_rules, get_rule, register_rule
+from .reporters import render_json, render_text
+from .rules import Rule
+from .suppress import SuppressionIndex
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "SuppressionIndex",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

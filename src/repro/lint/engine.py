@@ -1,0 +1,210 @@
+"""The analysis engine: one AST walk per file, rules dispatched by node type.
+
+:class:`LintEngine` owns the rule set (already select/ignore-filtered)
+and turns paths into findings.  Per file it
+
+1. reads and parses the source (a syntax error becomes a single
+   ``RL000`` finding — a file the analyzer cannot parse must fail the
+   gate, not silently pass it);
+2. builds a :class:`LintContext` — parent links, enclosing-function
+   lookup, source segments — shared by every rule;
+3. walks the tree **once**, dispatching each node to the rules
+   subscribed to its type, and drops findings suppressed by a
+   ``# repro: noqa[...]`` comment on the flagged line.
+
+Findings come back sorted by location, so output is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type, Union
+
+from .finding import Finding, Severity
+from .registry import all_rules
+from .suppress import SuppressionIndex
+
+__all__ = ["LintContext", "LintEngine", "lint_source", "lint_file", "lint_paths"]
+
+#: Directory names never descended into when expanding path arguments.
+#: ``lint_fixtures`` holds the known-bad corpus the rule tests feed
+#: through :func:`lint_source` — linting it directly would fail the gate
+#: by design.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist", "lint_fixtures"}
+
+
+class LintContext:
+    """Per-file facts shared by every rule during one walk."""
+
+    def __init__(self, source: str, tree: ast.Module, display_path: str, rel_path: str) -> None:
+        self.source = source
+        self.tree = tree
+        #: Path as shown in findings (as the user spelled it).
+        self.display_path = display_path
+        #: Normalised posix path used for rule scoping (``applies_to``).
+        self.rel_path = rel_path
+        #: Scratch space rules may memoise per-file work in (namespaced keys).
+        self.cache: Dict[str, object] = {}
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents from the immediate one up to the module, in order."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]]:
+        """The innermost function/lambda containing ``node``, if any."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return anc
+        return None
+
+    def segment(self, node: ast.AST) -> str:
+        """Exact source text of ``node`` (empty when unavailable)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+
+class LintEngine:
+    """Run a (filtered) rule set over sources, files and directory trees."""
+
+    def __init__(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.rules = all_rules(select, ignore)
+
+    # -- single sources --------------------------------------------------------
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Finding]:
+        """Findings for one in-memory source (the test-fixture entry point)."""
+        rel = _normalise(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code="RL000",
+                    message=f"syntax error: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            ]
+        ctx = LintContext(source, tree, display_path=path, rel_path=rel)
+        suppressions = SuppressionIndex.from_source(source)
+        active = [rule for rule in self.rules if rule.applies_to(rel)]
+        if not active:
+            return []
+        dispatch: Dict[Type[ast.AST], List] = {}
+        for rule in active:
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                findings.extend(rule.visit(node, ctx))
+        return sorted(
+            f for f in findings if not suppressions.is_suppressed(f.line, f.code)
+        )
+
+    def lint_file(self, path: Union[str, Path]) -> List[Finding]:
+        """Findings for one file; unreadable files surface as ``RL000``."""
+        display = str(path)
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [
+                Finding(
+                    path=display,
+                    line=1,
+                    col=0,
+                    code="RL000",
+                    message=f"cannot read file: {exc}",
+                    severity=Severity.ERROR,
+                )
+            ]
+        return self.lint_source(source, path=display)
+
+    # -- trees -----------------------------------------------------------------
+
+    def lint_paths(self, paths: Sequence[Union[str, Path]]) -> List[Finding]:
+        """Findings for files and/or directory trees, sorted by location."""
+        findings: List[Finding] = []
+        for path in _expand(paths):
+            findings.extend(self.lint_file(path))
+        return sorted(findings)
+
+
+def _normalise(path: str) -> str:
+    """Posix-style path with leading ``./`` noise removed, for scoping."""
+    rel = Path(path).as_posix()
+    while rel.startswith("./"):
+        rel = rel[2:]
+    return rel
+
+
+def _expand(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Arguments → ordered, de-duplicated ``.py`` files."""
+    seen = set()
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(
+                f
+                for f in p.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in f.parts)
+            )
+        else:
+            candidates = [p]
+        for f in candidates:
+            if f not in seen:
+                seen.add(f)
+                yield f
+
+
+# -- module-level conveniences (the public API most callers want) --------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string with the (filtered) built-in rule set."""
+    return LintEngine(select, ignore).lint_source(source, path)
+
+
+def lint_file(
+    path: Union[str, Path],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one file with the (filtered) built-in rule set."""
+    return LintEngine(select, ignore).lint_file(path)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint files/trees with the (filtered) built-in rule set."""
+    return LintEngine(select, ignore).lint_paths(paths)

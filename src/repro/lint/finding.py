@@ -1,0 +1,48 @@
+"""The unit of lint output: one :class:`Finding` per rule violation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; drives exit codes and report ordering."""
+
+    ERROR = "error"  #: almost certainly a bug (unit mismatch, lock leak)
+    WARNING = "warning"  #: risky pattern worth a look (float ==, raw scale)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Orders by ``(path, line, col, code)`` so reports are stable across
+    runs and dict/set iteration orders.
+    """
+
+    path: str
+    line: int  #: 1-based, like every compiler since cc
+    col: int  #: 0-based, matching :mod:`ast` offsets
+    code: str  #: rule id, e.g. ``"RL003"``
+    message: str = field(compare=False)
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+
+    def format(self) -> str:
+        """The canonical single-line rendering (``path:line:col: CODE msg``)."""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (the ``--format json`` reporter's row)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col + 1,
+            "code": self.code,
+            "message": self.message,
+            "severity": str(self.severity),
+        }

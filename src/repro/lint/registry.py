@@ -1,0 +1,109 @@
+"""The rule registry: id → rule instance, with select/ignore filtering.
+
+Rules self-register at import time via :func:`register_rule` (used as a
+class decorator), mirroring how ``repro.algorithms.registry`` registers
+schedulers.  :func:`all_rules` lazily imports the built-in rule modules,
+so ``from repro.lint.registry import all_rules`` works without touching
+the package ``__init__`` first.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Type, TypeVar
+
+from ..utils.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a registry ↔ rules import cycle
+    from .rules import Rule
+
+__all__ = ["RuleRegistry", "register_rule", "all_rules", "get_rule"]
+
+R = TypeVar("R", bound=type)
+
+
+class RuleRegistry:
+    """Ordered id → :class:`Rule` mapping with selection semantics."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, "Rule"] = {}
+
+    def register(self, rule_cls: Type["Rule"]) -> Type["Rule"]:
+        code = rule_cls.code
+        if not code:
+            raise ValidationError(f"rule {rule_cls.__name__} has no code")
+        if code in self._rules:
+            raise ValidationError(f"duplicate rule code {code!r}")
+        self._rules[code] = rule_cls()
+        return rule_cls
+
+    def rules(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> List["Rule"]:
+        """Registered rules, filtered like ruff's ``--select``/``--ignore``.
+
+        ``select``/``ignore`` entries are codes or prefixes (``RL01``
+        matches every concurrency rule); unknown selectors raise so a CI
+        typo fails loudly instead of silently checking nothing.
+        """
+        chosen = list(self._rules.values())
+        if select is not None:
+            prefixes = self._check_selectors(select)
+            chosen = [r for r in chosen if r.code.startswith(prefixes)]
+        if ignore is not None:
+            prefixes = self._check_selectors(ignore)
+            chosen = [r for r in chosen if not r.code.startswith(prefixes)]
+        return chosen
+
+    def get(self, code: str) -> "Rule":
+        try:
+            return self._rules[code.upper()]
+        except KeyError:
+            raise ValidationError(
+                f"unknown rule {code!r}; known: {', '.join(sorted(self._rules))}"
+            ) from None
+
+    def codes(self) -> List[str]:
+        return sorted(self._rules)
+
+    def _check_selectors(self, selectors: Iterable[str]) -> Tuple[str, ...]:
+        prefixes = tuple(s.strip().upper() for s in selectors if s.strip())
+        known = self.codes()
+        for prefix in prefixes:
+            if not any(code.startswith(prefix) for code in known):
+                raise ValidationError(
+                    f"selector {prefix!r} matches no rule; known: {', '.join(known)}"
+                )
+        return prefixes
+
+
+#: The process-wide registry the built-in rules land in.
+_REGISTRY = RuleRegistry()
+
+
+def register_rule(rule_cls: R) -> R:
+    """Class decorator adding ``rule_cls`` to the global registry."""
+    _REGISTRY.register(rule_cls)
+    return rule_cls
+
+
+def _ensure_builtins() -> None:
+    # Importing the package pulls in rules/__init__, whose bottom imports
+    # register every built-in rule exactly once.
+    from . import rules  # noqa: F401
+
+
+def all_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List["Rule"]:
+    """Every registered rule, optionally filtered by code prefix."""
+    _ensure_builtins()
+    return _REGISTRY.rules(select, ignore)
+
+
+def get_rule(code: str) -> "Rule":
+    """Look one rule up by code (case-insensitive)."""
+    _ensure_builtins()
+    return _REGISTRY.get(code)

@@ -1,0 +1,38 @@
+"""Finding reporters: compiler-style text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from .finding import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Sequence[Finding], *, statistics: bool = True) -> str:
+    """``path:line:col: CODE message`` lines plus a per-rule tally."""
+    lines: List[str] = [f.format() for f in findings]
+    if statistics and findings:
+        tally = Counter(f.code for f in findings)
+        lines.append("")
+        for code, count in sorted(tally.items()):
+            lines.append(f"{code}: {count} finding(s)")
+        lines.append(f"total: {len(findings)} finding(s)")
+    elif statistics:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A stable JSON document (``{"findings": [...], "summary": {...}}``)."""
+    tally = Counter(f.code for f in findings)
+    document = {
+        "findings": [f.to_dict() for f in findings],
+        "summary": {
+            "total": len(findings),
+            "by_rule": dict(sorted(tally.items())),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -19,7 +19,7 @@ import numpy as np
 from ..core.machine import Machine
 from ..utils.rng import SeedLike, ensure_rng
 from ..utils.validation import check_nonnegative, require
-from .ofa import OnceForAllFamily, SubnetworkConfig, SubnetworkProfile
+from .ofa import OnceForAllFamily, SubnetworkConfig
 
 __all__ = ["Measurement", "SimulatedProfiler"]
 

@@ -24,7 +24,6 @@ the fixed per-window cap at equal total energy, because the fixed cap
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
@@ -32,7 +31,6 @@ import numpy as np
 from ..algorithms.base import Scheduler
 from ..core.instance import ProblemInstance
 from ..core.machine import Cluster
-from ..utils.errors import ValidationError
 from ..utils.validation import check_positive, require
 from ..workloads.arrivals import Request, window_batches
 from ..workloads.generator import tasks_from_thetas

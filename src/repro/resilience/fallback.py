@@ -217,7 +217,9 @@ class FallbackChain(Scheduler):
                     try:
                         with tele.span("fallback.tier", tier=tier.name):
                             result = run_with_deadline(
-                                lambda: tier.scheduler.solve_with_info(instance),
+                                # Bind the tier now: on a timeout the worker
+                                # thread outlives this loop iteration.
+                                lambda t=tier: t.scheduler.solve_with_info(instance),
                                 deadline,
                                 solver=tier.name,
                             )

@@ -89,10 +89,13 @@ def _journal_solve(server, scheduler_name: str, energy: float, trace_id: Optiona
         }
         if trace_id is not None:
             record["trace_id"] = trace_id
-        journal.append(record)
+        # The fsync under the lock is deliberate: cum_energy must be
+        # strictly ordered in the ledger, so appends serialise here.
+        journal.append(record)  # repro: noqa[RL011]
         server.solves_since_snapshot += 1
         if server.snapshot_every > 0 and server.solves_since_snapshot >= server.snapshot_every:
-            server.snapshots.save(
+            # Snapshot under the same lock: it must capture a settled ledger.
+            server.snapshots.save(  # repro: noqa[RL011]
                 {
                     "meta": {"kind": "server"},
                     "windows": [],

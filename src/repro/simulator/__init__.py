@@ -1,8 +1,8 @@
 """Discrete-event cluster simulator: replay schedules, measure, audit."""
 
 from .cluster_sim import ClusterSimulator
-from .online_sim import OnlineSimReport, OnlineSimulation, ServedRequest
 from .engine import EventQueue
+from .events import MachineIdle, SimEvent, TaskFinished, TaskStarted
 from .failures import (
     FailureModel,
     FailureReport,
@@ -11,8 +11,8 @@ from .failures import (
     replay_with_duration_noise,
     replay_with_failures,
 )
-from .events import MachineIdle, SimEvent, TaskFinished, TaskStarted
 from .metrics import SimulationReport
+from .online_sim import OnlineSimReport, OnlineSimulation, ServedRequest
 from .power import PowerModel
 from .trace import ExecutionTrace, TaskRecord
 

@@ -14,10 +14,8 @@ deadline-violating or budget-violating plans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional
 
-import numpy as np
 
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule

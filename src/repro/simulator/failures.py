@@ -19,7 +19,7 @@ accuracy a mid-horizon outage of the most-loaded machine costs).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -27,7 +27,7 @@ import numpy as np
 from ..core.instance import ProblemInstance
 from ..core.schedule import Schedule
 from ..utils.errors import ValidationError
-from ..utils.validation import check_nonnegative, check_positive, require
+from ..utils.validation import check_nonnegative, require
 
 __all__ = [
     "Outage",

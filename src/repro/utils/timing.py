@@ -39,7 +39,7 @@ class Timer:
             scheduler.solve(instance)
     """
 
-    def __init__(self, metric: Optional[str] = None, **labels) -> None:
+    def __init__(self, metric: Optional[str] = None, **labels: str) -> None:
         self._start: Optional[float] = None
         self.elapsed: float = 0.0
         self._metric = metric
@@ -49,7 +49,7 @@ class Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         assert self._start is not None
         self.elapsed = time.perf_counter() - self._start
         if self._metric is not None:
@@ -78,7 +78,7 @@ class TimingResult:
         return max(self.seconds) if self.seconds else 0.0
 
 
-def time_call(fn: Callable[[], T], *, metric: Optional[str] = None, **labels) -> tuple[T, float]:
+def time_call(fn: Callable[[], T], *, metric: Optional[str] = None, **labels: str) -> tuple[T, float]:
     """Call ``fn`` once, returning ``(result, elapsed_seconds)``.
 
     ``metric``/labels forward to the active telemetry collector exactly
@@ -93,7 +93,7 @@ def time_call(fn: Callable[[], T], *, metric: Optional[str] = None, **labels) ->
 
 
 def repeat_call(
-    fn: Callable[[], T], repetitions: int = 3, *, metric: Optional[str] = None, **labels
+    fn: Callable[[], T], repetitions: int = 3, *, metric: Optional[str] = None, **labels: str
 ) -> TimingResult:
     """Time ``fn`` several times (paper experiments average over instances)."""
     if repetitions < 1:

@@ -37,6 +37,7 @@ __all__ = [
     "gflops",
     "gflops_per_watt",
     "as_tflop",
+    "as_gflop",
     "as_tflops",
     "as_gflops_per_watt",
     "joules",
@@ -78,6 +79,11 @@ def gflops_per_watt(value: float) -> float:
 def as_tflop(value: float) -> float:
     """Convert FLOP to teraFLOP (for display)."""
     return value / TERA
+
+
+def as_gflop(value: float) -> float:
+    """Convert FLOP to gigaFLOP (for display)."""
+    return value / GIGA
 
 
 def as_tflops(value: float) -> float:

@@ -7,7 +7,6 @@ from .distributions import (
     generate_distributional_tasks,
     sample_distribution,
 )
-from .traces import DiurnalTraceConfig, generate_diurnal_trace, load_trace, save_trace
 from .generator import (
     PAPER_A_MAX,
     PAPER_A_MIN,
@@ -26,6 +25,7 @@ from .scenarios import (
     runtime_instance,
     uniform_mix_tasks,
 )
+from .traces import DiurnalTraceConfig, generate_diurnal_trace, load_trace, save_trace
 
 __all__ = [
     "TaskGenConfig",

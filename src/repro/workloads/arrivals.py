@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
-import numpy as np
 
 from ..utils.rng import SeedLike, ensure_rng
 from ..utils.validation import check_positive, require

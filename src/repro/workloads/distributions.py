@@ -14,13 +14,12 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
-from ..core.instance import ProblemInstance
 from ..core.machine import Cluster
 from ..core.task import TaskSet
 from ..utils.errors import ValidationError
 from ..utils.rng import SeedLike, ensure_rng
 from ..utils.validation import check_positive, require
-from .generator import TaskGenConfig, tasks_from_thetas
+from .generator import tasks_from_thetas
 
 __all__ = ["sample_distribution", "available_distributions", "DistributionalConfig", "generate_distributional_tasks"]
 

@@ -14,8 +14,8 @@ formula); the largest draw is pinned to d_max so ρ is met exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -22,7 +22,7 @@ from ..core.machine import Cluster, Machine
 from ..core.task import TaskSet
 from ..hardware.sampling import sample_uniform_cluster
 from ..utils.rng import SeedLike, ensure_rng, spawn
-from ..utils.validation import check_positive, require
+from ..utils.validation import require
 from .generator import TaskGenConfig, generate_tasks
 
 __all__ = [

@@ -12,14 +12,15 @@ required), matching :class:`~repro.workloads.arrivals.Request` fields.
 from __future__ import annotations
 
 import csv
+import io
 import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Sequence, Union
 
-import numpy as np
 
 from ..utils.errors import ValidationError
+from ..utils.fileio import atomic_write
 from ..utils.rng import SeedLike, ensure_rng
 from ..utils.validation import check_positive, require
 from .arrivals import Request
@@ -98,13 +99,13 @@ _HEADER = ["arrival_time", "slo_seconds", "theta_per_tflop"]
 
 
 def save_trace(requests: Sequence[Request], path: Union[str, Path]) -> None:
-    """Write a trace as CSV (sorted by arrival time)."""
-    path = Path(path)
-    with path.open("w", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(_HEADER)
-        for r in sorted(requests, key=lambda r: r.arrival_time):
-            writer.writerow([repr(r.arrival_time), repr(r.slo_seconds), repr(r.theta_per_tflop)])
+    """Write a trace as CSV (sorted by arrival time), crash-safely."""
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(_HEADER)
+    for r in sorted(requests, key=lambda r: r.arrival_time):
+        writer.writerow([repr(r.arrival_time), repr(r.slo_seconds), repr(r.theta_per_tflop)])
+    atomic_write(path, buffer.getvalue())
 
 
 def load_trace(path: Union[str, Path]) -> List[Request]:

@@ -1,0 +1,16 @@
+"""RL001 known-bad: quantities of different dimensions mixed."""
+
+from repro.utils.units import joules
+
+
+def overshoot(deadline: float) -> float:
+    energy = joules(120.0)
+    return energy + deadline
+
+
+def affordable(power: float, energy: float) -> bool:
+    return energy > power
+
+
+def doubled(energy: float) -> float:
+    return joules(energy)

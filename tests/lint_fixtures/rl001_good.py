@@ -1,0 +1,16 @@
+"""RL001 known-good: consistent dimensions throughout."""
+
+from repro.utils.units import joules
+
+
+def with_reserve(energy: float) -> float:
+    reserve = joules(10.0)
+    return energy + reserve
+
+
+def remaining(budget: float, energy: float) -> float:
+    return budget - energy
+
+
+def affordable(budget: float, energy: float) -> bool:
+    return energy < budget

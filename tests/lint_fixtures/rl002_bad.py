@@ -1,0 +1,9 @@
+"""RL002 known-bad: exact equality on accumulated floats."""
+
+
+def drained(energy: float, budget: float) -> bool:
+    return energy == budget
+
+
+def changed(accuracy: float, baseline_accuracy: float) -> bool:
+    return accuracy != baseline_accuracy

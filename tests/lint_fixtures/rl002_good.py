@@ -1,0 +1,15 @@
+"""RL002 known-good: tolerances and exempt zero/sentinel checks."""
+
+import math
+
+
+def drained(energy: float, budget: float) -> bool:
+    return math.isclose(energy, budget, rel_tol=1e-9)
+
+
+def unset(energy: float) -> bool:
+    return energy == 0
+
+
+def is_sentinel(budget: object) -> bool:
+    return budget == "inf"

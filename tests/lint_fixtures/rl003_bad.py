@@ -1,0 +1,13 @@
+"""RL003 known-bad: truncating writes of state files."""
+
+import json
+from pathlib import Path
+
+
+def save_state(path: Path, payload: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def save_text(path: Path, text: str) -> None:
+    path.write_text(text)

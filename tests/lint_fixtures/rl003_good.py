@@ -1,0 +1,20 @@
+"""RL003 known-good: atomic writes; appends and reads are exempt."""
+
+import json
+from pathlib import Path
+
+from repro.utils.fileio import atomic_write
+
+
+def save_state(path: Path, payload: dict) -> None:
+    atomic_write(path, json.dumps(payload))
+
+
+def append_record(path: Path, line: str) -> None:
+    with open(path, "a") as handle:
+        handle.write(line)
+
+
+def load_state(path: Path) -> str:
+    with open(path) as handle:
+        return handle.read()

@@ -1,0 +1,7 @@
+"""RL004 known-bad: wall clock in a timeout path."""
+
+import time
+
+
+def deadline_from_now(timeout: float) -> float:
+    return time.time() + timeout

@@ -1,0 +1,12 @@
+"""RL004 known-good: monotonic clocks for deadlines and durations."""
+
+import time
+
+
+def deadline_from_now(timeout: float) -> float:
+    return time.monotonic() + timeout
+
+
+def measure() -> float:
+    start = time.perf_counter()
+    return time.perf_counter() - start

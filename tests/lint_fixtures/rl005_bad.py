@@ -1,0 +1,9 @@
+"""RL005 known-bad: anonymous FLOP-scale conversion factors."""
+
+
+def to_gigaflop(flops: float) -> float:
+    return flops / 1e9
+
+
+def to_flop(tera: float) -> float:
+    return tera * 1e12

@@ -1,0 +1,11 @@
+"""RL005 known-good: conversions named through repro.utils.units."""
+
+from repro.utils.units import as_gflop, tflops
+
+
+def to_gigaflop(flops: float) -> float:
+    return as_gflop(flops)
+
+
+def speed(terallops_per_second: float) -> float:
+    return tflops(terallops_per_second)

@@ -1,0 +1,12 @@
+"""RL010 known-bad: bare acquire leaks the lock on an exception."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def unsafe_update(value: float) -> float:
+    _lock.acquire()
+    result = value * 2.0
+    _lock.release()
+    return result

@@ -1,0 +1,18 @@
+"""RL010 known-good: with-statement or try/finally guards."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def safe_update(value: float) -> float:
+    with _lock:
+        return value * 2.0
+
+
+def explicit(value: float) -> float:
+    _lock.acquire()
+    try:
+        return value * 2.0
+    finally:
+        _lock.release()

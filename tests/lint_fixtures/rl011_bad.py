@@ -1,0 +1,11 @@
+"""RL011 known-bad: an fsync convoys every thread behind the lock."""
+
+import os
+import threading
+
+_lock = threading.Lock()
+
+
+def flush(fd: int) -> None:
+    with _lock:
+        os.fsync(fd)

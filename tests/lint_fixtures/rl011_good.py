@@ -1,0 +1,13 @@
+"""RL011 known-good: publish under the lock, block outside it."""
+
+import os
+import threading
+
+_lock = threading.Lock()
+_pending: list = []
+
+
+def flush(fd: int, record: str) -> None:
+    with _lock:
+        _pending.append(record)
+    os.fsync(fd)

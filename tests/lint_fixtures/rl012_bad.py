@@ -1,0 +1,10 @@
+"""RL012 known-bad: the thread target drops the ambient context."""
+
+import threading
+from typing import Callable
+
+
+def spawn(worker: Callable[[], None]) -> threading.Thread:
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    return thread

@@ -1,0 +1,12 @@
+"""RL012 known-good: the spawn site carries the context across."""
+
+import threading
+from contextvars import copy_context
+from typing import Callable
+
+
+def spawn(worker: Callable[[], None]) -> threading.Thread:
+    context = copy_context()
+    thread = threading.Thread(target=lambda: context.run(worker), daemon=True)
+    thread.start()
+    return thread

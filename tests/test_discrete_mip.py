@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algorithms import ApproxScheduler, FractionalScheduler
+from repro.algorithms import FractionalScheduler
 from repro.baselines import EDFDiscreteLevelsScheduler
 from repro.exact import DiscreteLevelsMIPScheduler, solve_discrete_mip
 from repro.utils.errors import ValidationError

@@ -8,7 +8,6 @@ modules, and the API reference must be regenerable.
 import re
 from pathlib import Path
 
-import pytest
 
 ROOT = Path(__file__).parent.parent
 

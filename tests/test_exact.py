@@ -9,7 +9,7 @@ from repro.algorithms.approx import ApproxScheduler
 from repro.algorithms.fractional import solve_fractional
 from repro.exact.lp import LPFractionalScheduler, solve_lp_relaxation
 from repro.exact.mip import MIPScheduler, solve_mip
-from repro.exact.model import VariableLayout, build_mip, build_relaxation, extract_times
+from repro.exact.model import VariableLayout, build_relaxation, extract_times
 
 from conftest import make_instance
 

@@ -8,7 +8,6 @@ tiny work scales.
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.algorithms import ApproxScheduler, FractionalScheduler, performance_guarantee

@@ -8,7 +8,7 @@ import pytest
 from repro.core.instance import ProblemInstance, beta_of_budget, budget_for_beta
 from repro.utils.errors import ValidationError
 
-from conftest import make_cluster, make_instance, make_tasks
+from conftest import make_instance
 
 
 class TestBudgetMapping:

@@ -1,6 +1,5 @@
 """Cross-module integration: full pipelines at small scale."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms import ApproxScheduler, FractionalScheduler, performance_guarantee

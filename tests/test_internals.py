@@ -10,15 +10,8 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.accuracy import (
-    ExponentialAccuracy,
-    _chord_sag,
-    _extend_segment,
-    _minimax_breakpoints,
-    fit_piecewise,
-)
+from repro.core.accuracy import _chord_sag, _extend_segment, _minimax_breakpoints
 from repro.exact.model import build_relaxation
-from repro.utils.errors import ValidationError
 
 from conftest import make_instance
 

@@ -1,6 +1,5 @@
 """Rolling-horizon online planner."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms import ApproxScheduler

@@ -1,6 +1,5 @@
 """Event-driven online serving simulation."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms import ApproxScheduler, FractionalScheduler

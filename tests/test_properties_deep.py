@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 
 from repro.algorithms import ApproxScheduler, FractionalScheduler
 from repro.algorithms.registry import make_scheduler
-from repro.core import Schedule, instance_from_dict, instance_to_dict
+from repro.core import instance_from_dict, instance_to_dict
 from repro.core.analysis import describe
 from repro.exact import certify
 from repro.simulator import ClusterSimulator

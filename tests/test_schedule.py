@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.schedule import Schedule, check_feasibility
+from repro.core.schedule import Schedule
 from repro.utils.errors import ValidationError
 
 from conftest import make_instance

@@ -5,7 +5,6 @@ import threading
 import urllib.error
 import urllib.request
 
-import numpy as np
 import pytest
 
 from repro.core import instance_to_dict, schedule_from_dict

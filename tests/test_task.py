@@ -1,6 +1,5 @@
 """Tasks and task sets."""
 
-import numpy as np
 import pytest
 
 from repro.core.task import Task, TaskSet
