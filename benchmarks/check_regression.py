@@ -1,0 +1,76 @@
+"""The CI benchmark regression gate.
+
+Compares a pytest-benchmark run (``--benchmark-json`` output) against the
+committed baseline ``benchmarks/BENCH_baseline.json`` and **fails** (exit
+1) when any benchmark's mean slows down beyond the threshold (default
+1.25x, i.e. a >25% regression).  Benchmarks missing from the baseline are
+reported but never gate — new benchmarks land first, get a baseline
+second.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_current.json \
+        --baseline benchmarks/BENCH_baseline.json --threshold 1.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(current_path: str, baseline_path: str, threshold: float) -> int:
+    baseline = json.loads(Path(baseline_path).read_text())["benchmarks"]
+    document = json.loads(Path(current_path).read_text())
+    current = {bench["name"]: bench["stats"] for bench in document["benchmarks"]}
+
+    failures = []
+    print(f"{'benchmark':<36} {'baseline':>10} {'current':>10} {'ratio':>8}  gate")
+    for name, stats in sorted(current.items()):
+        reference = baseline.get(name, {}).get("mean_s")
+        mean = stats["mean"]
+        if reference is None:
+            print(f"{name:<36} {'—':>10} {mean:>10.4f} {'n/a':>8}  new (ungated)")
+            continue
+        ratio = mean / reference
+        verdict = "ok" if ratio <= threshold else f"FAIL (> {threshold:.2f}x)"
+        print(f"{name:<36} {reference:>10.4f} {mean:>10.4f} {ratio:>7.2f}x  {verdict}")
+        if ratio > threshold:
+            failures.append((name, ratio))
+
+    stale = sorted(set(baseline) - set(current))
+    for name in stale:
+        print(f"{name:<36} {baseline[name]['mean_s']:>10.4f} {'—':>10} {'n/a':>8}  missing from run")
+
+    if failures:
+        worst = max(failures, key=lambda item: item[1])
+        print(
+            f"\nREGRESSION: {len(failures)} benchmark(s) beyond {threshold:.2f}x "
+            f"(worst: {worst[0]} at {worst[1]:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(current)} benchmark(s) within {threshold:.2f}x of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="pytest-benchmark JSON of the run under test")
+    parser.add_argument(
+        "--baseline", default="benchmarks/BENCH_baseline.json", help="committed baseline JSON"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="max tolerated current/baseline mean ratio (default 1.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+    return compare(args.current, args.baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

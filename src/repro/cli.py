@@ -24,6 +24,19 @@ Commands
     resilience layer (admission control, deadlines, fallback chain) and
     ``--journal-dir`` makes the energy ledger crash-safe (recovered and
     reported on restart).
+``cluster``
+    Run the sharded multi-worker serving front-end (see repro.cluster):
+    requests are consistent-hash routed to worker processes, coalesced
+    into bounded solve windows, and the global energy budget ``--budget``
+    is split into per-shard leases with demand-weighted rebalancing;
+    ``--journal-root`` gives every shard a crash-safe energy ledger that
+    ``repro.cluster.audit_cluster`` certifies against the budget.
+``bench serve``
+    Serving benchmark: drive the same closed/open-loop load through a
+    single process and an N-shard cluster, report throughput and
+    p50/p90/p99 latency for both, and write the comparison (plus
+    per-shard energy spend and the budget audit) to
+    ``benchmarks/BENCH_serve.json``.
 ``online``
     Rolling-horizon serving of a Poisson stream; with ``--journal-dir``
     the run is durable (write-ahead journal + snapshots) and *resumes*
@@ -322,6 +335,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo=None if slo.empty else slo,
     )
     return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import ClusterConfig, serve_cluster
+
+    config = ClusterConfig(
+        shards=args.shards,
+        budget=args.budget,
+        journal_root=str(args.journal_root) if args.journal_root is not None else None,
+        max_batch=args.max_batch,
+        max_wait_seconds=args.max_wait / 1000.0,
+        solver_timeout=args.solver_timeout,
+        fallback=args.fallback,
+        max_in_flight=args.max_in_flight,
+        rebalance_seconds=args.rebalance_seconds,
+    )
+    serve_cluster(args.host, args.port, config=config)
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .cluster import bench_serve
+
+    report = bench_serve(
+        str(args.out),
+        shards=args.shards,
+        duration=args.duration,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        scheduler=args.scheduler,
+        n_tasks=args.tasks,
+        n_machines=args.machines,
+        beta=args.beta,
+        budget=args.budget,
+        journal_root=str(args.journal_root) if args.journal_root is not None else None,
+        max_batch=args.max_batch,
+        max_wait_seconds=args.max_wait / 1000.0,
+        seed=args.seed,
+        skip_single=args.skip_single,
+    )
+    audit = report.get("audit")
+    return 0 if audit is None or audit["certified"] else 1
 
 
 def _cmd_online(args: argparse.Namespace) -> int:
@@ -876,6 +931,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_arg(p_srv)
     p_srv.set_defaults(fn=_cmd_serve)
+
+    p_clu = sub.add_parser(
+        "cluster", help="run the sharded multi-worker serving front-end (see repro.cluster)"
+    )
+    p_clu.add_argument("--host", default="127.0.0.1")
+    p_clu.add_argument("--port", type=int, default=8080)
+    p_clu.add_argument("--shards", type=int, default=2, help="number of worker processes")
+    p_clu.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="JOULES",
+        help="global energy budget B, split into per-shard leases (unbounded if omitted)",
+    )
+    p_clu.add_argument(
+        "--journal-root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="per-shard write-ahead energy ledgers under DIR/shard-NN (auditable)",
+    )
+    p_clu.add_argument("--max-batch", type=int, default=8, help="max requests coalesced per solve window")
+    p_clu.add_argument(
+        "--max-wait", type=float, default=10.0, metavar="MS", help="max time a request waits for its window"
+    )
+    p_clu.add_argument(
+        "--solver-timeout", type=float, default=None, metavar="SECONDS", help="per-request solver deadline"
+    )
+    p_clu.add_argument("--fallback", action="store_true", help="serve through the fallback chain")
+    p_clu.add_argument("--max-in-flight", type=int, default=4, help="per-shard concurrent solve bound")
+    p_clu.add_argument(
+        "--rebalance-seconds", type=float, default=2.0, help="period of the lease rebalancer"
+    )
+    p_clu.set_defaults(fn=_cmd_cluster)
+
+    p_ben = sub.add_parser("bench", help="serving benchmarks (see repro.cluster.bench)")
+    ben_sub = p_ben.add_subparsers(dest="bench_command", required=True)
+    p_bsv = ben_sub.add_parser(
+        "serve", help="load-generate against one process and an N-shard cluster; write BENCH_serve.json"
+    )
+    p_bsv.add_argument("--out", type=Path, default=Path("benchmarks/BENCH_serve.json"))
+    p_bsv.add_argument("--shards", type=int, default=4, help="cluster size to benchmark")
+    p_bsv.add_argument("--duration", type=float, default=5.0, help="seconds of load per side")
+    p_bsv.add_argument("--concurrency", type=int, default=8, help="closed-loop client count")
+    p_bsv.add_argument(
+        "--rate", type=float, default=None, metavar="RPS", help="open-loop Poisson arrivals instead of closed loop"
+    )
+    p_bsv.add_argument("--scheduler", default="approx")
+    p_bsv.add_argument("--tasks", "-n", type=int, default=20, help="tasks per request instance")
+    p_bsv.add_argument("--machines", "-m", type=int, default=4, help="machines per request instance")
+    p_bsv.add_argument("--beta", type=float, default=0.5, help="energy budget ratio β of the instance")
+    p_bsv.add_argument(
+        "--budget", type=float, default=None, metavar="JOULES", help="global cluster budget for the run"
+    )
+    p_bsv.add_argument(
+        "--journal-root", type=Path, default=None, metavar="DIR", help="shard ledgers here (enables the audit)"
+    )
+    p_bsv.add_argument("--max-batch", type=int, default=8)
+    p_bsv.add_argument("--max-wait", type=float, default=5.0, metavar="MS")
+    p_bsv.add_argument("--seed", type=int, default=0)
+    p_bsv.add_argument("--skip-single", action="store_true", help="skip the single-process baseline")
+    p_bsv.set_defaults(fn=_cmd_bench_serve)
 
     p_onl = sub.add_parser(
         "online", help="rolling-horizon serving of a Poisson stream (durable with --journal-dir)"

@@ -1,0 +1,149 @@
+"""Bounded solve windows: coalesce arriving requests into batches.
+
+The front-end does not dispatch every request to its shard
+individually — queue/IPC round-trips would dominate small solves.
+Instead a :class:`WindowBatcher` per shard coalesces arrivals into
+bounded *solve windows*: a window closes when it holds ``max_batch``
+items **or** ``max_wait_seconds`` after its first item arrived,
+whichever comes first.  The first bound caps per-window latency cost,
+the second caps the latency a lone request pays for batching.
+
+Each submitted item gets a :class:`PendingResult` — a one-shot future
+the dispatch path resolves from the worker's reply (or fails, e.g. when
+the worker dies mid-window).  The batcher owns one daemon thread; the
+dispatch callback runs on it, so callbacks must hand heavy work
+onwards rather than solving inline.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..telemetry import get_collector
+from ..utils.errors import ValidationError
+from ..utils.validation import check_positive, require
+
+__all__ = ["PendingResult", "WindowBatcher"]
+
+
+class PendingResult:
+    """One-shot future for a submitted request (thread-safe)."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    def resolve(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block for the result; raises the stored error or ``TimeoutError``."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request timed out waiting for its solve window")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class WindowBatcher:
+    """Coalesce submissions into ``dispatch(batch)`` calls on a worker thread.
+
+    ``dispatch`` receives a list of ``(item, PendingResult)`` pairs and
+    is responsible for resolving (or failing) every pending result it
+    was handed.  Exceptions escaping ``dispatch`` fail the whole window
+    — no request is ever silently dropped.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[List[Tuple[Any, PendingResult]]], None],
+        *,
+        max_batch: int = 8,
+        max_wait_seconds: float = 0.01,
+        name: str = "batcher",
+    ):
+        require(max_batch >= 1, f"max_batch must be >= 1, got {max_batch}")
+        check_positive(max_wait_seconds, "max_wait_seconds")
+        self.dispatch = dispatch
+        self.max_batch = int(max_batch)
+        self.max_wait_seconds = float(max_wait_seconds)
+        self.name = name
+        self._lock = threading.Lock()
+        self._items: List[Tuple[Any, PendingResult]] = []
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        # The loop runs under a copy of the creating context so spans and
+        # trace scopes opened by dispatch land in the owning registry.
+        context = contextvars.copy_context()
+        self._thread = threading.Thread(
+            target=lambda: context.run(self._loop), name=f"repro-{name}", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, item: Any) -> PendingResult:
+        """Queue ``item`` for the next window; returns its pending result."""
+        pending = PendingResult()
+        with self._lock:
+            if self._closed:
+                raise ValidationError(f"batcher {self.name!r} is closed")
+            self._items.append((item, pending))
+            self._wakeup.notify()
+        return pending
+
+    def _loop(self) -> None:
+        tele = get_collector()
+        while True:
+            with self._lock:
+                while not self._items and not self._closed:
+                    self._wakeup.wait()
+                if self._closed and not self._items:
+                    return
+                # A window is open: wait out the coalescing budget unless
+                # the size bound trips first.
+                deadline = time.monotonic() + self.max_wait_seconds
+                while len(self._items) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.wait(remaining)
+                batch, self._items = self._items[: self.max_batch], self._items[self.max_batch :]
+            if not batch:  # pragma: no cover — only on close races
+                continue
+            tele.counter(f"{self.name}_windows_total").inc()
+            tele.histogram(f"{self.name}_window_size", buckets=(1, 2, 4, 8, 16, 32, 64)).observe(
+                len(batch)
+            )
+            try:
+                self.dispatch(batch)
+            except BaseException as exc:  # noqa: BLE001 — every pending must settle
+                for _, pending in batch:
+                    if not pending.done:
+                        pending.fail(exc)
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the batcher; ``drain=True`` dispatches queued items first."""
+        with self._lock:
+            self._closed = True
+            if not drain:
+                leftovers, self._items = self._items, []
+            else:
+                leftovers = []
+            self._wakeup.notify_all()
+        for _, pending in leftovers:
+            pending.fail(ValidationError(f"batcher {self.name!r} closed"))
+        self._thread.join(timeout=5.0)

@@ -1,0 +1,579 @@
+"""The cluster front-end: route, batch, lease, dispatch, aggregate.
+
+:class:`ClusterManager` is the control plane of a sharded solving
+cluster.  It owns
+
+* a pool of shard **worker processes** (:mod:`repro.cluster.worker`),
+  each with its own journal, telemetry registry and circuit breaker;
+* a :class:`~repro.cluster.router.ConsistentHashRouter` mapping each
+  request's trace id to a shard (walking past dead shards);
+* one :class:`~repro.cluster.batcher.WindowBatcher` per shard coalescing
+  requests into bounded solve windows;
+* the :class:`~repro.cluster.ledger.EnergyLeaseLedger` splitting the
+  global budget ``B`` into per-shard leases, with a background
+  rebalancer moving unspent headroom to the shards that are burning it;
+* per-shard dispatcher threads that settle completed windows — resolving
+  each request's :class:`~repro.cluster.batcher.PendingResult`,
+  committing realised energy back to the ledger, and detecting worker
+  death (in-flight requests answer 503, the grant is released, the ring
+  routes around the corpse).
+
+:func:`make_cluster_server` wraps a manager in the same thin HTTP
+surface as :mod:`repro.server` — clients cannot tell one process from a
+cluster — and :func:`serve_cluster` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import math
+import multiprocessing
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Set, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .. import __version__ as _pkg_version
+from ..algorithms.registry import available_schedulers
+from ..observe.tracing import to_trace_events, trace_spans, valid_trace_id
+from ..telemetry import MetricsRegistry, collector, new_trace_id, prometheus_text, trace_scope
+from ..utils.errors import ValidationError
+from ..utils.validation import check_positive, require
+from .batcher import PendingResult, WindowBatcher
+from .ledger import EnergyLeaseLedger
+from .router import ConsistentHashRouter
+from .worker import WorkerConfig, worker_main
+
+__all__ = ["ClusterConfig", "ClusterManager", "make_cluster_server", "serve_cluster"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ClusterConfig:
+    """Knobs of a cluster: topology, batching, budget and resilience."""
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        budget: Optional[float] = None,
+        journal_root: Optional[str] = None,
+        max_batch: int = 8,
+        max_wait_seconds: float = 0.01,
+        solver_timeout: Optional[float] = None,
+        fallback: bool = False,
+        max_in_flight: int = 4,
+        request_timeout_seconds: float = 30.0,
+        rebalance_seconds: float = 2.0,
+        min_share: float = 0.05,
+        replicas: int = 64,
+        fsync: str = "rotate",
+        snapshot_every: int = 25,
+        lease_horizon_seconds: Optional[float] = None,
+    ):
+        require(shards >= 1, f"cluster needs at least one shard, got {shards}")
+        check_positive(request_timeout_seconds, "request_timeout_seconds")
+        check_positive(rebalance_seconds, "rebalance_seconds")
+        self.shards = int(shards)
+        self.budget = budget
+        self.journal_root = journal_root
+        self.max_batch = int(max_batch)
+        self.max_wait_seconds = float(max_wait_seconds)
+        self.solver_timeout = solver_timeout
+        self.fallback = bool(fallback)
+        self.max_in_flight = int(max_in_flight)
+        self.request_timeout_seconds = float(request_timeout_seconds)
+        self.rebalance_seconds = float(rebalance_seconds)
+        self.min_share = float(min_share)
+        self.replicas = int(replicas)
+        self.fsync = fsync
+        self.snapshot_every = int(snapshot_every)
+        self.lease_horizon_seconds = lease_horizon_seconds
+
+    def shard_ids(self) -> List[str]:
+        return [f"shard-{i:02d}" for i in range(self.shards)]
+
+
+class _ShardHandle:
+    """One shard as the front-end sees it: process, queues, batcher."""
+
+    def __init__(self, shard: str):
+        self.shard = shard
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.requests: Any = None
+        self.replies: Any = None
+        self.batcher: Optional[WindowBatcher] = None
+        self.dispatcher: Optional[threading.Thread] = None
+        self.alive = False
+        self.lock = threading.Lock()
+        #: windows sent but not yet settled: batch_id -> (kind, payload, grant)
+        self.inflight: Dict[int, Tuple[str, Any, float]] = {}
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform has it (workers start before traffic, so the
+    fork is taken from a quiescent parent); spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _shed_doc(reason: str, retry_after: float, trace_id: Optional[str] = None) -> Dict[str, Any]:
+    return {"status": 503, "error": reason, "retry_after": retry_after, "trace_id": trace_id}
+
+
+class ClusterManager:
+    """Start, drive and stop a sharded solving cluster (thread-safe)."""
+
+    def __init__(self, config: ClusterConfig, *, telemetry: Optional[MetricsRegistry] = None):
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        ids = config.shard_ids()
+        self.router = ConsistentHashRouter(ids, replicas=config.replicas)
+        self.ledger = EnergyLeaseLedger(config.budget, ids, min_share=config.min_share)
+        self._handles: Dict[str, _ShardHandle] = {s: _ShardHandle(s) for s in ids}
+        self._batch_ids = itertools.count(1)
+        self._started = False
+        self._stopping = threading.Event()
+        self._rebalancer: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ClusterManager":
+        require(not self._started, "cluster already started")
+        self._started = True
+        ctx = _mp_context()
+        for shard, handle in self._handles.items():
+            worker_config = WorkerConfig(
+                shard,
+                journal_dir=(
+                    None
+                    if self.config.journal_root is None
+                    else f"{self.config.journal_root}/{shard}"
+                ),
+                solver_timeout=self.config.solver_timeout,
+                fallback=self.config.fallback,
+                max_in_flight=self.config.max_in_flight,
+                snapshot_every=self.config.snapshot_every,
+                fsync=self.config.fsync,
+                lease_horizon_seconds=self.config.lease_horizon_seconds,
+            )
+            handle.requests = ctx.Queue()
+            handle.replies = ctx.Queue()
+            handle.process = ctx.Process(
+                target=worker_main,
+                args=(worker_config, handle.requests, handle.replies),
+                name=f"repro-{shard}",
+                daemon=True,
+            )
+            handle.process.start()
+            handle.alive = True
+            # One context copy per thread: a Context object cannot be
+            # entered by two threads at once.
+            dispatch_context = contextvars.copy_context()
+            handle.dispatcher = threading.Thread(
+                target=lambda c=dispatch_context, h=handle: c.run(self._dispatch_loop, h),
+                name=f"repro-dispatch-{shard}",
+                daemon=True,
+            )
+            handle.dispatcher.start()
+            handle.batcher = WindowBatcher(
+                lambda batch, h=handle: self._send_window(h, batch),
+                max_batch=self.config.max_batch,
+                max_wait_seconds=self.config.max_wait_seconds,
+                name=f"window_{shard.replace('-', '_')}",
+            )
+        rebalance_context = contextvars.copy_context()
+        self._rebalancer = threading.Thread(
+            target=lambda: rebalance_context.run(self._rebalance_loop),
+            name="repro-rebalancer",
+            daemon=True,
+        )
+        self._rebalancer.start()
+        return self
+
+    def stop(self, *, timeout: float = 5.0) -> None:
+        if not self._started or self._stopping.is_set():
+            return
+        self._stopping.set()
+        for handle in self._handles.values():
+            if handle.batcher is not None:
+                handle.batcher.close(drain=False)
+        for handle in self._handles.values():
+            if handle.alive and handle.requests is not None:
+                try:
+                    handle.requests.put({"op": "shutdown", "batch_id": 0})
+                except (OSError, ValueError):  # pragma: no cover — queue torn down
+                    pass
+        for handle in self._handles.values():
+            if handle.process is not None:
+                handle.process.join(timeout=timeout)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=1.0)
+            handle.alive = False
+            if handle.dispatcher is not None:
+                handle.dispatcher.join(timeout=1.0)
+
+    def __enter__(self) -> "ClusterManager":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- the request path ------------------------------------------------------
+
+    def healthy_shards(self) -> Set[str]:
+        return {s for s, h in self._handles.items() if h.alive}
+
+    def submit(
+        self,
+        scheduler: str,
+        instance_doc: Dict[str, Any],
+        *,
+        trace_id: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Route one solve request through the cluster; blocks for the result.
+
+        Returns the worker's response document (``status`` 200/4xx/5xx),
+        or a synthesized 503/504 when no shard could serve it.  The
+        request's trace id keys the consistent-hash routing, so retries
+        of the same trace land on the same shard while topology holds.
+        """
+        tid = trace_id or new_trace_id()
+        with collector(self.telemetry), trace_scope(tid):
+            try:
+                shard = self.router.route(tid, healthy=self.healthy_shards())
+            except KeyError:
+                self.telemetry.counter("frontend_rejected_total", reason="no_healthy_shards").inc()
+                return _shed_doc("no healthy shards", 5.0, tid)
+            handle = self._handles[shard]
+            item = {"scheduler": scheduler, "instance": instance_doc, "trace_id": tid}
+            with self.telemetry.span("frontend.request", shard=shard, scheduler=scheduler):
+                try:
+                    assert handle.batcher is not None
+                    pending = handle.batcher.submit(item)
+                except ValidationError:
+                    return _shed_doc(f"shard {shard} is shutting down", 5.0, tid)
+                try:
+                    result = pending.wait(timeout or self.config.request_timeout_seconds)
+                except TimeoutError:
+                    self.telemetry.counter("frontend_rejected_total", reason="timeout").inc()
+                    return {"status": 504, "error": "request timed out in the cluster", "trace_id": tid}
+                except Exception as exc:  # noqa: BLE001 — dispatch failure surfaces as 500
+                    self.telemetry.counter("frontend_rejected_total", reason="dispatch_error").inc()
+                    return {"status": 500, "error": f"dispatch failed: {exc}", "trace_id": tid}
+        return result
+
+    def _reserve_for(self, shard: str, batch: List[Tuple[Dict[str, Any], PendingResult]]) -> float:
+        """How much lease to reserve for a window: the sum of the requests'
+        own budgets (an infinite budget asks for the whole lease — the
+        reservation clips to headroom either way)."""
+        lease = self.ledger.lease_of(shard)
+        ask = 0.0
+        for item, _ in batch:
+            raw = item["instance"].get("budget", "inf")
+            value = float(raw)
+            ask += lease if math.isinf(value) else value
+        return self.ledger.reserve(shard, min(ask, lease))
+
+    def _send_window(self, handle: _ShardHandle, batch: List[Tuple[Dict[str, Any], PendingResult]]) -> None:
+        """Batcher dispatch: reserve the grant and ship the window."""
+        if not handle.alive:
+            for item, pending in batch:
+                pending.resolve(_shed_doc(f"shard {handle.shard} is down", 2.0, item.get("trace_id")))
+            return
+        batch_id = next(self._batch_ids)
+        grant: Optional[float] = None
+        if self.ledger.budget is not None:
+            grant = self._reserve_for(handle.shard, batch)
+        envelope: Dict[str, Any] = {
+            "op": "window",
+            "batch_id": batch_id,
+            "requests": [item for item, _ in batch],
+        }
+        if grant is not None:
+            envelope["grant"] = grant
+            envelope["lease"] = self.ledger.lease_of(handle.shard)
+        with handle.lock:
+            handle.inflight[batch_id] = ("window", batch, grant or 0.0)
+        try:
+            handle.requests.put(envelope)
+        except (OSError, ValueError):
+            with handle.lock:
+                handle.inflight.pop(batch_id, None)
+            if grant is not None:
+                self.ledger.release(handle.shard, grant)
+            for item, pending in batch:
+                pending.resolve(_shed_doc(f"shard {handle.shard} unreachable", 2.0, item.get("trace_id")))
+
+    def _settle_window(self, handle: _ShardHandle, entry: Tuple[str, Any, float], reply: Dict[str, Any]) -> None:
+        _, batch, grant = entry
+        results = reply.get("results", [])
+        for index, (item, pending) in enumerate(batch):
+            if index < len(results):
+                pending.resolve(results[index])
+            else:  # pragma: no cover — a worker always answers the full window
+                pending.resolve(_shed_doc("window truncated by worker", 2.0, item.get("trace_id")))
+        if self.ledger.budget is None:
+            return
+        spent = float(reply.get("spent", 0.0))
+        try:
+            self.ledger.commit(handle.shard, grant, spent)
+        except ValidationError:
+            # The worker overran its grant — record the whole grant as spent
+            # (conservative: the ledger must never under-count) and flag it.
+            self.telemetry.counter("lease_overruns_total", shard=handle.shard).inc()
+            self.ledger.commit(handle.shard, grant, grant)
+
+    def _shard_died(self, handle: _ShardHandle) -> None:
+        """A worker stopped answering: fail over, release its leases."""
+        handle.alive = False
+        self.telemetry.counter("shard_deaths_total", shard=handle.shard).inc()
+        if handle.batcher is not None:
+            handle.batcher.close(drain=False)
+        with handle.lock:
+            orphans = list(handle.inflight.values())
+            handle.inflight.clear()
+        for kind, payload, grant in orphans:
+            if grant:
+                self.ledger.release(handle.shard, grant)
+            if kind == "window":
+                for item, pending in payload:
+                    pending.resolve(
+                        _shed_doc(f"shard {handle.shard} died mid-request", 2.0, item.get("trace_id"))
+                    )
+            else:
+                payload.fail(ChildProcessError(f"shard {handle.shard} died"))
+
+    def _dispatch_loop(self, handle: _ShardHandle) -> None:
+        """Per-shard reply pump: settle windows, watch for worker death."""
+        while not self._stopping.is_set():
+            try:
+                reply = handle.replies.get(timeout=0.2)
+            except queue.Empty:
+                if handle.alive and handle.process is not None and not handle.process.is_alive():
+                    self._shard_died(handle)
+                    return
+                continue
+            except (OSError, ValueError):  # pragma: no cover — queue torn down
+                return
+            if reply.get("op") == "shutdown_ack":
+                return
+            with handle.lock:
+                entry = handle.inflight.pop(reply.get("batch_id"), None)
+            if entry is None:
+                continue
+            if entry[0] == "window":
+                self._settle_window(handle, entry, reply)
+            else:
+                entry[1].resolve(reply)
+
+    # -- rebalancing -----------------------------------------------------------
+
+    def _rebalance_loop(self) -> None:
+        with collector(self.telemetry):
+            while not self._stopping.wait(self.config.rebalance_seconds):
+                if self.ledger.budget is not None:
+                    self.ledger.rebalance()
+
+    # -- observation -----------------------------------------------------------
+
+    def _ask_shard(self, handle: _ShardHandle, op: str, timeout: float) -> Optional[Dict[str, Any]]:
+        if not handle.alive:
+            return None
+        batch_id = next(self._batch_ids)
+        pending = PendingResult()
+        with handle.lock:
+            handle.inflight[batch_id] = (op, pending, 0.0)
+        try:
+            handle.requests.put({"op": op, "batch_id": batch_id})
+            return pending.wait(timeout)
+        except (TimeoutError, ChildProcessError, OSError, ValueError):
+            with handle.lock:
+                handle.inflight.pop(batch_id, None)
+            return None
+
+    def shard_stats(self, *, timeout: float = 5.0) -> Dict[str, Optional[Dict[str, Any]]]:
+        """Each live shard's stats document (``None`` for dead shards)."""
+        return {s: self._ask_shard(h, "stats", timeout) for s, h in self._handles.items()}
+
+    def health(self) -> Dict[str, Any]:
+        healthy = self.healthy_shards()
+        return {
+            "status": "ok" if len(healthy) == len(self._handles) else ("degraded" if healthy else "down"),
+            "shards": {s: ("up" if h.alive else "down") for s, h in self._handles.items()},
+            "ledger": self.ledger.to_dict(),
+        }
+
+    def metrics_text(self, *, timeout: float = 5.0) -> str:
+        """Cluster-wide Prometheus exposition: the front-end registry plus
+        every worker registry, each worker metric labelled with its shard."""
+        snap = self.telemetry.snapshot()
+        metrics = list(snap["metrics"])
+        for shard, stats in self.shard_stats(timeout=timeout).items():
+            if stats is None:
+                continue
+            for entry in stats.get("telemetry", {}).get("metrics", []):
+                labelled = dict(entry)
+                labelled["labels"] = {**entry.get("labels", {}), "shard": shard}
+                metrics.append(labelled)
+        return prometheus_text({"metrics": metrics, "spans": []})
+
+    def trace_document(self, trace_id: str, *, timeout: float = 5.0) -> Optional[Dict[str, Any]]:
+        """One trace's spans across the whole cluster (front-end + workers)."""
+        spans = trace_spans(self.telemetry, trace_id)
+        for stats in self.shard_stats(timeout=timeout).values():
+            if stats is not None:
+                spans.extend(trace_spans(stats.get("telemetry", {"spans": []}), trace_id))
+        if not spans:
+            return None
+        spans.sort(key=lambda s: (s["start"], s["span_id"]))
+        return to_trace_events(spans, trace_id=trace_id)
+
+
+# -- the HTTP surface -----------------------------------------------------------
+
+
+class _ClusterHandler(BaseHTTPRequestHandler):
+    server_version = f"repro-cluster/{_pkg_version}"
+    _trace_id: Optional[str] = None
+
+    @property
+    def _manager(self) -> ClusterManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002 — stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Dict[str, Any], status: int = 200, headers: Optional[dict] = None) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self._trace_id is not None:
+            self.send_header("X-Repro-Trace-Id", self._trace_id)
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        path = urlparse(self.path).path
+        manager = self._manager
+        manager.telemetry.counter("frontend_requests_total", path=path).inc()
+        if path == "/health":
+            health = manager.health()
+            health["version"] = _pkg_version
+            self._send_json(health, 200 if health["status"] == "ok" else 503)
+        elif path == "/schedulers":
+            self._send_json({"schedulers": available_schedulers()})
+        elif path == "/shards":
+            self._send_json({"shards": manager.shard_stats()})
+        elif path == "/metrics":
+            body = manager.metrics_text().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path.startswith("/trace/"):
+            trace_id = path[len("/trace/") :]
+            if valid_trace_id(trace_id) is None:
+                self._send_json({"error": f"malformed trace id {trace_id!r}"}, 400)
+                return
+            document = manager.trace_document(trace_id)
+            if document is None:
+                self._send_json({"error": f"unknown trace {trace_id!r}"}, 404)
+                return
+            self._send_json(document)
+        else:
+            self._send_json({"error": f"unknown path {path!r}"}, 404)
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        try:
+            self._do_post()
+        except Exception as exc:  # noqa: BLE001 — serving boundary
+            self._manager.telemetry.counter("frontend_errors_total", status="500").inc()
+            try:
+                self._send_json({"error": f"internal error: {exc}"}, 500)
+            except OSError:
+                pass  # client already gone
+
+    def _do_post(self) -> None:
+        parsed = urlparse(self.path)
+        manager = self._manager
+        manager.telemetry.counter("frontend_requests_total", path=parsed.path).inc()
+        if parsed.path != "/solve":
+            self._send_json({"error": f"unknown path {parsed.path!r}"}, 404)
+            return
+        trace_id = valid_trace_id(self.headers.get("X-Repro-Trace-Id")) or new_trace_id()
+        self._trace_id = trace_id
+        try:
+            name = parse_qs(parsed.query).get("scheduler", ["approx"])[0]
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                data = json.loads(self.rfile.read(length).decode())
+            except (ValueError, UnicodeDecodeError) as exc:
+                manager.telemetry.counter("frontend_errors_total", status="400").inc()
+                self._send_json({"error": f"invalid JSON body: {exc}"}, 400)
+                return
+            result = manager.submit(name, data, trace_id=trace_id)
+            status = int(result.pop("status", 200))
+            headers = None
+            retry_after = result.pop("retry_after", None)
+            if retry_after is not None:
+                headers = {"Retry-After": str(int(max(float(retry_after), 1)))}
+            if status >= 400:
+                manager.telemetry.counter("frontend_errors_total", status=str(status)).inc()
+            self._send_json(result, status, headers)
+        finally:
+            self._trace_id = None  # keep-alive connections reuse the handler
+
+
+def make_cluster_server(
+    manager: ClusterManager, host: str = "127.0.0.1", port: int = 0, *, verbose: bool = False
+) -> ThreadingHTTPServer:
+    """The HTTP front-end for a (started) cluster; port 0 picks a free port."""
+    server = ThreadingHTTPServer((host, port), _ClusterHandler)
+    server.manager = manager  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve_cluster(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    config: Optional[ClusterConfig] = None,
+) -> None:
+    """Run a cluster until interrupted (the CLI's ``cluster`` command)."""
+    manager = ClusterManager(config if config is not None else ClusterConfig())
+    manager.start()
+    server = make_cluster_server(manager, host, port, verbose=True)
+    cfg = manager.config
+    budget = "unbounded" if cfg.budget is None else f"{cfg.budget:.1f} J"
+    print(f"repro cluster front-end on http://{host}:{server.server_address[1]}")
+    print(
+        f"topology: {cfg.shards} shard worker(s), windows <= {cfg.max_batch} requests / "
+        f"{cfg.max_wait_seconds * 1000:.0f} ms, energy budget {budget}"
+    )
+    if cfg.journal_root is not None:
+        print(f"durability: per-shard journals under {cfg.journal_root}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        manager.stop()
+        if cfg.journal_root is not None:
+            from .ledger import audit_cluster
+
+            print(audit_cluster(cfg.journal_root, budget=cfg.budget).summary())

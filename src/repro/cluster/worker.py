@@ -1,0 +1,283 @@
+"""The shard worker: a solver process with its own durable ledger.
+
+Each shard of the cluster is one OS process running
+:func:`worker_main`: a loop over a request queue whose envelopes carry
+solve windows, stats probes, and shutdown.  Per shard — *not* shared
+with any other process — the worker owns:
+
+* a :class:`~repro.telemetry.MetricsRegistry` collecting its counters
+  and solve spans (fetched by the front-end's ``stats`` probe for the
+  cluster-level ``/metrics`` aggregation);
+* an :class:`~repro.resilience.admission.AdmissionController` whose
+  circuit breaker trips on repeated solver failures, shedding load at
+  the shard before it melts;
+* a :class:`~repro.durability.JournalWriter` + snapshot store — the
+  shard's write-ahead energy ledger, recovered on restart and audited
+  by :func:`repro.cluster.ledger.audit_cluster`;
+* an optional :class:`~repro.observe.slo.BurnRateMonitor` watching the
+  shard's spend rate against its lease.
+
+Trace identity crosses the process boundary in data, not context: every
+request in a window envelope carries its ``trace_id``, the worker
+re-opens :func:`~repro.telemetry.trace_scope` around the solve, and the
+journal record carries the id — so one trace correlates the front-end
+span, the worker's solve span and the durable ledger entry.
+
+Energy discipline: the envelope carries the window's ``grant`` (joules
+reserved from the shard's lease by the front-end).  The worker solves
+each request with its instance budget clipped to the remaining grant,
+deducts realised energy, and *sheds* requests (503, ``lease_exhausted``)
+once the grant runs dry — it can never spend a joule the ledger did not
+reserve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import traceback
+from typing import Any, Dict, Optional
+
+from ..core.serialization import instance_from_dict
+from ..durability import JournalWriter, SnapshotStore, recover
+from ..observe.slo import BurnRateMonitor
+from ..resilience.admission import AdmissionController
+from ..telemetry import MetricsRegistry, collector, trace_scope
+from ..utils.errors import FallbackExhaustedError, ReproError, SolverTimeoutError
+from .solve_service import SolveService, SolveServiceConfig, solve_payload
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+class WorkerConfig:
+    """Plain-data worker configuration (must survive pickling to the child)."""
+
+    def __init__(
+        self,
+        shard: str,
+        *,
+        journal_dir: Optional[str] = None,
+        solver_timeout: Optional[float] = None,
+        fallback: bool = False,
+        max_in_flight: int = 4,
+        snapshot_every: int = 25,
+        fsync: str = "always",
+        lease_horizon_seconds: Optional[float] = None,
+    ):
+        self.shard = str(shard)
+        self.journal_dir = journal_dir
+        self.solver_timeout = solver_timeout
+        self.fallback = bool(fallback)
+        self.max_in_flight = int(max_in_flight)
+        self.snapshot_every = int(snapshot_every)
+        self.fsync = fsync
+        self.lease_horizon_seconds = lease_horizon_seconds
+
+    def service_config(self) -> SolveServiceConfig:
+        return SolveServiceConfig(solver_timeout=self.solver_timeout, fallback=self.fallback)
+
+
+class _ShardState:
+    """Everything the worker loop owns; built once inside the child."""
+
+    def __init__(self, config: WorkerConfig):
+        self.config = config
+        self.telemetry = MetricsRegistry()
+        self.service = SolveService(config.service_config())
+        self.admission = AdmissionController(max_in_flight=config.max_in_flight)
+        self.journal: Optional[JournalWriter] = None
+        self.snapshots: Optional[SnapshotStore] = None
+        self.energy_spent = 0.0
+        self.solves_since_snapshot = 0
+        self.solves_total = 0
+        self.started_at = time.monotonic()
+        self.burn: Optional[BurnRateMonitor] = None
+        if config.journal_dir is not None:
+            state = recover(config.journal_dir)
+            self.journal = JournalWriter(config.journal_dir, fsync=config.fsync)
+            self.snapshots = SnapshotStore(config.journal_dir, fsync=config.fsync != "never")
+            self.energy_spent = state.energy_spent
+            kind = "resume" if state.total_records else "run_start"
+            record: Dict[str, Any] = {"type": kind, "meta": {"kind": "cluster-shard", "shard": config.shard}}
+            if kind == "resume":
+                record["cum_energy"] = state.energy_spent
+            self.journal.append(record)
+
+    def arm_burn_monitor(self, lease: float) -> None:
+        horizon = self.config.lease_horizon_seconds
+        if horizon is None or lease <= 0.0:
+            return
+        self.burn = BurnRateMonitor(
+            budget=lease,
+            horizon=horizon,
+            start_time=time.monotonic() - self.started_at,
+            start_energy=self.energy_spent,
+        )
+
+    def journal_solve(self, scheduler_name: str, energy: float, trace_id: Optional[str]) -> None:
+        """Commit one solve to the shard's WAL (single-threaded, no lock)."""
+        self.energy_spent += float(energy)
+        if self.journal is None:
+            return
+        record: Dict[str, Any] = {
+            "type": "solve",
+            "shard": self.config.shard,
+            "scheduler": scheduler_name,
+            "energy": float(energy),
+            "cum_energy": self.energy_spent,
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        self.journal.append(record)
+        self.solves_since_snapshot += 1
+        if self.config.snapshot_every > 0 and self.solves_since_snapshot >= self.config.snapshot_every:
+            assert self.snapshots is not None
+            self.snapshots.save(
+                {
+                    "meta": {"kind": "cluster-shard", "shard": self.config.shard},
+                    "windows": [],
+                    "cum_energy": self.energy_spent,
+                    "level": -1,
+                },
+                journal_records=self.journal.record_count,
+            )
+            self.solves_since_snapshot = 0
+
+
+def _solve_one(state: _ShardState, item: Dict[str, Any], remaining_grant: float, enforce: bool):
+    """One request of a window; returns ``(result_doc, energy_spent)``."""
+    tele = state.telemetry
+    shard = state.config.shard
+    trace_id = item.get("trace_id")
+    name = str(item.get("scheduler", "approx"))
+    if enforce and remaining_grant <= 0.0:
+        tele.counter("worker_shed_total", shard=shard, reason="lease_exhausted").inc()
+        return {"status": 503, "error": "lease_exhausted", "retry_after": 1.0, "trace_id": trace_id}, 0.0
+
+    decision = state.admission.try_begin()
+    if not decision.admitted:
+        tele.counter("worker_shed_total", shard=shard, reason=decision.reason).inc()
+        return {
+            "status": 503,
+            "error": f"shard overloaded ({decision.reason})",
+            "retry_after": max(decision.retry_after_seconds, 1.0),
+            "trace_id": trace_id,
+        }, 0.0
+    try:
+        instance = instance_from_dict(item["instance"])
+        if enforce and instance.budget > remaining_grant:
+            instance = dataclasses.replace(instance, budget=remaining_grant)
+        scheduler = state.service.build_scheduler(name)
+        scope = trace_scope(trace_id) if trace_id else None
+        if scope is not None:
+            scope.__enter__()
+        try:
+            with tele.span("worker.solve", shard=shard, scheduler=name):
+                result = state.service.solve(scheduler, instance)
+            energy = float(result.schedule.total_energy)
+            state.journal_solve(scheduler.name, energy, trace_id)
+        finally:
+            if scope is not None:
+                scope.__exit__(None, None, None)
+    except (SolverTimeoutError, FallbackExhaustedError) as exc:
+        state.admission.finish(failure=True)
+        tele.counter("worker_errors_total", shard=shard, status="503").inc()
+        return {
+            "status": 503,
+            "error": f"solve timed out: {exc}",
+            "retry_after": max(state.admission.retry_after_seconds, 1.0),
+            "trace_id": trace_id,
+        }, 0.0
+    except ReproError as exc:
+        state.admission.finish(failure=True)
+        tele.counter("worker_errors_total", shard=shard, status="400").inc()
+        return {"status": 400, "error": str(exc), "trace_id": trace_id}, 0.0
+    except Exception as exc:  # noqa: BLE001 — the worker must outlive any request
+        state.admission.finish(failure=True)
+        tele.counter("worker_errors_total", shard=shard, status="500").inc()
+        return {
+            "status": 500,
+            "error": f"internal error: {exc}",
+            "detail": traceback.format_exc(limit=3),
+            "trace_id": trace_id,
+        }, 0.0
+    state.admission.finish(failure=False)
+    state.solves_total += 1
+    payload = solve_payload(scheduler.name, result, instance, trace_id=trace_id)
+    payload["status"] = 200
+    payload["shard"] = shard
+    if state.burn is not None:
+        for alert in state.burn.observe(time.monotonic() - state.started_at, state.energy_spent):
+            tele.counter("shard_burn_alerts_total", shard=shard, severity=alert.severity).inc()
+    return payload, energy
+
+
+def _handle_window(state: _ShardState, envelope: Dict[str, Any]) -> Dict[str, Any]:
+    grant = envelope.get("grant")
+    enforce = grant is not None
+    remaining = float(grant) if enforce else float("inf")
+    if enforce and state.burn is None:
+        state.arm_burn_monitor(float(envelope.get("lease", grant)))
+    spent = 0.0
+    results = []
+    with state.telemetry.span("worker.window", shard=state.config.shard):
+        for item in envelope.get("requests", []):
+            doc, energy = _solve_one(state, item, remaining, enforce)
+            results.append(doc)
+            remaining -= energy
+            spent += energy
+    return {
+        "op": "window_done",
+        "batch_id": envelope["batch_id"],
+        "shard": state.config.shard,
+        "results": results,
+        "spent": spent,
+        "cum_energy": state.energy_spent,
+    }
+
+
+def _handle_stats(state: _ShardState, envelope: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "op": "stats",
+        "batch_id": envelope["batch_id"],
+        "shard": state.config.shard,
+        "energy_spent": state.energy_spent,
+        "solves_total": state.solves_total,
+        "breaker_state": state.admission.breaker.state,
+        "journal_records": state.journal.record_count if state.journal is not None else 0,
+        "telemetry": state.telemetry.snapshot(),
+        "burn_alerts": [a.severity for a in state.burn.alerts] if state.burn is not None else [],
+    }
+
+
+def worker_main(config: WorkerConfig, requests: Any, replies: Any) -> None:
+    """Entry point of a shard worker process (also runnable in-process).
+
+    ``requests``/``replies`` are queue-like (``get()``/``put()``); the
+    loop exits on a ``shutdown`` envelope, closing the journal cleanly.
+    A fork-started child inherits the parent's context, so the worker
+    activates its own registry for everything it runs.
+    """
+    state = _ShardState(config)
+    with collector(state.telemetry):
+        while True:
+            envelope = requests.get()
+            op = envelope.get("op") if isinstance(envelope, dict) else "shutdown"
+            if op == "shutdown":
+                if state.journal is not None:
+                    state.journal.close()
+                replies.put({"op": "shutdown_ack", "shard": config.shard, "batch_id": envelope.get("batch_id")})
+                return
+            if op == "stats":
+                replies.put(_handle_stats(state, envelope))
+            elif op == "window":
+                replies.put(_handle_window(state, envelope))
+            else:
+                replies.put(
+                    {
+                        "op": "error",
+                        "batch_id": envelope.get("batch_id"),
+                        "shard": config.shard,
+                        "error": f"unknown op {op!r}",
+                    }
+                )

@@ -47,12 +47,12 @@ from typing import Optional
 from urllib.parse import parse_qs, urlparse
 
 from . import __version__
-from .algorithms.registry import available_schedulers, make_scheduler
-from .core.serialization import instance_from_dict, schedule_to_dict
+from .algorithms.registry import available_schedulers
+from .cluster.solve_service import SolveService, SolveServiceConfig, solve_payload
+from .core.serialization import instance_from_dict
 from .observe.slo import SLOSpec, evaluate
 from .observe.tracing import to_trace_events, trace_spans, valid_trace_id
 from .resilience.admission import AdmissionController
-from .resilience.fallback import FallbackChain, run_with_deadline
 from .telemetry import (
     MetricsRegistry,
     collector,
@@ -262,48 +262,21 @@ class _Handler(BaseHTTPRequestHandler):
             admission.finish(failure=True)
             raise  # the outer wall answers with the JSON 500
         admission.finish(failure=False)
-        schedule = result.schedule
         with tele.span("server.schedule"):
-            _journal_solve(self.server, scheduler.name, schedule.total_energy, self._trace_id)
-            audit = schedule.feasibility()
-            payload = {
-                "scheduler": scheduler.name,
-                "trace_id": self._trace_id,
-                "schedule": schedule_to_dict(schedule, embed_instance=False),
-                "metrics": {
-                    "mean_accuracy": schedule.mean_accuracy,
-                    "total_accuracy": schedule.total_accuracy,
-                    "energy_joules": schedule.total_energy,
-                    "budget_joules": instance.budget,
-                    "runtime_seconds": result.info.runtime_seconds,
-                },
-                "feasible": audit.feasible,
-                "violations": [str(v) for v in audit.violations],
-            }
-            if "tier" in result.info.extra:
-                payload["served_tier"] = result.info.extra["tier"]
+            _journal_solve(self.server, scheduler.name, result.schedule.total_energy, self._trace_id)
+            payload = solve_payload(scheduler.name, result, instance, trace_id=self._trace_id)
         self._send_json(payload)
 
+    @property
+    def _solve_service(self) -> SolveService:
+        """The shared solve path (also run, identically, by cluster workers)."""
+        return self.server.solve_service  # type: ignore[attr-defined]
+
     def _build_scheduler(self, name: str):
-        """The requested scheduler, wrapped in a fallback chain if enabled."""
-        if getattr(self.server, "fallback", False):
-            return FallbackChain.default(
-                deadline_seconds=getattr(self.server, "solver_timeout", None), first=name
-            )
-        return make_scheduler(name)
+        return self._solve_service.build_scheduler(name)
 
     def _solve(self, scheduler, instance):
-        """One solve, under the per-request deadline when configured.
-
-        A :class:`FallbackChain` applies its own per-tier deadlines; only
-        bare schedulers get the outer :func:`run_with_deadline` wrapper.
-        """
-        timeout = getattr(self.server, "solver_timeout", None)
-        if timeout is not None and not isinstance(scheduler, FallbackChain):
-            return run_with_deadline(
-                lambda: scheduler.solve_with_info(instance), timeout, solver=scheduler.name
-            )
-        return scheduler.solve_with_info(instance)
+        return self._solve_service.solve(scheduler, instance)
 
 
 def make_server(
@@ -345,6 +318,9 @@ def make_server(
     server.admission = admission if admission is not None else AdmissionController(max_in_flight=8)  # type: ignore[attr-defined]
     server.solver_timeout = solver_timeout  # type: ignore[attr-defined]
     server.fallback = fallback  # type: ignore[attr-defined]
+    server.solve_service = SolveService(  # type: ignore[attr-defined]
+        SolveServiceConfig(solver_timeout=solver_timeout, fallback=fallback)
+    )
     server.slo = slo  # type: ignore[attr-defined]
     server.journal = None  # type: ignore[attr-defined]
     if journal_dir is not None:

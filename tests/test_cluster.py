@@ -1,0 +1,392 @@
+"""Tests for repro.cluster: routing, leases, batching, workers, HTTP."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterManager,
+    ConsistentHashRouter,
+    EnergyLeaseLedger,
+    PendingResult,
+    SolveService,
+    SolveServiceConfig,
+    WindowBatcher,
+    audit_cluster,
+    make_cluster_server,
+    solve_payload,
+)
+from repro.cluster.bench import LoadStats, run_load
+from repro.core.serialization import instance_to_dict
+from repro.durability import read_events
+from repro.observe.tracing import trace_spans
+from repro.resilience.fallback import FallbackChain
+from repro.utils.errors import ValidationError
+
+from conftest import make_instance
+
+# -- router ---------------------------------------------------------------------
+
+
+def test_router_is_deterministic():
+    router = ConsistentHashRouter(["a", "b", "c"])
+    keys = [f"key-{i}" for i in range(200)]
+    first = [router.route(k) for k in keys]
+    second = [ConsistentHashRouter(["a", "b", "c"]).route(k) for k in keys]
+    assert first == second
+
+
+def test_router_spreads_load():
+    router = ConsistentHashRouter(["a", "b", "c", "d"], replicas=128)
+    counts = router.distribution([f"key-{i}" for i in range(4000)])
+    assert set(counts) == {"a", "b", "c", "d"}
+    for count in counts.values():
+        assert 400 <= count <= 2000  # no shard starves, none hoards
+
+
+def test_router_failover_moves_only_dead_keys():
+    router = ConsistentHashRouter(["a", "b", "c"])
+    keys = [f"key-{i}" for i in range(500)]
+    before = {k: router.route(k) for k in keys}
+    after = {k: router.route(k, healthy={"a", "c"}) for k in keys}
+    for key in keys:
+        if before[key] != "b":
+            assert after[key] == before[key]  # survivors keep their keys
+        else:
+            assert after[key] in {"a", "c"}
+
+
+def test_router_rejects_bad_topologies():
+    with pytest.raises(Exception):
+        ConsistentHashRouter([])
+    with pytest.raises(Exception):
+        ConsistentHashRouter(["a", "a"])
+    router = ConsistentHashRouter(["a"])
+    with pytest.raises(KeyError):
+        router.route("k", healthy=set())
+
+
+# -- ledger ---------------------------------------------------------------------
+
+
+def test_ledger_splits_budget_equally():
+    ledger = EnergyLeaseLedger(100.0, ["s0", "s1", "s2", "s3"])
+    assert all(abs(ledger.lease_of(s) - 25.0) < 1e-12 for s in ledger.shard_ids)
+
+
+def test_ledger_reserve_clips_to_headroom():
+    ledger = EnergyLeaseLedger(100.0, ["s0", "s1"])
+    grant = ledger.reserve("s0", 80.0)
+    assert grant == pytest.approx(50.0)  # clipped to the shard's lease
+    assert ledger.reserve("s0", 10.0) == pytest.approx(0.0)  # exhausted
+    ledger.commit("s0", grant, 30.0)
+    assert ledger.spent_of("s0") == pytest.approx(30.0)
+    # The unspent 20 J of the grant returned to the lease.
+    assert ledger.reserve("s0", 100.0) == pytest.approx(20.0)
+
+
+def test_ledger_rejects_overrun_commit():
+    ledger = EnergyLeaseLedger(100.0, ["s0"])
+    grant = ledger.reserve("s0", 10.0)
+    with pytest.raises(ValidationError):
+        ledger.commit("s0", grant, 11.0)
+
+
+def test_ledger_release_returns_grant():
+    ledger = EnergyLeaseLedger(100.0, ["s0", "s1"])
+    grant = ledger.reserve("s0", 50.0)
+    ledger.release("s0", grant)
+    assert ledger.reserve("s0", 50.0) == pytest.approx(50.0)
+    assert ledger.spent_of("s0") == 0.0
+
+
+def test_ledger_rebalance_follows_demand():
+    ledger = EnergyLeaseLedger(100.0, ["hot", "cold"], min_share=0.1)
+    grant = ledger.reserve("hot", 50.0)
+    ledger.commit("hot", grant, 50.0)  # hot burned its whole lease
+    leases = ledger.rebalance()
+    # All demand came from `hot`, so it gets the flexible pool on top of
+    # its committed floor; `cold` keeps only its min share.
+    assert leases["hot"] > 85.0
+    assert leases["cold"] < 15.0
+    assert sum(leases.values()) <= 100.0 + 1e-9
+    assert ledger.audit() == []
+
+
+def test_ledger_unbounded_mode_grants_everything():
+    ledger = EnergyLeaseLedger(None, ["s0"])
+    assert ledger.reserve("s0", 1e9) == 1e9
+    ledger.commit("s0", 1e9, 1e9)
+    assert ledger.audit() == []
+
+
+def test_ledger_unknown_shard():
+    ledger = EnergyLeaseLedger(10.0, ["s0"])
+    with pytest.raises(ValidationError):
+        ledger.reserve("nope", 1.0)
+
+
+# -- batcher --------------------------------------------------------------------
+
+
+def test_batcher_coalesces_up_to_max_batch():
+    windows = []
+    done = threading.Event()
+
+    def dispatch(batch):
+        windows.append(len(batch))
+        for _, pending in batch:
+            pending.resolve("ok")
+        if sum(windows) >= 6:
+            done.set()
+
+    batcher = WindowBatcher(dispatch, max_batch=3, max_wait_seconds=0.5)
+    pendings = [batcher.submit(i) for i in range(6)]
+    assert all(p.wait(5.0) == "ok" for p in pendings)
+    done.wait(5.0)
+    batcher.close()
+    assert max(windows) <= 3
+    assert sum(windows) == 6
+
+
+def test_batcher_flushes_on_max_wait():
+    windows = []
+
+    def dispatch(batch):
+        windows.append([item for item, _ in batch])
+        for _, pending in batch:
+            pending.resolve("ok")
+
+    batcher = WindowBatcher(dispatch, max_batch=100, max_wait_seconds=0.02)
+    pending = batcher.submit("lonely")
+    assert pending.wait(5.0) == "ok"  # did not wait for 99 peers
+    batcher.close()
+    assert windows == [["lonely"]]
+
+
+def test_batcher_dispatch_failure_fails_pendings():
+    def dispatch(batch):
+        raise RuntimeError("worker exploded")
+
+    batcher = WindowBatcher(dispatch, max_batch=4, max_wait_seconds=0.01)
+    pending = batcher.submit("x")
+    with pytest.raises(RuntimeError, match="worker exploded"):
+        pending.wait(5.0)
+    batcher.close()
+    with pytest.raises(ValidationError):
+        batcher.submit("y")
+
+
+def test_pending_result_timeout():
+    pending = PendingResult()
+    with pytest.raises(TimeoutError):
+        pending.wait(0.01)
+    assert not pending.done
+
+
+# -- solve service (the path shared with repro.server) --------------------------
+
+
+def test_solve_service_matches_direct_solve():
+    instance = make_instance(n=6, m=2, seed=3)
+    service = SolveService()
+    result = service.solve_named("approx", instance)
+    payload = solve_payload("approx", result, instance, trace_id="abcd")
+    assert payload["scheduler"] == "approx"
+    assert payload["trace_id"] == "abcd"
+    assert payload["feasible"] is True
+    assert payload["metrics"]["energy_joules"] <= instance.budget * (1 + 1e-9)
+
+
+def test_solve_service_fallback_builds_chain():
+    service = SolveService(SolveServiceConfig(fallback=True, solver_timeout=5.0))
+    assert isinstance(service.build_scheduler("approx"), FallbackChain)
+
+
+# -- the cluster end to end -----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster_env(tmp_path_factory):
+    """A running 2-shard cluster with journals + budget, behind HTTP."""
+    journal_root = tmp_path_factory.mktemp("ledgers")
+    config = ClusterConfig(
+        shards=2,
+        budget=50_000.0,
+        journal_root=str(journal_root),
+        max_batch=4,
+        max_wait_seconds=0.005,
+        fsync="never",
+    )
+    manager = ClusterManager(config).start()
+    server = make_cluster_server(manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    instance_doc = instance_to_dict(make_instance(n=6, m=2, seed=7))
+    yield manager, base, instance_doc, journal_root
+    server.shutdown()
+    server.server_close()
+    manager.stop()
+
+
+def _post_solve(base, doc, trace_id=None, scheduler="approx"):
+    request = urllib.request.Request(
+        f"{base}/solve?scheduler={scheduler}", data=json.dumps(doc).encode(), method="POST"
+    )
+    if trace_id is not None:
+        request.add_header("X-Repro-Trace-Id", trace_id)
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+def _get(base, path):
+    try:
+        with urllib.request.urlopen(f"{base}{path}") as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def test_cluster_serves_solves(cluster_env):
+    _, base, doc, _ = cluster_env
+    status, headers, payload = _post_solve(base, doc)
+    assert status == 200
+    assert payload["feasible"] is True
+    assert payload["shard"] in ("shard-00", "shard-01")
+    assert "schedule" in payload and "metrics" in payload
+
+
+def test_cluster_health_and_schedulers(cluster_env):
+    _, base, _, _ = cluster_env
+    status, body = _get(base, "/health")
+    assert status == 200
+    health = json.loads(body)
+    assert health["status"] == "ok"
+    assert set(health["shards"]) == {"shard-00", "shard-01"}
+    assert health["ledger"]["budget"] == 50_000.0
+    status, body = _get(base, "/schedulers")
+    assert status == 200 and "approx" in json.loads(body)["schedulers"]
+
+
+def test_cluster_metrics_aggregate_with_shard_labels(cluster_env):
+    _, base, doc, _ = cluster_env
+    _post_solve(base, doc)
+    status, body = _get(base, "/metrics")
+    assert status == 200
+    text = body.decode()
+    assert "frontend_requests_total" in text
+    assert 'shard="shard-00"' in text or 'shard="shard-01"' in text
+
+
+def test_cluster_rejects_garbage(cluster_env):
+    _, base, _, _ = cluster_env
+    request = urllib.request.Request(f"{base}/solve", data=b"{not json", method="POST")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request)
+    assert excinfo.value.code == 400
+    status, _ = _get(base, "/nope")
+    assert status == 404
+
+
+def test_trace_id_spans_frontend_worker_and_journal(cluster_env):
+    """Satellite: one trace id correlates the front-end span, the worker's
+    solve span (across the process boundary) and the shard's journal record."""
+    manager, base, doc, journal_root = cluster_env
+    trace_id = "feedface0001"
+    status, headers, payload = _post_solve(base, doc, trace_id=trace_id)
+    assert status == 200
+    assert headers.get("X-Repro-Trace-Id") == trace_id
+    assert payload["trace_id"] == trace_id
+
+    frontend_spans = trace_spans(manager.telemetry, trace_id)
+    assert any(s["name"] == "frontend.request" for s in frontend_spans)
+
+    shard = payload["shard"]
+    stats = manager.shard_stats()[shard]
+    worker_spans = trace_spans(stats["telemetry"], trace_id)
+    assert any(s["name"] == "worker.solve" for s in worker_spans)
+
+    records = [
+        e
+        for e in read_events(journal_root / shard)
+        if e.get("type") == "solve" and e.get("trace_id") == trace_id
+    ]
+    assert len(records) == 1
+    assert records[0]["energy"] == pytest.approx(payload["metrics"]["energy_joules"])
+
+    # The whole trace is also served over HTTP, merged across processes.
+    status, body = _get(base, f"/trace/{trace_id}")
+    assert status == 200
+    names = {e["name"] for e in json.loads(body)["traceEvents"]}
+    assert {"frontend.request", "worker.solve"} <= names
+
+
+def test_cluster_audit_certifies_global_budget(cluster_env):
+    manager, base, doc, journal_root = cluster_env
+    for _ in range(4):
+        _post_solve(base, doc)
+    audit = audit_cluster(journal_root, budget=manager.config.budget)
+    assert audit.certified, audit.violations
+    assert audit.total_spent <= manager.config.budget + 1e-6
+    assert manager.ledger.audit() == []
+
+
+def test_cluster_survives_worker_death():
+    """Killing one worker mid-run: in-flight requests answer 503, later
+    requests are served by the survivor, /health reports degradation."""
+    doc = instance_to_dict(make_instance(n=5, m=2, seed=11))
+    config = ClusterConfig(shards=2, max_batch=4, max_wait_seconds=0.005)
+    manager = ClusterManager(config).start()
+    try:
+        first = manager.submit("approx", doc)
+        assert first["status"] == 200
+        victim = first["shard"]
+        manager._handles[victim].process.terminate()
+        deadline = time.monotonic() + 10.0
+        while victim in manager.healthy_shards() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert manager.healthy_shards() == {s for s in manager._handles if s != victim}
+        results = [manager.submit("approx", doc) for _ in range(4)]
+        assert all(r["status"] == 200 for r in results)
+        survivor = next(iter(manager.healthy_shards()))
+        assert all(r["shard"] == survivor for r in results)
+        assert manager.health()["status"] == "degraded"
+    finally:
+        manager.stop()
+
+
+# -- load generator -------------------------------------------------------------
+
+
+def test_run_load_closed_loop_counts_everything():
+    calls = []
+
+    def submit():
+        calls.append(1)
+        time.sleep(0.001)
+        return 200
+
+    stats = run_load(submit, duration=0.2, concurrency=2).to_dict()
+    assert stats["requests"] == len(calls)
+    assert stats["ok"] == stats["requests"]
+    assert stats["throughput_rps"] > 0
+    assert stats["latency_s"]["p50"] <= stats["latency_s"]["p99"]
+
+
+def test_load_stats_percentiles():
+    stats = LoadStats([0.1 * i for i in range(1, 11)], [200] * 9 + [503], 1.0).to_dict()
+    assert stats["ok"] == 9 and stats["errors"] == 1
+    assert stats["by_status"] == {"200": 9, "503": 1}
+    assert stats["latency_s"]["p50"] == pytest.approx(0.6)
+    assert stats["latency_s"]["p99"] == pytest.approx(1.0)

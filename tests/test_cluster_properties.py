@@ -1,0 +1,121 @@
+"""Property tests for the energy-lease ledger and the durable cluster audit.
+
+The claim under test is the cluster's core guarantee: for *any*
+interleaving of per-shard reservations, commits, releases and
+rebalances, the global spend never exceeds the budget ``B``, the live
+ledger's invariants hold, and the per-shard write-ahead ledgers —
+audited with :mod:`repro.durability` — certify the same bound durably.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import EnergyLeaseLedger, audit_cluster
+from repro.durability import JournalWriter, read_events
+from repro.durability.recovery import audit as durability_audit
+from repro.durability.recovery import recover
+
+SHARDS = ["shard-00", "shard-01", "shard-02"]
+
+# One ledger operation: (kind, shard index, fraction parameters).
+_OPS = st.one_of(
+    st.tuples(
+        st.just("spend"),
+        st.integers(min_value=0, max_value=len(SHARDS) - 1),
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),  # ask, as a budget fraction
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),  # spent fraction of the grant
+    ),
+    st.tuples(
+        st.just("abort"),
+        st.integers(min_value=0, max_value=len(SHARDS) - 1),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.just(0.0),
+    ),
+    st.tuples(st.just("rebalance"), st.just(0), st.just(0.0), st.just(0.0)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(budget=st.floats(min_value=1.0, max_value=1e6), ops=st.lists(_OPS, max_size=60))
+def test_any_interleaving_respects_the_global_budget(budget, ops):
+    """Σ spent ≤ B after every single operation, and the ledger audits clean."""
+    ledger = EnergyLeaseLedger(budget, SHARDS)
+    for kind, index, a, b in ops:
+        shard = SHARDS[index]
+        if kind == "spend":
+            grant = ledger.reserve(shard, a * budget)
+            assert grant <= a * budget + 1e-9
+            ledger.commit(shard, grant, b * grant)
+        elif kind == "abort":
+            grant = ledger.reserve(shard, a * budget)
+            ledger.release(shard, grant)
+        else:
+            leases = ledger.rebalance()
+            assert sum(leases.values()) <= budget * (1 + 1e-9)
+        # The global invariant holds at *every* prefix of the history.
+        assert ledger.total_spent <= budget * (1 + 1e-9)
+        assert ledger.audit() == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    spends=st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=12),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_journalled_shard_ledgers_certify_durably(tmp_path_factory, spends):
+    """Whatever each shard journals, the durable audit agrees with the sums:
+    every shard passes the repro.durability audit and the cluster audit
+    certifies against any budget that covers the total."""
+    root = tmp_path_factory.mktemp("cluster_ledgers")
+    totals = []
+    for index, shard_spends in enumerate(spends):
+        shard_dir = root / f"shard-{index:02d}"
+        writer = JournalWriter(shard_dir, fsync="never")
+        writer.append({"type": "run_start", "meta": {"kind": "cluster-shard"}})
+        cum = 0.0
+        for energy in shard_spends:
+            cum += energy
+            writer.append({"type": "solve", "energy": energy, "cum_energy": cum})
+        writer.close()
+        totals.append(cum)
+        state = recover(shard_dir)
+        assert durability_audit(state) == []
+        assert state.energy_spent == cum
+
+    total = sum(totals)
+    certifying_budget = total * (1 + 1e-9) + 1.0
+    audit = audit_cluster(root, budget=certifying_budget)
+    assert audit.certified, audit.violations
+    assert audit.total_spent == total
+    # A budget below the realised spend must be caught.
+    if total > 1.0:
+        failing = audit_cluster(root, budget=total / 2.0)
+        assert not failing.certified
+
+
+def test_cluster_audit_catches_broken_chain(tmp_path):
+    """A shard whose cum_energy chain skips a record is not certifiable."""
+    shard_dir = tmp_path / "shard-00"
+    writer = JournalWriter(shard_dir, fsync="never")
+    writer.append({"type": "solve", "energy": 5.0, "cum_energy": 5.0})
+    writer.append({"type": "solve", "energy": 5.0, "cum_energy": 20.0})  # 5+5 != 20
+    writer.close()
+    audit = audit_cluster(tmp_path, budget=100.0)
+    assert not audit.certified
+    assert any("chain broken" in v for v in audit.violations)
+
+
+def test_cluster_audit_reads_real_records(tmp_path):
+    """Sanity: records written through JournalWriter round-trip for the audit."""
+    shard_dir = tmp_path / "shard-00"
+    writer = JournalWriter(shard_dir, fsync="never")
+    writer.append({"type": "solve", "energy": 1.5, "cum_energy": 1.5})
+    writer.close()
+    assert [e["type"] for e in read_events(shard_dir)] == ["solve"]
+    audit = audit_cluster(tmp_path, budget=2.0)
+    assert audit.certified and audit.total_spent == 1.5

@@ -596,7 +596,7 @@ def post_json(url, payload):
 class TestServerResilience:
     def test_unexpected_exception_returns_json_500(self, monkeypatch):
         inst = make_instance(n=4, m=2, beta=0.5, seed=740)
-        monkeypatch.setattr("repro.server.make_scheduler", lambda name: BoomScheduler())
+        monkeypatch.setattr("repro.cluster.solve_service.make_scheduler", lambda name: BoomScheduler())
         with running_server() as (base, server):
             with pytest.raises(urllib.error.HTTPError) as err:
                 post_json(base + "/solve?scheduler=boom", instance_to_dict(inst))
@@ -632,7 +632,7 @@ class TestServerResilience:
 
     def test_solver_timeout_returns_503_and_counts(self, monkeypatch):
         inst = make_instance(n=4, m=2, beta=0.5, seed=743)
-        monkeypatch.setattr("repro.server.make_scheduler", lambda name: SleepyScheduler())
+        monkeypatch.setattr("repro.cluster.solve_service.make_scheduler", lambda name: SleepyScheduler())
         with running_server(solver_timeout=0.1) as (base, server):
             with pytest.raises(urllib.error.HTTPError) as err:
                 post_json(base + "/solve?scheduler=sleepy", instance_to_dict(inst))
@@ -644,7 +644,7 @@ class TestServerResilience:
 
     def test_repeated_timeouts_trip_the_breaker(self, monkeypatch):
         inst = make_instance(n=4, m=2, beta=0.5, seed=744)
-        monkeypatch.setattr("repro.server.make_scheduler", lambda name: SleepyScheduler())
+        monkeypatch.setattr("repro.cluster.solve_service.make_scheduler", lambda name: SleepyScheduler())
         admission = AdmissionController(
             breaker=CircuitBreaker(failure_threshold=2, reset_seconds=60.0)
         )
