@@ -1,0 +1,53 @@
+"""repro.chaos — deterministic fault injection for the serving cluster.
+
+Seeded :class:`ChaosSchedule` timelines, a :class:`FaultInjector` that
+dispenses them at instrumented sites, and a soak harness
+(:mod:`repro.chaos.soak`) that runs chaos campaigns against a live
+cluster and certifies the energy-budget invariants afterwards.
+
+``repro.cluster`` depends on this package (the worker and front-end
+carry injector hooks); the dependency never points the other way at
+import time — only :mod:`repro.chaos.soak` touches the cluster, and it
+is loaded lazily for exactly that reason.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .injector import FaultInjector
+from .schedule import (
+    FAULT_KINDS,
+    REBALANCE_SITE,
+    RELEASE_SITE,
+    WORKER_SITE,
+    ChaosEvent,
+    ChaosSchedule,
+    site_of,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "WORKER_SITE",
+    "RELEASE_SITE",
+    "REBALANCE_SITE",
+    "site_of",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "FaultInjector",
+    "CampaignReport",
+    "SoakReport",
+    "run_campaign",
+    "run_soak",
+]
+
+_SOAK_EXPORTS = {"CampaignReport", "SoakReport", "run_campaign", "run_soak"}
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy: soak imports repro.cluster, which imports this package.
+    if name in _SOAK_EXPORTS:
+        from . import soak
+
+        return getattr(soak, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,137 @@
+"""The fault injector: deterministic trigger counters + fault telemetry.
+
+A :class:`FaultInjector` holds the pending events of a
+:class:`~repro.chaos.schedule.ChaosSchedule` and answers one question at
+every instrumented point of the serving stack: *does a fault fire
+here, now?*  Each injection site calls :meth:`FaultInjector.fire` once
+per operation; the injector counts operations per ``(site, shard)`` and
+releases the next planned event once its trigger point is reached.
+Given the same schedule and the same per-site operation sequence, the
+fired timeline is identical — chaos campaigns replay.
+
+Every fired fault is observable twice over:
+
+* a ``chaos_faults_injected_total{kind,shard}`` counter in the bound
+  telemetry registry (shard workers bind their own registry, so the
+  cluster ``/metrics`` aggregation labels worker-side faults per shard);
+* a ``chaos_event`` record in the injector's chaos journal (frontend
+  side) or the shard's own write-ahead ledger (worker side) — so a
+  trace that crosses an anomaly finds the fault that caused it next to
+  the solve records it perturbed.
+
+The injector never *applies* a fault itself; the instrumented code does
+(kill, sleep, drop, torn write).  That keeps this module free of any
+dependency on :mod:`repro.cluster` — the cluster depends on the
+injector, not the other way around.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..telemetry import MetricsRegistry, get_collector
+from .schedule import WORKER_SITE, ChaosEvent, ChaosSchedule
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Thread-safe dispenser of planned faults to their injection sites.
+
+    ``events`` may be a :class:`ChaosSchedule` or a bare event sequence
+    (the worker process receives only its own shard's slice).  With a
+    ``journal_dir`` the injector keeps a chaos journal: the full planned
+    timeline (one ``chaos_plan`` record) plus one ``chaos_event`` record
+    per fired fault — the artifact a failing soak campaign uploads.
+    """
+
+    def __init__(
+        self,
+        events: Union[ChaosSchedule, Sequence[ChaosEvent]],
+        *,
+        journal_dir: Optional[Union[str, Path]] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+    ):
+        self.schedule = events if isinstance(events, ChaosSchedule) else None
+        event_list = list(events.events if isinstance(events, ChaosSchedule) else events)
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, Optional[str]], int] = {}
+        self._pending: Dict[Tuple[str, Optional[str]], List[ChaosEvent]] = {}
+        for event in event_list:
+            self._pending.setdefault((event.site, event.shard), []).append(event)
+        for queue in self._pending.values():
+            queue.sort(key=lambda e: (e.at_op, e.seq))
+        self.planned: Tuple[ChaosEvent, ...] = tuple(event_list)
+        self.fired: List[ChaosEvent] = []
+        self._journal = None
+        if journal_dir is not None:
+            from ..durability import JournalWriter
+
+            self._journal = JournalWriter(journal_dir, fsync="never")
+            self._journal.append(
+                {"type": "chaos_plan", "events": [e.to_dict() for e in self.planned]}
+            )
+
+    # -- the one question every site asks ---------------------------------------
+
+    def fire(self, site: str, shard: Optional[str] = None) -> Optional[ChaosEvent]:
+        """Count one operation at ``(site, shard)``; the fault due, if any.
+
+        Events are released in trigger order and never skipped: an event
+        whose trigger point has passed (because an earlier call returned
+        a different fault) fires on the next operation.
+        """
+        key = (site, shard)
+        with self._lock:
+            count = self._counters.get(key, 0) + 1
+            self._counters[key] = count
+            queue = self._pending.get(key)
+            if not queue or queue[0].at_op > count:
+                return None
+            event = queue.pop(0)
+            self.fired.append(event)
+        self._observe(event)
+        return event
+
+    def _observe(self, event: ChaosEvent) -> None:
+        registry = self.telemetry if self.telemetry is not None else get_collector()
+        registry.counter(
+            "chaos_faults_injected_total",
+            kind=event.kind,
+            shard=event.shard or "global",
+        ).inc()
+        if self._journal is not None:
+            self._journal.append({"type": "chaos_event", **event.to_dict()})
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def worker_events(self, shard: str) -> Tuple[ChaosEvent, ...]:
+        """The worker-site events a shard process must carry across fork."""
+        if self.schedule is not None:
+            return self.schedule.events_for(WORKER_SITE, shard)
+        return tuple(
+            e for e in self.planned if e.site == WORKER_SITE and e.shard == shard
+        )
+
+    @property
+    def outstanding(self) -> int:
+        """Planned events not yet fired (anywhere)."""
+        with self._lock:
+            return sum(len(q) for q in self._pending.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "planned": [e.to_dict() for e in self.planned],
+                "fired": [e.to_dict() for e in self.fired],
+            }
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(planned={len(self.planned)}, fired={len(self.fired)})"

@@ -46,6 +46,14 @@ Commands
     offsets (mid-record included), recover, resume, and require the
     outcome to be identical to the uninterrupted run with energy within
     budget.  Exit code 0 iff every kill point passes.
+``chaos soak`` / ``chaos timeline``
+    Cluster-level chaos (see repro.chaos): ``soak`` runs N seeded
+    fault-injection campaigns (worker SIGKILL/exit, stalls, dropped
+    replies, torn journal writes, lease-release delays, rebalance clock
+    skew) against live clusters and certifies the energy-budget,
+    at-most-once and liveness invariants after each; ``timeline``
+    prints a seed's planned fault schedule without running anything.
+    Exit code 0 iff every campaign certifies.
 ``robustness``
     Failure-injection sweeps: ``--sweep outage`` (most-loaded machine
     dies mid-horizon) or ``--sweep slowdown`` (uniform throttling).
@@ -453,6 +461,54 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
     )
     print(result.summary())
     return 0 if result.passed else 1
+
+
+def _cmd_chaos_soak(args: argparse.Namespace) -> int:
+    """Seeded chaos campaigns against live clusters; exit 1 on violations."""
+    import json as _json
+
+    from .chaos import run_soak
+    from .utils.fileio import atomic_write
+
+    seeds = args.seed_list if args.seed_list else list(range(args.seed, args.seed + args.seeds))
+    out_root = args.out
+    if out_root is None:
+        import tempfile
+
+        out_root = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    report = run_soak(
+        seeds,
+        out_root,
+        shards=args.shards,
+        budget=args.budget,
+        requests=args.requests,
+        n_events=args.events,
+        max_op=args.max_op,
+        scheduler=args.scheduler,
+        request_timeout_seconds=args.request_timeout,
+        min_resolve_rate=args.min_resolve_rate,
+        progress=print,
+    )
+    atomic_write(Path(out_root) / "soak_report.json", _json.dumps(report.to_dict(), indent=2))
+    print(report.summary())
+    print(f"campaign artifacts (shard ledgers + chaos journals) under {out_root}")
+    if not report.ok:
+        for violation in report.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_chaos_timeline(args: argparse.Namespace) -> int:
+    """Print a seed's planned fault timeline (no cluster is started)."""
+    from .chaos import ChaosSchedule
+
+    shard_ids = [f"shard-{i:02d}" for i in range(args.shards)]
+    schedule = ChaosSchedule(args.seed, shard_ids, n_events=args.events, max_op=args.max_op)
+    print(f"chaos timeline for seed {args.seed} over {args.shards} shard(s):")
+    for event in schedule.events:
+        print(f"  {event.describe()}")
+    return 0
 
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
@@ -1037,6 +1093,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_cra.add_argument("--workdir", type=Path, default=None, help="keep campaign artifacts here")
     p_cra.add_argument("--verbose", "-v", action="store_true", help="print per-kill progress")
     p_cra.set_defaults(fn=_cmd_crashtest)
+
+    p_cha = sub.add_parser(
+        "chaos", help="deterministic cluster fault injection (see repro.chaos)"
+    )
+    cha_sub = p_cha.add_subparsers(dest="chaos_command", required=True)
+    p_csk = cha_sub.add_parser(
+        "soak", help="run N seeded chaos campaigns and certify the budget/liveness invariants"
+    )
+    p_csk.add_argument("--shards", type=int, default=2, help="cluster size per campaign")
+    p_csk.add_argument("--seeds", type=int, default=3, help="number of campaigns (seeds seed..seed+N-1)")
+    p_csk.add_argument("--seed", type=int, default=0, help="first campaign seed")
+    p_csk.add_argument(
+        "--seed-list", type=int, nargs="+", default=None, metavar="S", help="explicit campaign seeds (overrides --seeds/--seed)"
+    )
+    p_csk.add_argument("--budget", type=float, default=150_000.0, metavar="JOULES", help="global budget B per campaign")
+    p_csk.add_argument("--requests", type=int, default=30, help="solve requests per campaign")
+    p_csk.add_argument("--events", type=int, default=6, help="planned faults per campaign")
+    p_csk.add_argument("--max-op", type=int, default=12, help="latest trigger point (per-site operation count)")
+    p_csk.add_argument("--scheduler", default="approx")
+    p_csk.add_argument(
+        "--request-timeout", type=float, default=10.0, metavar="SECONDS", help="per-request cluster timeout"
+    )
+    p_csk.add_argument(
+        "--min-resolve-rate", type=float, default=0.99, help="required fraction of requests resolving (result or 503)"
+    )
+    p_csk.add_argument(
+        "--out", type=Path, default=None, metavar="DIR", help="keep campaign artifacts here (default: temp dir)"
+    )
+    p_csk.set_defaults(fn=_cmd_chaos_soak)
+    p_ctl = cha_sub.add_parser("timeline", help="print a seed's planned fault timeline")
+    p_ctl.add_argument("--seed", type=int, default=0)
+    p_ctl.add_argument("--shards", type=int, default=2)
+    p_ctl.add_argument("--events", type=int, default=6)
+    p_ctl.add_argument("--max-op", type=int, default=12)
+    p_ctl.set_defaults(fn=_cmd_chaos_timeline)
 
     p_rob = sub.add_parser("robustness", help="failure-injection sweeps (outage / slowdown)")
     p_rob.add_argument("--sweep", choices=("outage", "slowdown"), required=True)

@@ -38,6 +38,7 @@ from .frontend import ClusterConfig, ClusterManager, make_cluster_server, serve_
 from .ledger import ClusterAudit, EnergyLeaseLedger, ShardLease, audit_cluster
 from .router import ConsistentHashRouter
 from .solve_service import SolveService, SolveServiceConfig, solve_payload
+from .supervisor import ShardSupervisor
 from .worker import WorkerConfig, worker_main
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "ShardLease",
     "audit_cluster",
     "ConsistentHashRouter",
+    "ShardSupervisor",
     "SolveService",
     "SolveServiceConfig",
     "solve_payload",

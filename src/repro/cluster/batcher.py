@@ -30,22 +30,40 @@ __all__ = ["PendingResult", "WindowBatcher"]
 
 
 class PendingResult:
-    """One-shot future for a submitted request (thread-safe)."""
+    """One-shot future for a submitted request (thread-safe).
 
-    __slots__ = ("_event", "_value", "_error")
+    Settlement is first-wins: the first :meth:`resolve` or :meth:`fail`
+    sticks and every later attempt is ignored (returning ``False``).
+    That property is what makes hedged dispatch safe — two shards may
+    race to settle the same pending, but the caller observes exactly
+    one result and the loser's settle is detectable for cleanup.
+    """
+
+    __slots__ = ("_lock", "_event", "_value", "_error")
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._event = threading.Event()
         self._value: Any = None
         self._error: Optional[BaseException] = None
 
-    def resolve(self, value: Any) -> None:
-        self._value = value
-        self._event.set()
+    def resolve(self, value: Any) -> bool:
+        """Settle with ``value``; ``False`` if already settled (late loser)."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._event.set()
+            return True
 
-    def fail(self, error: BaseException) -> None:
-        self._error = error
-        self._event.set()
+    def fail(self, error: BaseException) -> bool:
+        """Settle with ``error``; ``False`` if already settled."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._error = error
+            self._event.set()
+            return True
 
     @property
     def done(self) -> bool:
@@ -95,15 +113,36 @@ class WindowBatcher:
         )
         self._thread.start()
 
-    def submit(self, item: Any) -> PendingResult:
-        """Queue ``item`` for the next window; returns its pending result."""
-        pending = PendingResult()
+    def submit(self, item: Any, *, pending: Optional[PendingResult] = None) -> PendingResult:
+        """Queue ``item`` for the next window; returns its pending result.
+
+        Retries and hedges pass their original ``pending`` so the caller
+        keeps waiting on one future across re-dispatches; by default a
+        fresh one is created.
+        """
+        if pending is None:
+            pending = PendingResult()
         with self._lock:
             if self._closed:
                 raise ValidationError(f"batcher {self.name!r} is closed")
             self._items.append((item, pending))
             self._wakeup.notify()
         return pending
+
+    def evict(self, item: Any) -> bool:
+        """Drop a still-queued ``item`` (matched by identity) before dispatch.
+
+        Returns ``True`` if the item was found waiting and removed — its
+        pending result is left unsettled for the caller to dispose of.
+        ``False`` means the item already left in a window (or was never
+        queued) and will be settled by the dispatch path.
+        """
+        with self._lock:
+            for index, (queued, _) in enumerate(self._items):
+                if queued is item:
+                    del self._items[index]
+                    return True
+        return False
 
     def _loop(self) -> None:
         tele = get_collector()

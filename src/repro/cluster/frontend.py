@@ -31,13 +31,16 @@ import json
 import math
 import multiprocessing
 import queue
+import random
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Set, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from .. import __version__ as _pkg_version
 from ..algorithms.registry import available_schedulers
+from ..chaos import REBALANCE_SITE, RELEASE_SITE, FaultInjector
 from ..observe.tracing import to_trace_events, trace_spans, valid_trace_id
 from ..telemetry import MetricsRegistry, collector, new_trace_id, prometheus_text, trace_scope
 from ..utils.errors import ValidationError
@@ -45,6 +48,7 @@ from ..utils.validation import check_positive, require
 from .batcher import PendingResult, WindowBatcher
 from .ledger import EnergyLeaseLedger
 from .router import ConsistentHashRouter
+from .supervisor import ShardSupervisor
 from .worker import WorkerConfig, worker_main
 
 __all__ = ["ClusterConfig", "ClusterManager", "make_cluster_server", "serve_cluster"]
@@ -73,10 +77,22 @@ class ClusterConfig:
         fsync: str = "rotate",
         snapshot_every: int = 25,
         lease_horizon_seconds: Optional[float] = None,
+        supervise: bool = True,
+        heartbeat_seconds: float = 0.25,
+        max_restarts: int = 3,
+        max_retries: int = 2,
+        retry_backoff_seconds: float = 0.05,
+        hedge_after_seconds: Optional[float] = None,
     ):
         require(shards >= 1, f"cluster needs at least one shard, got {shards}")
         check_positive(request_timeout_seconds, "request_timeout_seconds")
         check_positive(rebalance_seconds, "rebalance_seconds")
+        check_positive(heartbeat_seconds, "heartbeat_seconds")
+        require(max_restarts >= 0, f"max_restarts must be >= 0, got {max_restarts}")
+        require(max_retries >= 0, f"max_retries must be >= 0, got {max_retries}")
+        check_positive(retry_backoff_seconds, "retry_backoff_seconds")
+        if hedge_after_seconds is not None:
+            check_positive(hedge_after_seconds, "hedge_after_seconds")
         self.shards = int(shards)
         self.budget = budget
         self.journal_root = journal_root
@@ -92,6 +108,12 @@ class ClusterConfig:
         self.fsync = fsync
         self.snapshot_every = int(snapshot_every)
         self.lease_horizon_seconds = lease_horizon_seconds
+        self.supervise = bool(supervise)
+        self.heartbeat_seconds = float(heartbeat_seconds)
+        self.max_restarts = int(max_restarts)
+        self.max_retries = int(max_retries)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
+        self.hedge_after_seconds = hedge_after_seconds
 
     def shard_ids(self) -> List[str]:
         return [f"shard-{i:02d}" for i in range(self.shards)]
@@ -109,8 +131,11 @@ class _ShardHandle:
         self.dispatcher: Optional[threading.Thread] = None
         self.alive = False
         self.lock = threading.Lock()
-        #: windows sent but not yet settled: batch_id -> (kind, payload, grant)
-        self.inflight: Dict[int, Tuple[str, Any, float]] = {}
+        #: windows sent but not yet settled:
+        #: batch_id -> (kind, payload, grant, epoch, sent_at)
+        self.inflight: Dict[int, Tuple[str, Any, float, int, float]] = {}
+        self.epoch = 0  #: lease epoch of the current worker generation
+        self.restarts = 0  #: generations spawned beyond the first
 
 
 def _mp_context() -> multiprocessing.context.BaseContext:
@@ -129,9 +154,16 @@ def _shed_doc(reason: str, retry_after: float, trace_id: Optional[str] = None) -
 class ClusterManager:
     """Start, drive and stop a sharded solving cluster (thread-safe)."""
 
-    def __init__(self, config: ClusterConfig, *, telemetry: Optional[MetricsRegistry] = None):
+    def __init__(
+        self,
+        config: ClusterConfig,
+        *,
+        telemetry: Optional[MetricsRegistry] = None,
+        injector: Optional[FaultInjector] = None,
+    ):
         self.config = config
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.injector = injector
         ids = config.shard_ids()
         self.router = ConsistentHashRouter(ids, replicas=config.replicas)
         self.ledger = EnergyLeaseLedger(config.budget, ids, min_share=config.min_share)
@@ -140,53 +172,74 @@ class ClusterManager:
         self._started = False
         self._stopping = threading.Event()
         self._rebalancer: Optional[threading.Thread] = None
+        self._supervisor: Optional[ShardSupervisor] = None
+        self._retry_rng = random.Random()  # jitter only; never part of chaos determinism
 
     # -- lifecycle -------------------------------------------------------------
+
+    def _spawn_shard(self, handle: _ShardHandle, *, with_chaos: bool) -> None:
+        """Bring up one worker generation: queues, process, dispatcher, batcher.
+
+        Only the *first* generation carries planned chaos faults — a
+        restarted worker runs fault-free so campaigns terminate instead
+        of killing every replacement on the same trigger.
+        """
+        ctx = _mp_context()
+        shard = handle.shard
+        chaos_events = (
+            self.injector.worker_events(shard) if with_chaos and self.injector is not None else None
+        )
+        worker_config = WorkerConfig(
+            shard,
+            journal_dir=(
+                None
+                if self.config.journal_root is None
+                else f"{self.config.journal_root}/{shard}"
+            ),
+            solver_timeout=self.config.solver_timeout,
+            fallback=self.config.fallback,
+            max_in_flight=self.config.max_in_flight,
+            snapshot_every=self.config.snapshot_every,
+            fsync=self.config.fsync,
+            lease_horizon_seconds=self.config.lease_horizon_seconds,
+            chaos_events=chaos_events,
+        )
+        handle.requests = ctx.Queue()
+        handle.replies = ctx.Queue()
+        handle.process = ctx.Process(
+            target=worker_main,
+            args=(worker_config, handle.requests, handle.replies),
+            name=f"repro-{shard}",
+            daemon=True,
+        )
+        handle.process.start()
+        handle.epoch = self.ledger.epoch_of(shard)
+        # One context copy per thread: a Context object cannot be
+        # entered by two threads at once.
+        dispatch_context = contextvars.copy_context()
+        handle.dispatcher = threading.Thread(
+            target=lambda c=dispatch_context, h=handle: c.run(self._dispatch_loop, h),
+            name=f"repro-dispatch-{shard}",
+            daemon=True,
+        )
+        handle.dispatcher.start()
+        handle.batcher = WindowBatcher(
+            lambda batch, h=handle: self._send_window(h, batch),
+            max_batch=self.config.max_batch,
+            max_wait_seconds=self.config.max_wait_seconds,
+            name=f"window_{shard.replace('-', '_')}",
+        )
+        # ``alive`` gates routing, so it must flip last: on a restart the
+        # handle still carries the dead generation's *closed* batcher
+        # until the line above, and a request routed in that window would
+        # be shed 503 by a shard that is in fact coming up.
+        handle.alive = True
 
     def start(self) -> "ClusterManager":
         require(not self._started, "cluster already started")
         self._started = True
-        ctx = _mp_context()
-        for shard, handle in self._handles.items():
-            worker_config = WorkerConfig(
-                shard,
-                journal_dir=(
-                    None
-                    if self.config.journal_root is None
-                    else f"{self.config.journal_root}/{shard}"
-                ),
-                solver_timeout=self.config.solver_timeout,
-                fallback=self.config.fallback,
-                max_in_flight=self.config.max_in_flight,
-                snapshot_every=self.config.snapshot_every,
-                fsync=self.config.fsync,
-                lease_horizon_seconds=self.config.lease_horizon_seconds,
-            )
-            handle.requests = ctx.Queue()
-            handle.replies = ctx.Queue()
-            handle.process = ctx.Process(
-                target=worker_main,
-                args=(worker_config, handle.requests, handle.replies),
-                name=f"repro-{shard}",
-                daemon=True,
-            )
-            handle.process.start()
-            handle.alive = True
-            # One context copy per thread: a Context object cannot be
-            # entered by two threads at once.
-            dispatch_context = contextvars.copy_context()
-            handle.dispatcher = threading.Thread(
-                target=lambda c=dispatch_context, h=handle: c.run(self._dispatch_loop, h),
-                name=f"repro-dispatch-{shard}",
-                daemon=True,
-            )
-            handle.dispatcher.start()
-            handle.batcher = WindowBatcher(
-                lambda batch, h=handle: self._send_window(h, batch),
-                max_batch=self.config.max_batch,
-                max_wait_seconds=self.config.max_wait_seconds,
-                name=f"window_{shard.replace('-', '_')}",
-            )
+        for handle in self._handles.values():
+            self._spawn_shard(handle, with_chaos=True)
         rebalance_context = contextvars.copy_context()
         self._rebalancer = threading.Thread(
             target=lambda: rebalance_context.run(self._rebalance_loop),
@@ -194,12 +247,32 @@ class ClusterManager:
             daemon=True,
         )
         self._rebalancer.start()
+        if self.config.supervise:
+            self._supervisor = ShardSupervisor(
+                self,
+                heartbeat_seconds=self.config.heartbeat_seconds,
+                max_restarts=self.config.max_restarts,
+            )
+            self._supervisor.start()
         return self
+
+    @staticmethod
+    def _close_queue(q: Any) -> None:
+        """Close one mp queue and reap its feeder thread (idempotent)."""
+        if q is None:
+            return
+        try:
+            q.close()
+            q.join_thread()
+        except (OSError, ValueError):  # pragma: no cover — already torn down
+            pass
 
     def stop(self, *, timeout: float = 5.0) -> None:
         if not self._started or self._stopping.is_set():
             return
         self._stopping.set()
+        if self._supervisor is not None:
+            self._supervisor.stop()
         for handle in self._handles.values():
             if handle.batcher is not None:
                 handle.batcher.close(drain=False)
@@ -218,6 +291,10 @@ class ClusterManager:
             handle.alive = False
             if handle.dispatcher is not None:
                 handle.dispatcher.join(timeout=1.0)
+            # A dead queue keeps a feeder thread (and its pipe) alive until
+            # closed — the flaky-teardown source under pytest reruns.
+            self._close_queue(handle.requests)
+            self._close_queue(handle.replies)
 
     def __enter__(self) -> "ClusterManager":
         return self.start()
@@ -254,6 +331,8 @@ class ClusterManager:
                 return _shed_doc("no healthy shards", 5.0, tid)
             handle = self._handles[shard]
             item = {"scheduler": scheduler, "instance": instance_doc, "trace_id": tid}
+            hedged: List[Tuple[_ShardHandle, Dict[str, Any]]] = [(handle, item)]
+            deadline = time.monotonic() + (timeout or self.config.request_timeout_seconds)
             with self.telemetry.span("frontend.request", shard=shard, scheduler=scheduler):
                 try:
                     assert handle.batcher is not None
@@ -261,14 +340,93 @@ class ClusterManager:
                 except ValidationError:
                     return _shed_doc(f"shard {shard} is shutting down", 5.0, tid)
                 try:
-                    result = pending.wait(timeout or self.config.request_timeout_seconds)
+                    hedge_after = self.config.hedge_after_seconds
+                    if hedge_after is not None and hedge_after < deadline - time.monotonic():
+                        try:
+                            result = pending.wait(hedge_after)
+                        except TimeoutError:
+                            loser = self._launch_hedge(tid, item, shard, pending)
+                            if loser is not None:
+                                hedged.append(loser)
+                            result = pending.wait(max(deadline - time.monotonic(), 0.001))
+                    else:
+                        result = pending.wait(max(deadline - time.monotonic(), 0.001))
                 except TimeoutError:
+                    self._abandon(hedged, tid)
                     self.telemetry.counter("frontend_rejected_total", reason="timeout").inc()
                     return {"status": 504, "error": "request timed out in the cluster", "trace_id": tid}
                 except Exception as exc:  # noqa: BLE001 — dispatch failure surfaces as 500
                     self.telemetry.counter("frontend_rejected_total", reason="dispatch_error").inc()
                     return {"status": 500, "error": f"dispatch failed: {exc}", "trace_id": tid}
+            if len(hedged) > 1:
+                self._cancel_losers(hedged, result, tid)
         return result
+
+    def _launch_hedge(
+        self,
+        tid: str,
+        item: Dict[str, Any],
+        primary: str,
+        pending: PendingResult,
+    ) -> Optional[Tuple[_ShardHandle, Dict[str, Any]]]:
+        """Dispatch a hedge copy to the clockwise-next healthy shard.
+
+        Both dispatches share one :class:`PendingResult`; first response
+        wins (settlement is one-shot) and the loser is cancelled by
+        :meth:`_cancel_losers` once a winner lands.
+        """
+        healthy = self.healthy_shards() - {primary}
+        if not healthy:
+            return None
+        try:
+            failover = self.router.route(tid, healthy=healthy)
+        except KeyError:  # pragma: no cover — healthy is non-empty
+            return None
+        failover_handle = self._handles[failover]
+        hedge_item = dict(item)
+        hedge_item["_hedge"] = True
+        try:
+            assert failover_handle.batcher is not None
+            failover_handle.batcher.submit(hedge_item, pending=pending)
+        except (ValidationError, AssertionError):
+            return None
+        self.telemetry.counter("frontend_hedges_total", shard=failover).inc()
+        return (failover_handle, hedge_item)
+
+    def _cancel_losers(
+        self,
+        hedged: List[Tuple[_ShardHandle, Dict[str, Any]]],
+        result: Dict[str, Any],
+        tid: str,
+    ) -> None:
+        """Withdraw every hedge copy the winner made redundant.
+
+        A copy still queued is evicted before it ever reserves lease; a
+        copy already inside a window is cancelled on the worker (it
+        answers 499 with zero energy, so the window commit returns the
+        loser's entire grant share to the lease).
+        """
+        winner = result.get("shard") if isinstance(result, dict) else None
+        for loser_handle, loser_item in hedged:
+            if winner is not None and loser_handle.shard == winner:
+                continue
+            if loser_handle.batcher is not None and loser_handle.batcher.evict(loser_item):
+                mode = "evicted"
+            else:
+                mode = "cancelled"
+                try:
+                    loser_handle.requests.put({"op": "cancel", "trace_ids": [tid]})
+                except (OSError, ValueError, AttributeError):  # pragma: no cover — shard torn down
+                    continue
+            self.telemetry.counter(
+                "frontend_hedge_cancels_total", shard=loser_handle.shard, mode=mode
+            ).inc()
+
+    def _abandon(self, hedged: List[Tuple[_ShardHandle, Dict[str, Any]]], tid: str) -> None:
+        """A caller gave up: evict its copies so the pending map cannot leak."""
+        for loser_handle, loser_item in hedged:
+            if loser_handle.batcher is not None and loser_handle.batcher.evict(loser_item):
+                self.telemetry.counter("frontend_abandoned_total", shard=loser_handle.shard).inc()
 
     def _reserve_for(self, shard: str, batch: List[Tuple[Dict[str, Any], PendingResult]]) -> float:
         """How much lease to reserve for a window: the sum of the requests'
@@ -295,61 +453,144 @@ class ClusterManager:
         envelope: Dict[str, Any] = {
             "op": "window",
             "batch_id": batch_id,
-            "requests": [item for item, _ in batch],
+            "epoch": handle.epoch,
+            # Underscore keys are front-end bookkeeping (_attempts, _hedge);
+            # the worker never sees them.
+            "requests": [
+                {k: v for k, v in item.items() if not k.startswith("_")} for item, _ in batch
+            ],
         }
         if grant is not None:
             envelope["grant"] = grant
             envelope["lease"] = self.ledger.lease_of(handle.shard)
         with handle.lock:
-            handle.inflight[batch_id] = ("window", batch, grant or 0.0)
+            handle.inflight[batch_id] = ("window", batch, grant or 0.0, handle.epoch, time.monotonic())
         try:
             handle.requests.put(envelope)
         except (OSError, ValueError):
             with handle.lock:
                 handle.inflight.pop(batch_id, None)
             if grant is not None:
-                self.ledger.release(handle.shard, grant)
+                self.ledger.release(handle.shard, grant, epoch=handle.epoch)
             for item, pending in batch:
                 pending.resolve(_shed_doc(f"shard {handle.shard} unreachable", 2.0, item.get("trace_id")))
 
-    def _settle_window(self, handle: _ShardHandle, entry: Tuple[str, Any, float], reply: Dict[str, Any]) -> None:
-        _, batch, grant = entry
+    def _settle_window(
+        self,
+        handle: _ShardHandle,
+        entry: Tuple[str, Any, float, int, float],
+        reply: Dict[str, Any],
+    ) -> None:
+        _, batch, grant, epoch, _ = entry
         results = reply.get("results", [])
         for index, (item, pending) in enumerate(batch):
             if index < len(results):
-                pending.resolve(results[index])
+                delivered = pending.resolve(results[index])
+                if not delivered and results[index].get("status") == 200:
+                    # A hedge loser finished anyway: the solve is wasted
+                    # energy but the client saw exactly one result.
+                    self.telemetry.counter(
+                        "frontend_duplicate_results_total", shard=handle.shard
+                    ).inc()
             else:  # pragma: no cover — a worker always answers the full window
                 pending.resolve(_shed_doc("window truncated by worker", 2.0, item.get("trace_id")))
         if self.ledger.budget is None:
             return
         spent = float(reply.get("spent", 0.0))
         try:
-            self.ledger.commit(handle.shard, grant, spent)
+            committed = self.ledger.commit(handle.shard, grant, spent, epoch=epoch)
         except ValidationError:
             # The worker overran its grant — record the whole grant as spent
             # (conservative: the ledger must never under-count) and flag it.
             self.telemetry.counter("lease_overruns_total", shard=handle.shard).inc()
-            self.ledger.commit(handle.shard, grant, grant)
+            committed = self.ledger.commit(handle.shard, grant, grant, epoch=epoch)
+        if not committed and spent > 0.0:
+            # The window raced an epoch bump: its generation is fenced but
+            # the energy was physically burned and journalled.  Re-record
+            # it under the current epoch (grant=spend — the old epoch's
+            # reservations were already dropped by the bump) so the
+            # in-memory ledger never under-counts the durable one.
+            self.ledger.commit(handle.shard, spent, spent)
+            self.telemetry.counter("lease_fenced_spend_recommits_total", shard=handle.shard).inc()
 
     def _shard_died(self, handle: _ShardHandle) -> None:
-        """A worker stopped answering: fail over, release its leases."""
-        handle.alive = False
+        """A worker stopped answering: fence its generation, fail over.
+
+        Every orphaned grant is committed *in full* rather than released:
+        the dead worker may have journalled spend the front-end never saw,
+        and the in-memory ledger must never under-count the durable one
+        (released headroom would be re-granted — and re-spent — while the
+        journal already holds the first spend).  Orphaned requests retry
+        on surviving shards with backoff; the epoch bump fences any
+        straggler commit of the dead generation.
+        """
+        with handle.lock:
+            if not handle.alive:
+                return  # dispatcher and supervisor raced; first caller wins
+            handle.alive = False
+            orphans = list(handle.inflight.values())
+            handle.inflight.clear()
         self.telemetry.counter("shard_deaths_total", shard=handle.shard).inc()
         if handle.batcher is not None:
             handle.batcher.close(drain=False)
-        with handle.lock:
-            orphans = list(handle.inflight.values())
-            handle.inflight.clear()
-        for kind, payload, grant in orphans:
-            if grant:
-                self.ledger.release(handle.shard, grant)
+        for kind, payload, grant, epoch, _ in orphans:
+            if grant and self.ledger.budget is not None:
+                if self.injector is not None:
+                    event = self.injector.fire(RELEASE_SITE, handle.shard)
+                    if event is not None:
+                        time.sleep(max(event.magnitude, 0.0))
+                if self.ledger.commit(handle.shard, grant, grant, epoch=epoch):
+                    self.telemetry.counter(
+                        "lease_conservative_commits_total", shard=handle.shard
+                    ).inc()
             if kind == "window":
                 for item, pending in payload:
-                    pending.resolve(
-                        _shed_doc(f"shard {handle.shard} died mid-request", 2.0, item.get("trace_id"))
+                    self._retry_or_fail(
+                        item, pending, f"shard {handle.shard} died mid-request"
                     )
             else:
                 payload.fail(ChildProcessError(f"shard {handle.shard} died"))
+        self.ledger.bump_epoch(handle.shard)
+
+    # -- retry / resubmission ---------------------------------------------------
+
+    def _retry_or_fail(self, item: Dict[str, Any], pending: PendingResult, reason: str) -> None:
+        """Requeue an orphaned request with bounded backoff, or 503 it."""
+        if pending.done:
+            return
+        attempts = int(item.get("_attempts", 0))
+        if not self.config.supervise or attempts >= self.config.max_retries:
+            pending.resolve(_shed_doc(reason, 2.0, item.get("trace_id")))
+            return
+        item["_attempts"] = attempts + 1
+        delay = (
+            self.config.retry_backoff_seconds
+            * (2.0**attempts)
+            * (0.5 + self._retry_rng.random())
+        )
+        self.telemetry.counter("frontend_retries_total").inc()
+        timer = threading.Timer(delay, self._resubmit, args=(item, pending, reason))
+        timer.daemon = True
+        timer.start()
+
+    def _resubmit(self, item: Dict[str, Any], pending: PendingResult, reason: str) -> None:
+        """Timer body: re-route a retried request to a currently-healthy shard."""
+        if pending.done or self._stopping.is_set():
+            return
+        tid = item.get("trace_id")
+        try:
+            shard = self.router.route(str(tid), healthy=self.healthy_shards())
+        except KeyError:
+            pending.resolve(_shed_doc("no healthy shards", 5.0, tid))
+            return
+        handle = self._handles[shard]
+        try:
+            assert handle.batcher is not None
+            handle.batcher.submit(item, pending=pending)
+        except (ValidationError, AssertionError):
+            # The chosen shard shut its batcher between route and submit;
+            # burn one more attempt rather than dropping the request.
+            self._retry_or_fail(item, pending, reason)
 
     def _dispatch_loop(self, handle: _ShardHandle) -> None:
         """Per-shard reply pump: settle windows, watch for worker death."""
@@ -374,11 +615,70 @@ class ClusterManager:
             else:
                 entry[1].resolve(reply)
 
+    # -- supervision hooks -------------------------------------------------------
+
+    def _restart_shard(self, handle: _ShardHandle) -> None:
+        """Bring up a replacement worker generation for a dead shard.
+
+        The epoch was bumped on the death path, so the replacement's
+        grants carry a fresh fencing token; the new worker recovers the
+        shard journal on startup (its cumulative-energy chain resumes
+        where the crashed generation's last durable record left it).
+        """
+        self._close_queue(handle.requests)
+        self._close_queue(handle.replies)
+        if handle.dispatcher is not None:
+            handle.dispatcher.join(timeout=1.0)
+        handle.restarts += 1
+        self._spawn_shard(handle, with_chaos=False)
+        self.telemetry.counter("shard_restarts_total", shard=handle.shard).inc()
+
+    def _sweep_stale(self) -> None:
+        """Reap windows whose reply will never come (e.g. a dropped reply).
+
+        Without this, a reply-queue drop leaks the window's grant as
+        permanent phantom reservation.  The grant is committed in full —
+        never released — because the worker may well have solved the
+        window and journalled the spend; only the reply vanished.  The
+        horizon sits at half the request timeout so the victims resolve
+        as explicit 503s while their callers are still waiting (a late
+        genuine reply finds its in-flight entry gone and is ignored —
+        the pending settles exactly once).
+        """
+        horizon = 0.5 * self.config.request_timeout_seconds
+        now = time.monotonic()
+        for handle in self._handles.values():
+            if not handle.alive:
+                continue
+            with handle.lock:
+                stale = [
+                    (batch_id, entry)
+                    for batch_id, entry in handle.inflight.items()
+                    if entry[0] == "window" and now - entry[4] > horizon
+                ]
+                for batch_id, _ in stale:
+                    handle.inflight.pop(batch_id, None)
+            for _, (kind, batch, grant, epoch, _sent) in stale:
+                if grant and self.ledger.budget is not None:
+                    self.ledger.commit(handle.shard, grant, grant, epoch=epoch)
+                for item, pending in batch:
+                    pending.resolve(
+                        _shed_doc(f"shard {handle.shard} never answered", 2.0, item.get("trace_id"))
+                    )
+                self.telemetry.counter("frontend_swept_windows_total", shard=handle.shard).inc()
+
     # -- rebalancing -----------------------------------------------------------
 
     def _rebalance_loop(self) -> None:
         with collector(self.telemetry):
-            while not self._stopping.wait(self.config.rebalance_seconds):
+            period = self.config.rebalance_seconds
+            while not self._stopping.wait(period):
+                period = self.config.rebalance_seconds
+                if self.injector is not None:
+                    event = self.injector.fire(REBALANCE_SITE)
+                    if event is not None:
+                        # Clock skew: the next cadence tick drifts.
+                        period = max(period + event.magnitude, 0.05)
                 if self.ledger.budget is not None:
                     self.ledger.rebalance()
 
@@ -390,7 +690,7 @@ class ClusterManager:
         batch_id = next(self._batch_ids)
         pending = PendingResult()
         with handle.lock:
-            handle.inflight[batch_id] = (op, pending, 0.0)
+            handle.inflight[batch_id] = (op, pending, 0.0, handle.epoch, time.monotonic())
         try:
             handle.requests.put({"op": op, "batch_id": batch_id})
             return pending.wait(timeout)
@@ -408,6 +708,8 @@ class ClusterManager:
         return {
             "status": "ok" if len(healthy) == len(self._handles) else ("degraded" if healthy else "down"),
             "shards": {s: ("up" if h.alive else "down") for s, h in self._handles.items()},
+            "restarts": {s: h.restarts for s, h in self._handles.items()},
+            "supervised": self._supervisor is not None,
             "ledger": self.ledger.to_dict(),
         }
 

@@ -67,6 +67,7 @@ class ShardLease:
     reserved: float = 0.0  #: granted but not yet committed (J)
     spent_since_rebalance: float = 0.0  #: demand signal for the rebalancer
     denied: int = 0  #: reservations clipped to zero by an exhausted lease
+    epoch: int = 0  #: fencing token; bumped on every shard restart
 
     @property
     def headroom(self) -> float:
@@ -81,6 +82,7 @@ class ShardLease:
             "reserved": self.reserved,
             "headroom": self.headroom,
             "denied": self.denied,
+            "epoch": self.epoch,
         }
 
 
@@ -111,6 +113,7 @@ class EnergyLeaseLedger:
             str(s): ShardLease(shard=str(s), lease=initial) for s in shard_ids
         }
         self.rebalances = 0
+        self.stale_commits = 0  #: stale-epoch commits/releases rejected, total
 
     # -- the spend protocol ----------------------------------------------------
 
@@ -139,8 +142,16 @@ class EnergyLeaseLedger:
                 get_collector().counter("lease_denials_total", shard=shard).inc()
             return grant
 
-    def commit(self, shard: str, grant: float, spend: float) -> None:
-        """Settle a reservation: record ``spend`` and release the remainder."""
+    def commit(self, shard: str, grant: float, spend: float, *, epoch: Optional[int] = None) -> bool:
+        """Settle a reservation: record ``spend`` and release the remainder.
+
+        ``epoch`` fences zombies: a commit carrying an epoch older than
+        the shard's current one belongs to a worker generation that was
+        declared dead (its reservations were dropped and its journalled
+        spend re-absorbed by recovery) — applying it would double-spend.
+        Stale commits are rejected, counted, and reported by returning
+        ``False``; current-epoch commits apply and return ``True``.
+        """
         check_nonnegative(grant, "grant")
         check_nonnegative(spend, "spend")
         if spend > grant + _tol(grant):
@@ -150,20 +161,62 @@ class EnergyLeaseLedger:
             )
         with self._lock:
             row = self._row(shard)
-            row.spent += float(spend)
-            row.spent_since_rebalance += float(spend)
-            if self.budget is not None:
-                row.reserved = max(row.reserved - float(grant), 0.0)
+            if epoch is not None and epoch != row.epoch:
+                self.stale_commits += 1
+                stale = True
+            else:
+                stale = False
+                row.spent += float(spend)
+                row.spent_since_rebalance += float(spend)
+                if self.budget is not None:
+                    row.reserved = max(row.reserved - float(grant), 0.0)
+        if stale:
+            get_collector().counter("lease_stale_commits_total", shard=shard).inc()
+            return False
         get_collector().counter("lease_commits_total", shard=shard).inc()
+        return True
 
-    def release(self, shard: str, grant: float) -> None:
-        """Return an entire unspent grant (worker died before committing)."""
+    def release(self, shard: str, grant: float, *, epoch: Optional[int] = None) -> None:
+        """Return an entire unspent grant (worker died before committing).
+
+        A stale-epoch release is a no-op: the epoch bump that fenced the
+        grant already dropped every reservation of its generation.
+        """
         check_nonnegative(grant, "grant")
         if self.budget is None:
             return
         with self._lock:
             row = self._row(shard)
+            if epoch is not None and epoch != row.epoch:
+                self.stale_commits += 1
+                return
             row.reserved = max(row.reserved - float(grant), 0.0)
+
+    # -- epoch fencing -----------------------------------------------------------
+
+    def epoch_of(self, shard: str) -> int:
+        """The shard's current lease epoch (stamp reservations with it)."""
+        with self._lock:
+            return self._row(shard).epoch
+
+    def bump_epoch(self, shard: str) -> int:
+        """Fence a shard generation: next epoch, all its reservations dropped.
+
+        Called when a shard worker is declared dead, *before* its
+        replacement starts.  Every outstanding grant of the old epoch is
+        returned to the lease in one step; any commit or release that
+        later arrives from the fenced generation is rejected by its
+        stale epoch — a restarted shard's stale grants can never
+        double-spend.
+        """
+        with self._lock:
+            row = self._row(shard)
+            row.epoch += 1
+            row.reserved = 0.0
+            epoch = row.epoch
+        get_collector().counter("lease_epoch_bumps_total", shard=shard).inc()
+        return epoch
+
 
     # -- rebalancing -----------------------------------------------------------
 

@@ -34,12 +34,18 @@ reserve.
 from __future__ import annotations
 
 import dataclasses
+import os
+import queue
+import signal
 import time
 import traceback
-from typing import Any, Dict, Optional
+from collections import deque
+from typing import Any, Callable, Dict, Optional, Sequence
 
+from ..chaos import ChaosEvent, FaultInjector, WORKER_SITE
 from ..core.serialization import instance_from_dict
 from ..durability import JournalWriter, SnapshotStore, recover
+from ..durability.journal import encode_record
 from ..observe.slo import BurnRateMonitor
 from ..resilience.admission import AdmissionController
 from ..telemetry import MetricsRegistry, collector, trace_scope
@@ -63,6 +69,7 @@ class WorkerConfig:
         snapshot_every: int = 25,
         fsync: str = "always",
         lease_horizon_seconds: Optional[float] = None,
+        chaos_events: Optional[Sequence[ChaosEvent]] = None,
     ):
         self.shard = str(shard)
         self.journal_dir = journal_dir
@@ -72,6 +79,8 @@ class WorkerConfig:
         self.snapshot_every = int(snapshot_every)
         self.fsync = fsync
         self.lease_horizon_seconds = lease_horizon_seconds
+        #: planned worker-site chaos faults (frozen dataclasses pickle across fork)
+        self.chaos_events = tuple(chaos_events) if chaos_events else ()
 
     def service_config(self) -> SolveServiceConfig:
         return SolveServiceConfig(solver_timeout=self.solver_timeout, fallback=self.fallback)
@@ -92,6 +101,10 @@ class _ShardState:
         self.solves_total = 0
         self.started_at = time.monotonic()
         self.burn: Optional[BurnRateMonitor] = None
+        self.cancelled: set = set()  # trace ids the front-end withdrew (hedge losers)
+        self.injector: Optional[FaultInjector] = None
+        if config.chaos_events:
+            self.injector = FaultInjector(config.chaos_events, telemetry=self.telemetry)
         if config.journal_dir is not None:
             state = recover(config.journal_dir)
             self.journal = JournalWriter(config.journal_dir, fsync=config.fsync)
@@ -154,6 +167,11 @@ def _solve_one(state: _ShardState, item: Dict[str, Any], remaining_grant: float,
         tele.counter("worker_shed_total", shard=shard, reason="lease_exhausted").inc()
         return {"status": 503, "error": "lease_exhausted", "retry_after": 1.0, "trace_id": trace_id}, 0.0
 
+    if trace_id is not None and trace_id in state.cancelled:
+        state.cancelled.discard(trace_id)
+        tele.counter("worker_cancelled_total", shard=shard).inc()
+        return {"status": 499, "error": "cancelled by front-end", "trace_id": trace_id}, 0.0
+
     decision = state.admission.try_begin()
     if not decision.admitted:
         tele.counter("worker_shed_total", shard=shard, reason=decision.reason).inc()
@@ -212,24 +230,79 @@ def _solve_one(state: _ShardState, item: Dict[str, Any], remaining_grant: float,
     return payload, energy
 
 
-def _handle_window(state: _ShardState, envelope: Dict[str, Any]) -> Dict[str, Any]:
+def _apply_worker_fault(state: _ShardState, event: ChaosEvent) -> bool:
+    """Apply a fired worker-site fault; ``True`` means *drop the reply*.
+
+    The fault is journalled into the shard's own WAL first (``recover``
+    tolerates foreign event types), so a post-mortem read of the ledger
+    shows the fault next to the solves it perturbed.  Fatal kinds do not
+    return.
+    """
+    if state.journal is not None and event.kind != "worker_exit":
+        state.journal.append({"type": "chaos_event", **event.to_dict()})
+    if event.kind == "worker_stall":
+        time.sleep(max(event.magnitude, 0.0))
+    elif event.kind == "reply_drop":
+        return True
+    elif event.kind == "worker_kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif event.kind == "worker_exit":
+        # A clean-but-silent exit: the journal closes intact, no ack is sent.
+        if state.journal is not None:
+            state.journal.append({"type": "chaos_event", **event.to_dict()})
+            state.journal.close()
+        os._exit(0)
+    elif event.kind == "journal_torn_write":
+        # Tear the WAL tail mid-record, then die hard: recovery must repair
+        # the torn frame and keep every record before it.
+        if state.journal is not None:
+            frame = encode_record(
+                {
+                    "type": "solve",
+                    "shard": state.config.shard,
+                    "scheduler": "torn",
+                    "energy": 0.0,
+                    "cum_energy": state.energy_spent,
+                }
+            )
+            state.journal._fh.write(frame[: max(len(frame) // 2, 4)])
+            state.journal._fh.flush()
+        os._exit(1)
+    return False
+
+
+def _handle_window(
+    state: _ShardState,
+    envelope: Dict[str, Any],
+    drain: Optional[Callable[[], None]] = None,
+) -> Optional[Dict[str, Any]]:
     grant = envelope.get("grant")
     enforce = grant is not None
     remaining = float(grant) if enforce else float("inf")
     if enforce and state.burn is None:
         state.arm_burn_monitor(float(envelope.get("lease", grant)))
+    drop_reply = False
+    if state.injector is not None:
+        event = state.injector.fire(WORKER_SITE, state.config.shard)
+        if event is not None:
+            drop_reply = _apply_worker_fault(state, event)
     spent = 0.0
     results = []
     with state.telemetry.span("worker.window", shard=state.config.shard):
         for item in envelope.get("requests", []):
+            if drain is not None:
+                drain()  # pick up cancellations racing this window
             doc, energy = _solve_one(state, item, remaining, enforce)
             results.append(doc)
             remaining -= energy
             spent += energy
+    if drop_reply:
+        return None
     return {
         "op": "window_done",
         "batch_id": envelope["batch_id"],
         "shard": state.config.shard,
+        "epoch": envelope.get("epoch"),
         "results": results,
         "spent": spent,
         "cum_energy": state.energy_spent,
@@ -257,21 +330,49 @@ def worker_main(config: WorkerConfig, requests: Any, replies: Any) -> None:
     loop exits on a ``shutdown`` envelope, closing the journal cleanly.
     A fork-started child inherits the parent's context, so the worker
     activates its own registry for everything it runs.
+
+    ``cancel`` envelopes are *control* traffic: they jump the line.  The
+    loop drains the queue between window items so a hedge winner's
+    cancellation reaches the loser before it burns energy on a solve
+    whose result nobody will accept.
     """
     state = _ShardState(config)
+    backlog: deque = deque()
+
+    def _drain_control() -> None:
+        while True:
+            try:
+                pulled = requests.get_nowait()
+            except queue.Empty:
+                return
+            if isinstance(pulled, dict) and pulled.get("op") == "cancel":
+                state.cancelled.update(pulled.get("trace_ids", []))
+            else:
+                backlog.append(pulled)
+
     with collector(state.telemetry):
         while True:
-            envelope = requests.get()
+            if backlog:
+                envelope = backlog.popleft()
+            else:
+                try:
+                    envelope = requests.get(timeout=1.0)
+                except queue.Empty:
+                    continue
             op = envelope.get("op") if isinstance(envelope, dict) else "shutdown"
             if op == "shutdown":
                 if state.journal is not None:
                     state.journal.close()
                 replies.put({"op": "shutdown_ack", "shard": config.shard, "batch_id": envelope.get("batch_id")})
                 return
-            if op == "stats":
+            if op == "cancel":
+                state.cancelled.update(envelope.get("trace_ids", []))
+            elif op == "stats":
                 replies.put(_handle_stats(state, envelope))
             elif op == "window":
-                replies.put(_handle_window(state, envelope))
+                reply = _handle_window(state, envelope, _drain_control)
+                if reply is not None:
+                    replies.put(reply)
             else:
                 replies.put(
                     {

@@ -13,7 +13,11 @@ those PRs converged on:
 * a ``threading.Thread`` target must carry the ambient context (RL012)
   — ``ContextVar``\\ s do not cross thread starts, so a bare target
   silently drops the active trace id and telemetry collector (the PR 4
-  worker-thread bug class).
+  worker-thread bug class);
+* in the cluster data plane every cross-process wait must be bounded
+  (RL013) — a ``queue.get()`` or ``process.join()`` without a timeout
+  hangs the caller forever once the peer is SIGKILLed, which is exactly
+  the failure mode :mod:`repro.chaos` injects on purpose.
 """
 
 from __future__ import annotations
@@ -30,7 +34,12 @@ if TYPE_CHECKING:
     from ..engine import LintContext
     from ..finding import Finding
 
-__all__ = ["LockAcquireRule", "BlockingUnderLockRule", "ThreadContextRule"]
+__all__ = [
+    "LockAcquireRule",
+    "BlockingUnderLockRule",
+    "ThreadContextRule",
+    "UnboundedClusterWaitRule",
+]
 
 #: Receiver names treated as locks (``self._lock``, ``journal_lock`` ...).
 _LOCK_NAME = re.compile(r"lock|mutex|semaphore|\bsem\b", re.IGNORECASE)
@@ -281,3 +290,76 @@ class ThreadContextRule(Rule):
             "via contextvars.copy_context().run(...) or open trace_scope()/"
             "ensure_trace() in the worker",
         )
+
+
+# -- RL013: unbounded cross-process waits in the cluster data plane ------------
+
+#: Receivers that denote request/reply queues (mp.Queue plumbing).
+_QUEUE_RECEIVER = re.compile(r"queue|requests|replies|inbox|mailbox|\bq$", re.IGNORECASE)
+
+#: Receivers that denote worker processes or their dispatcher threads.
+_PROCESS_RECEIVER = re.compile(r"process|proc$|worker|dispatcher|child", re.IGNORECASE)
+
+
+def _bounded_wait(call: ast.Call, *, queue_get: bool) -> bool:
+    """Does this ``.get``/``.join`` call carry an explicit bound?"""
+    for kw in call.keywords:
+        if kw.arg == "timeout":
+            # ``timeout=None`` is spelled-out unboundedness, still flagged.
+            return not (isinstance(kw.value, ast.Constant) and kw.value.value is None)
+    if queue_get:
+        # Queue.get(block, timeout): 2 positionals bound it; get(False)
+        # never blocks at all.
+        if len(call.args) >= 2:
+            return True
+        return (
+            len(call.args) == 1
+            and isinstance(call.args[0], ast.Constant)
+            and call.args[0].value is False
+        )
+    # join(timeout) positionally.
+    return len(call.args) >= 1
+
+
+@register_rule
+class UnboundedClusterWaitRule(Rule):
+    """RL013 — an unbounded wait on a dead peer hangs the cluster forever."""
+
+    code = "RL013"
+    name = "unbounded-cluster-wait"
+    rationale = (
+        "A worker SIGKILLed mid-window (the repro.chaos failure model) "
+        "never puts a reply and never exits its queue feeder — so a "
+        "`queue.get()` or `process.join()` without a timeout blocks its "
+        "caller forever, turning one shard death into a hung front-end.  "
+        "Every cross-process wait in repro.cluster must be bounded: pass "
+        "timeout= (and loop if you must wait indefinitely) or use "
+        "get_nowait() for opportunistic drains."
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+    include = ("*/repro/cluster/*", "repro/cluster/*")
+
+    def visit(self, node: ast.Call, ctx: "LintContext") -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = _expr_text(func.value)
+        if func.attr == "get" and _QUEUE_RECEIVER.search(receiver):
+            if not _bounded_wait(node, queue_get=True):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"unbounded {receiver}.get(); a SIGKILLed peer never "
+                    f"replies — pass timeout= (loop to keep waiting) or use "
+                    f"get_nowait()",
+                )
+        elif func.attr == "join" and _PROCESS_RECEIVER.search(receiver):
+            if not _bounded_wait(node, queue_get=False):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"unbounded {receiver}.join(); a wedged worker never "
+                    f"exits — pass timeout= and escalate (terminate/kill) "
+                    f"on expiry",
+                )

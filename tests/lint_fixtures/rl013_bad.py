@@ -1,0 +1,9 @@
+"""RL013 known-bad: unbounded waits on a peer that may be SIGKILLed."""
+
+import multiprocessing as mp
+
+
+def drain(requests: "mp.Queue", process: mp.process.BaseProcess) -> object:
+    envelope = requests.get()
+    process.join()
+    return envelope

@@ -1,0 +1,23 @@
+"""RL013 known-good: every cross-process wait carries a bound."""
+
+import queue
+
+import multiprocessing as mp
+
+
+def drain(requests: "mp.Queue", process: mp.process.BaseProcess) -> object:
+    envelope = None
+    while envelope is None:
+        try:
+            envelope = requests.get(timeout=1.0)
+        except queue.Empty:
+            if not process.is_alive():
+                break
+    process.join(timeout=5.0)
+    if process.is_alive():
+        process.terminate()
+    try:
+        backlog = requests.get_nowait()
+    except queue.Empty:
+        backlog = None
+    return envelope or backlog

@@ -34,17 +34,24 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: path-scoped rule (RL003/RL004/RL005/RL012) applies to them.
 FIXTURE_PATH = "src/repro/online/fixture.py"
 
-RULES = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL010", "RL011", "RL012"]
+#: Rules scoped to another package lint their fixtures under that path.
+FIXTURE_PATHS = {"RL013": "src/repro/cluster/fixture.py"}
+
+RULES = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL010", "RL011", "RL012", "RL013"]
 
 
-def run_fixture(name):
-    return lint_source((FIXTURES / name).read_text(), FIXTURE_PATH)
+def fixture_path(code=None):
+    return FIXTURE_PATHS.get(code, FIXTURE_PATH)
+
+
+def run_fixture(name, code=None):
+    return lint_source((FIXTURES / name).read_text(), fixture_path(code))
 
 
 class TestRuleFixtures:
     @pytest.mark.parametrize("code", RULES)
     def test_bad_fixture_fails(self, code):
-        findings = run_fixture(f"{code.lower()}_bad.py")
+        findings = run_fixture(f"{code.lower()}_bad.py", code)
         assert any(f.code == code for f in findings), (
             f"{code} known-bad fixture produced no {code} finding; got "
             f"{[f.format() for f in findings]}"
@@ -52,7 +59,7 @@ class TestRuleFixtures:
 
     @pytest.mark.parametrize("code", RULES)
     def test_good_fixture_is_clean(self, code):
-        findings = run_fixture(f"{code.lower()}_good.py")
+        findings = run_fixture(f"{code.lower()}_good.py", code)
         assert findings == [], [f.format() for f in findings]
 
     def test_findings_carry_location_and_severity(self):
@@ -70,12 +77,13 @@ class TestSuppression:
     def test_noqa_round_trip(self, code):
         """Appending ``# repro: noqa[CODE]`` to each flagged line silences it."""
         source = (FIXTURES / f"{code.lower()}_bad.py").read_text()
-        flagged = [f.line for f in lint_source(source, FIXTURE_PATH) if f.code == code]
+        path = fixture_path(code)
+        flagged = [f.line for f in lint_source(source, path) if f.code == code]
         assert flagged
         lines = source.splitlines()
         for lineno in set(flagged):
             lines[lineno - 1] += f"  # repro: noqa[{code}]"
-        remaining = lint_source("\n".join(lines) + "\n", FIXTURE_PATH)
+        remaining = lint_source("\n".join(lines) + "\n", path)
         assert not [f for f in remaining if f.code == code]
 
     def test_blanket_noqa_silences_everything(self):
