@@ -7,10 +7,18 @@ committed baseline ``benchmarks/BENCH_baseline.json`` and **fails** (exit
 reported but never gate — new benchmarks land first, get a baseline
 second.
 
+With ``--overload`` the gate also (or instead) checks an overload-bench
+report (``repro bench overload`` output): post-spike goodput must
+recover to at least ``--min-recovery`` of the pre-spike baseline, no
+doomed request may reach a worker, and when the run journaled, the
+ledger audit must certify Σ spent ≤ B.
+
 Usage::
 
     python benchmarks/check_regression.py BENCH_current.json \
         --baseline benchmarks/BENCH_baseline.json --threshold 1.25
+    python benchmarks/check_regression.py \
+        --overload benchmarks/BENCH_overload.json --min-recovery 0.95
 """
 
 from __future__ import annotations
@@ -56,9 +64,49 @@ def compare(current_path: str, baseline_path: str, threshold: float) -> int:
     return 0
 
 
+def check_overload(path: str, min_recovery: float) -> int:
+    """Gate an overload-bench report: recovery, shed discipline, audit."""
+    report = json.loads(Path(path).read_text())
+    failures = []
+
+    fraction = float(report.get("recovery_fraction", 0.0))
+    verdict = "ok" if fraction >= min_recovery else f"FAIL (< {min_recovery:.0%})"
+    print(f"{'goodput recovery':<36} {fraction:>9.1%} vs {min_recovery:>7.0%}  {verdict}")
+    if fraction < min_recovery:
+        failures.append(f"goodput recovered only {fraction:.1%} (bar {min_recovery:.0%})")
+
+    doomed = int(report.get("doomed_dispatched", 0))
+    print(f"{'doomed requests dispatched':<36} {doomed:>9d} vs {0:>7d}  "
+          f"{'ok' if doomed == 0 else 'FAIL (must be 0)'}")
+    if doomed != 0:
+        failures.append(f"{doomed} certain-miss request(s) reached a worker")
+
+    audit = report.get("audit")
+    if audit is not None:
+        certified = bool(audit.get("certified"))
+        spent = audit.get("total_spent_joules")
+        budget = audit.get("budget_joules")
+        detail = f"{spent:.0f} J of {budget:.0f} J" if budget else f"{spent:.0f} J, unbounded"
+        print(f"{'ledger audit':<36} {detail:>22}  {'ok' if certified else 'FAIL (violations)'}")
+        if not certified:
+            failures.append(
+                f"ledger audit found {len(audit.get('violations', []))} violation(s)"
+            )
+    else:
+        print(f"{'ledger audit':<36} {'—':>22}  n/a (unjournaled run)")
+
+    if failures:
+        print(f"\nOVERLOAD GATE: {'; '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\noverload gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", help="pytest-benchmark JSON of the run under test")
+    parser.add_argument(
+        "current", nargs="?", help="pytest-benchmark JSON of the run under test"
+    )
     parser.add_argument(
         "--baseline", default="benchmarks/BENCH_baseline.json", help="committed baseline JSON"
     )
@@ -68,8 +116,24 @@ def main(argv=None) -> int:
         default=1.25,
         help="max tolerated current/baseline mean ratio (default 1.25 = +25%%)",
     )
+    parser.add_argument(
+        "--overload", help="`repro bench overload` report JSON to gate on goodput recovery"
+    )
+    parser.add_argument(
+        "--min-recovery",
+        type=float,
+        default=0.95,
+        help="min post-spike/baseline goodput fraction for --overload (default 0.95)",
+    )
     args = parser.parse_args(argv)
-    return compare(args.current, args.baseline, args.threshold)
+    if args.current is None and args.overload is None:
+        parser.error("nothing to gate: pass a benchmark JSON and/or --overload")
+    exit_code = 0
+    if args.current is not None:
+        exit_code |= compare(args.current, args.baseline, args.threshold)
+    if args.overload is not None:
+        exit_code |= check_overload(args.overload, args.min_recovery)
+    return exit_code
 
 
 if __name__ == "__main__":

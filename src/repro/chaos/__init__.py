@@ -20,6 +20,7 @@ from .schedule import (
     FAULT_KINDS,
     REBALANCE_SITE,
     RELEASE_SITE,
+    SUBMIT_SITE,
     WORKER_SITE,
     ChaosEvent,
     ChaosSchedule,
@@ -31,6 +32,7 @@ __all__ = [
     "WORKER_SITE",
     "RELEASE_SITE",
     "REBALANCE_SITE",
+    "SUBMIT_SITE",
     "site_of",
     "ChaosEvent",
     "ChaosSchedule",

@@ -24,12 +24,16 @@ kind                   site                    effect
 ``journal_torn_write``  ``worker.window``      partial WAL record, then death
 ``lease_release_delay``  ``frontend.lease_release``  delay a crashed grant's release
 ``clock_skew``         ``ledger.rebalance``    skew the rebalance cadence
+``arrival_burst``      ``frontend.submit``     synthetic best-effort arrival burst
 =====================  ======================  =================================
 
 ``worker.window`` events count a shard's solve-window envelopes;
 ``frontend.lease_release`` counts grant releases on the shard's death
 path; ``clock_skew`` counts rebalancer cycles (shard-less: the ledger is
-global).
+global); ``frontend.submit`` counts client submissions routed to the
+shard, and an ``arrival_burst`` magnitude is the number of synthetic
+best-effort requests injected — exercising the overload controller
+(admission AIMD, brownout) under a reproducible load spike.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ __all__ = [
     "WORKER_SITE",
     "RELEASE_SITE",
     "REBALANCE_SITE",
+    "SUBMIT_SITE",
     "site_of",
     "ChaosEvent",
     "ChaosSchedule",
@@ -53,6 +58,7 @@ __all__ = [
 WORKER_SITE = "worker.window"
 RELEASE_SITE = "frontend.lease_release"
 REBALANCE_SITE = "ledger.rebalance"
+SUBMIT_SITE = "frontend.submit"
 
 #: kind -> (site, is_fatal_to_worker)
 _KIND_TABLE: Dict[str, Tuple[str, bool]] = {
@@ -63,6 +69,7 @@ _KIND_TABLE: Dict[str, Tuple[str, bool]] = {
     "journal_torn_write": (WORKER_SITE, True),
     "lease_release_delay": (RELEASE_SITE, False),
     "clock_skew": (REBALANCE_SITE, False),
+    "arrival_burst": (SUBMIT_SITE, False),
 }
 
 FAULT_KINDS: Tuple[str, ...] = tuple(_KIND_TABLE)
@@ -134,6 +141,7 @@ class ChaosSchedule:
         stall_seconds: Tuple[float, float] = (0.05, 0.4),
         delay_seconds: Tuple[float, float] = (0.02, 0.2),
         skew_seconds: Tuple[float, float] = (-0.5, 0.5),
+        burst_requests: Tuple[int, int] = (3, 12),
     ):
         require(len(shards) >= 1, "a chaos schedule needs at least one shard")
         require(n_events >= 0, f"n_events must be >= 0, got {n_events}")
@@ -164,6 +172,8 @@ class ChaosSchedule:
                 magnitude = rng.uniform(*delay_seconds)
             elif kind == "clock_skew":
                 magnitude = rng.uniform(*skew_seconds)
+            elif kind == "arrival_burst":
+                magnitude = float(rng.randint(*burst_requests))
             else:
                 magnitude = 0.0
             events.append(

@@ -358,9 +358,40 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         fallback=args.fallback,
         max_in_flight=args.max_in_flight,
         rebalance_seconds=args.rebalance_seconds,
+        queue_target_seconds=args.queue_target,
+        brownout_target_p99_seconds=args.brownout_target,
+        max_queue_per_shard=args.max_queue,
+        adaptive_lifo=args.adaptive_lifo,
     )
     serve_cluster(args.host, args.port, config=config)
     return 0
+
+
+def _cmd_bench_overload(args: argparse.Namespace) -> int:
+    from .overload.bench import bench_overload
+
+    report = bench_overload(
+        str(args.out),
+        shards=args.shards,
+        scheduler=args.scheduler,
+        n_tasks=args.tasks,
+        n_machines=args.machines,
+        beta=args.beta,
+        budget=args.budget,
+        journal_root=str(args.journal_root) if args.journal_root is not None else None,
+        seed=args.seed,
+        calibrate_seconds=args.calibrate,
+        phase_seconds=args.phase_seconds,
+        concurrency=args.concurrency,
+        deadline_seconds=args.deadline,
+        queue_target_seconds=args.queue_target,
+        brownout_target_p99_seconds=args.brownout_target,
+        recovery_settle_seconds=args.settle,
+        min_recovery=args.min_recovery,
+    )
+    audit = report.get("audit")
+    audited = audit is None or audit["certified"]
+    return 0 if report["recovered"] and audited and report["doomed_dispatched"] == 0 else 1
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -741,6 +772,7 @@ def _cmd_slo(args: argparse.Namespace) -> int:
         p99_solve_latency=args.p99,
         accuracy_floor=args.accuracy_floor,
         deadline_miss_rate=args.miss_rate,
+        queue_delay_p99=args.queue_delay_p99,
         latency_span=args.latency_span,
     )
     failed = False
@@ -754,7 +786,10 @@ def _cmd_slo(args: argparse.Namespace) -> int:
             print(f"error: {args.path} does not parse as telemetry: {exc}", file=sys.stderr)
             return 2
         if spec.empty:
-            print("no SLO targets given (use --p99 / --accuracy-floor / --miss-rate)")
+            print(
+                "no SLO targets given (use --p99 / --accuracy-floor / "
+                "--miss-rate / --queue-delay-p99)"
+            )
         else:
             report = evaluate(snap, spec)
             print(report.summary())
@@ -1020,6 +1055,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_clu.add_argument(
         "--rebalance-seconds", type=float, default=2.0, help="period of the lease rebalancer"
     )
+    p_clu.add_argument(
+        "--queue-target",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="adaptive admission: AIMD the admit rate when queue delay exceeds this",
+    )
+    p_clu.add_argument(
+        "--brownout-target",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="compression brownout: ladder target for p99 queue delay",
+    )
+    p_clu.add_argument(
+        "--max-queue", type=int, default=1024, help="bounded per-shard request queue"
+    )
+    p_clu.add_argument(
+        "--adaptive-lifo",
+        action="store_true",
+        help="newest-first dequeue within each priority class under overload",
+    )
     p_clu.set_defaults(fn=_cmd_cluster)
 
     p_ben = sub.add_parser("bench", help="serving benchmarks (see repro.cluster.bench)")
@@ -1049,6 +1106,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_bsv.add_argument("--seed", type=int, default=0)
     p_bsv.add_argument("--skip-single", action="store_true", help="skip the single-process baseline")
     p_bsv.set_defaults(fn=_cmd_bench_serve)
+
+    p_bov = ben_sub.add_parser(
+        "overload",
+        help="seeded ramp/spike/sustained overload campaign; write BENCH_overload.json",
+    )
+    p_bov.add_argument("--out", type=Path, default=Path("benchmarks/BENCH_overload.json"))
+    p_bov.add_argument("--shards", type=int, default=2, help="cluster size to stress")
+    p_bov.add_argument("--scheduler", default="approx")
+    p_bov.add_argument("--tasks", "-n", type=int, default=10, help="tasks per request instance")
+    p_bov.add_argument("--machines", "-m", type=int, default=3, help="machines per request instance")
+    p_bov.add_argument("--beta", type=float, default=0.5, help="energy budget ratio β of the instance")
+    p_bov.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="JOULES",
+        help="global cluster budget (default: auto-sized to the campaign when --journal-root is set)",
+    )
+    p_bov.add_argument(
+        "--journal-root", type=Path, default=None, metavar="DIR", help="shard ledgers here (enables the audit)"
+    )
+    p_bov.add_argument("--seed", type=int, default=0, help="seeds the arrival schedule and priority mix")
+    p_bov.add_argument("--calibrate", type=float, default=2.0, metavar="SECONDS", help="capacity calibration burst")
+    p_bov.add_argument("--phase-seconds", type=float, default=4.0, help="duration of each load phase")
+    p_bov.add_argument("--concurrency", type=int, default=8, help="calibration client count")
+    p_bov.add_argument("--deadline", type=float, default=2.0, metavar="SECONDS", help="per-request deadline")
+    p_bov.add_argument(
+        "--queue-target", type=float, default=0.25, metavar="SECONDS", help="AIMD queue-delay target"
+    )
+    p_bov.add_argument(
+        "--brownout-target", type=float, default=0.5, metavar="SECONDS", help="brownout p99 target"
+    )
+    p_bov.add_argument(
+        "--settle",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="controller relaxation window at recovery start (loaded, unmeasured)",
+    )
+    p_bov.add_argument(
+        "--min-recovery", type=float, default=0.95, help="required post-spike goodput fraction of baseline"
+    )
+    p_bov.set_defaults(fn=_cmd_bench_overload)
 
     p_onl = sub.add_parser(
         "online", help="rolling-horizon serving of a Poisson stream (durable with --journal-dir)"
@@ -1193,6 +1293,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_slo.add_argument("--accuracy-floor", type=float, default=None, metavar="ACC", help="mean accuracy floor")
     p_slo.add_argument(
         "--miss-rate", type=float, default=None, metavar="FRACTION", help="max deadline-miss rate"
+    )
+    p_slo.add_argument(
+        "--queue-delay-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="max p99 cluster queue sojourn (frontend_queue_delay_seconds)",
     )
     p_slo.add_argument(
         "--latency-span", default="server.solve", help="span name measured for the latency SLO"

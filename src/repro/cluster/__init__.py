@@ -32,7 +32,7 @@ Quick start::
     assert audit_cluster("led/", budget=500.0).certified
 """
 
-from .batcher import PendingResult, WindowBatcher
+from .batcher import PendingResult, QueueFullError, WindowBatcher
 from .bench import bench_serve, run_load
 from .frontend import ClusterConfig, ClusterManager, make_cluster_server, serve_cluster
 from .ledger import ClusterAudit, EnergyLeaseLedger, ShardLease, audit_cluster
@@ -43,6 +43,7 @@ from .worker import WorkerConfig, worker_main
 
 __all__ = [
     "PendingResult",
+    "QueueFullError",
     "WindowBatcher",
     "bench_serve",
     "run_load",

@@ -13,6 +13,22 @@ the dispatch path resolves from the worker's reply (or fails, e.g. when
 the worker dies mid-window).  The batcher owns one daemon thread; the
 dispatch callback runs on it, so callbacks must hand heavy work
 onwards rather than solving inline.
+
+Overload behaviour
+------------------
+
+Requests carry a **priority class** (interactive / standard /
+best-effort).  Window formation is a weighted dequeue — each pass takes
+up to ``priority_weights[rank]`` items from each class in rank order —
+so interactive traffic keeps moving under load without starving the
+others outright.  The queue is **bounded** (``max_queue``; submission
+past the bound raises :class:`QueueFullError` and the front-end turns
+that into a 503) and, when depth crosses ``lifo_threshold``, dequeue
+flips to **adaptive LIFO** within each class: the newest arrivals are
+served first, because under sustained overload the oldest queued
+requests are the ones whose deadlines are already gone — FIFO would
+spend the whole recovery serving requests nobody is still waiting for
+(the classic metastable-queue failure).
 """
 
 from __future__ import annotations
@@ -22,11 +38,20 @@ import threading
 import time
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..overload.controller import PRIORITY_CLASSES, PRIORITY_ORDER, normalize_priority
 from ..telemetry import get_collector
 from ..utils.errors import ValidationError
 from ..utils.validation import check_positive, require
 
-__all__ = ["PendingResult", "WindowBatcher"]
+__all__ = ["PendingResult", "QueueFullError", "WindowBatcher", "DEFAULT_PRIORITY_WEIGHTS"]
+
+#: Items taken per priority class per dequeue pass (interactive, standard,
+#: best_effort).
+DEFAULT_PRIORITY_WEIGHTS: Tuple[int, ...] = (4, 2, 1)
+
+
+class QueueFullError(ValidationError):
+    """The batcher's bounded queue is at capacity; shed instead of queueing."""
 
 
 class PendingResult:
@@ -94,15 +119,31 @@ class WindowBatcher:
         max_batch: int = 8,
         max_wait_seconds: float = 0.01,
         name: str = "batcher",
+        max_queue: int = 4096,
+        priority_weights: Tuple[int, ...] = DEFAULT_PRIORITY_WEIGHTS,
+        lifo_threshold: Optional[int] = None,
     ):
         require(max_batch >= 1, f"max_batch must be >= 1, got {max_batch}")
         check_positive(max_wait_seconds, "max_wait_seconds")
+        require(max_queue >= 1, f"max_queue must be >= 1, got {max_queue}")
+        require(
+            len(priority_weights) == len(PRIORITY_CLASSES)
+            and all(int(w) >= 1 for w in priority_weights),
+            f"priority_weights must be {len(PRIORITY_CLASSES)} ints >= 1, got {priority_weights}",
+        )
         self.dispatch = dispatch
         self.max_batch = int(max_batch)
         self.max_wait_seconds = float(max_wait_seconds)
         self.name = name
+        self.max_queue = int(max_queue)
+        self.priority_weights = tuple(int(w) for w in priority_weights)
+        #: Queue depth beyond which dequeue flips to newest-first within
+        #: each class.  ``None`` disables adaptive LIFO (pure FIFO).
+        self.lifo_threshold = None if lifo_threshold is None else int(lifo_threshold)
         self._lock = threading.Lock()
-        self._items: List[Tuple[Any, PendingResult]] = []
+        # One FIFO list per priority class, rank order (bounded jointly
+        # by max_queue — never grows past it by construction).
+        self._queues: List[List[Tuple[Any, PendingResult]]] = [[] for _ in PRIORITY_CLASSES]
         self._wakeup = threading.Condition(self._lock)
         self._closed = False
         # The loop runs under a copy of the creating context so spans and
@@ -113,19 +154,44 @@ class WindowBatcher:
         )
         self._thread.start()
 
-    def submit(self, item: Any, *, pending: Optional[PendingResult] = None) -> PendingResult:
+    def _depth_locked(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (all classes)."""
+        with self._lock:
+            return self._depth_locked()
+
+    def submit(
+        self,
+        item: Any,
+        *,
+        pending: Optional[PendingResult] = None,
+        priority: Optional[str] = None,
+    ) -> PendingResult:
         """Queue ``item`` for the next window; returns its pending result.
 
         Retries and hedges pass their original ``pending`` so the caller
         keeps waiting on one future across re-dispatches; by default a
-        fresh one is created.
+        fresh one is created.  ``priority`` names the request's class
+        (default ``standard``); :class:`QueueFullError` is raised when
+        the bounded queue is at capacity.
         """
         if pending is None:
             pending = PendingResult()
+        rank = PRIORITY_ORDER[normalize_priority(priority)]
         with self._lock:
             if self._closed:
                 raise ValidationError(f"batcher {self.name!r} is closed")
-            self._items.append((item, pending))
+            depth = self._depth_locked()
+            if depth >= self.max_queue:
+                get_collector().counter(f"{self.name}_queue_full_total").inc()
+                raise QueueFullError(
+                    f"batcher {self.name!r} queue is full ({depth}/{self.max_queue})"
+                )
+            self._queues[rank].append((item, pending))
+            get_collector().gauge(f"{self.name}_queue_depth").set(depth + 1)
             self._wakeup.notify()
         return pending
 
@@ -138,29 +204,51 @@ class WindowBatcher:
         queued) and will be settled by the dispatch path.
         """
         with self._lock:
-            for index, (queued, _) in enumerate(self._items):
-                if queued is item:
-                    del self._items[index]
-                    return True
+            for queue in self._queues:
+                for index, (queued, _) in enumerate(queue):
+                    if queued is item:
+                        del queue[index]
+                        return True
         return False
+
+    def _take_window_locked(self) -> List[Tuple[Any, PendingResult]]:
+        """Form one window: weighted dequeue across classes, LIFO under load.
+
+        Each pass takes up to ``priority_weights[rank]`` items from each
+        class in rank order, repeating until the window is full or the
+        queues are dry — interactive dominates but never starves the
+        rest.  When total depth exceeds ``lifo_threshold`` items are
+        taken newest-first within each class.
+        """
+        lifo = self.lifo_threshold is not None and self._depth_locked() > self.lifo_threshold
+        window: List[Tuple[Any, PendingResult]] = []
+        while len(window) < self.max_batch and any(self._queues):
+            for rank, queue in enumerate(self._queues):
+                take = min(self.priority_weights[rank], self.max_batch - len(window), len(queue))
+                for _ in range(take):
+                    window.append(queue.pop() if lifo else queue.pop(0))
+                if len(window) >= self.max_batch:
+                    break
+        return window
 
     def _loop(self) -> None:
         tele = get_collector()
         while True:
             with self._lock:
-                while not self._items and not self._closed:
+                while not self._depth_locked() and not self._closed:
                     self._wakeup.wait()
-                if self._closed and not self._items:
+                if self._closed and not self._depth_locked():
                     return
                 # A window is open: wait out the coalescing budget unless
                 # the size bound trips first.
                 deadline = time.monotonic() + self.max_wait_seconds
-                while len(self._items) < self.max_batch and not self._closed:
+                while self._depth_locked() < self.max_batch and not self._closed:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         break
                     self._wakeup.wait(remaining)
-                batch, self._items = self._items[: self.max_batch], self._items[self.max_batch :]
+                batch = self._take_window_locked()
+                tele.gauge(f"{self.name}_queue_depth").set(self._depth_locked())
             if not batch:  # pragma: no cover — only on close races
                 continue
             tele.counter(f"{self.name}_windows_total").inc()
@@ -178,10 +266,11 @@ class WindowBatcher:
         """Stop the batcher; ``drain=True`` dispatches queued items first."""
         with self._lock:
             self._closed = True
+            leftovers: List[Tuple[Any, PendingResult]] = []
             if not drain:
-                leftovers, self._items = self._items, []
-            else:
-                leftovers = []
+                for queue in self._queues:
+                    leftovers.extend(queue)
+                    queue.clear()
             self._wakeup.notify_all()
         for _, pending in leftovers:
             pending.fail(ValidationError(f"batcher {self.name!r} closed"))

@@ -40,12 +40,17 @@ from urllib.parse import parse_qs, urlparse
 
 from .. import __version__ as _pkg_version
 from ..algorithms.registry import available_schedulers
-from ..chaos import REBALANCE_SITE, RELEASE_SITE, FaultInjector
+from ..chaos import REBALANCE_SITE, RELEASE_SITE, SUBMIT_SITE, FaultInjector
+from ..durability import JournalWriter
 from ..observe.tracing import to_trace_events, trace_spans, valid_trace_id
+from ..overload.brownout import BrownoutController
+from ..overload.controller import AdmitRateController, DeadlineShedder, normalize_priority
+from ..overload.signals import QueueDelaySignal
+from ..resilience.admission import AdmissionController
 from ..telemetry import MetricsRegistry, collector, new_trace_id, prometheus_text, trace_scope
 from ..utils.errors import ValidationError
 from ..utils.validation import check_positive, require
-from .batcher import PendingResult, WindowBatcher
+from .batcher import PendingResult, QueueFullError, WindowBatcher
 from .ledger import EnergyLeaseLedger
 from .router import ConsistentHashRouter
 from .supervisor import ShardSupervisor
@@ -83,6 +88,12 @@ class ClusterConfig:
         max_retries: int = 2,
         retry_backoff_seconds: float = 0.05,
         hedge_after_seconds: Optional[float] = None,
+        queue_target_seconds: Optional[float] = None,
+        brownout_target_p99_seconds: Optional[float] = None,
+        brownout_dwell_seconds: float = 1.0,
+        max_queue_per_shard: int = 1024,
+        adaptive_lifo: bool = False,
+        min_admit_rate: float = 0.05,
     ):
         require(shards >= 1, f"cluster needs at least one shard, got {shards}")
         check_positive(request_timeout_seconds, "request_timeout_seconds")
@@ -93,6 +104,13 @@ class ClusterConfig:
         check_positive(retry_backoff_seconds, "retry_backoff_seconds")
         if hedge_after_seconds is not None:
             check_positive(hedge_after_seconds, "hedge_after_seconds")
+        if queue_target_seconds is not None:
+            check_positive(queue_target_seconds, "queue_target_seconds")
+        if brownout_target_p99_seconds is not None:
+            check_positive(brownout_target_p99_seconds, "brownout_target_p99_seconds")
+        check_positive(brownout_dwell_seconds, "brownout_dwell_seconds")
+        require(max_queue_per_shard >= 1, f"max_queue_per_shard must be >= 1, got {max_queue_per_shard}")
+        require(0.0 < min_admit_rate <= 1.0, f"min_admit_rate must lie in (0, 1], got {min_admit_rate}")
         self.shards = int(shards)
         self.budget = budget
         self.journal_root = journal_root
@@ -114,6 +132,14 @@ class ClusterConfig:
         self.max_retries = int(max_retries)
         self.retry_backoff_seconds = float(retry_backoff_seconds)
         self.hedge_after_seconds = hedge_after_seconds
+        #: adaptive-admission target queue delay; ``None`` disables AIMD
+        self.queue_target_seconds = queue_target_seconds
+        #: brownout-ladder p99 target; ``None`` disables the brownout controller
+        self.brownout_target_p99_seconds = brownout_target_p99_seconds
+        self.brownout_dwell_seconds = float(brownout_dwell_seconds)
+        self.max_queue_per_shard = int(max_queue_per_shard)
+        self.adaptive_lifo = bool(adaptive_lifo)
+        self.min_admit_rate = float(min_admit_rate)
 
     def shard_ids(self) -> List[str]:
         return [f"shard-{i:02d}" for i in range(self.shards)]
@@ -136,6 +162,55 @@ class _ShardHandle:
         self.inflight: Dict[int, Tuple[str, Any, float, int, float]] = {}
         self.epoch = 0  #: lease epoch of the current worker generation
         self.restarts = 0  #: generations spawned beyond the first
+
+
+class _ShardOverload:
+    """One shard's closed-loop admission state at the front-end.
+
+    The measured queue-delay signal feeds three consumers: the AIMD
+    admit-rate controller (created only when the cluster has a
+    ``queue_target_seconds``), the conservative deadline shedder, and —
+    aggregated across shards — the cluster-wide brownout controller.
+    The per-shard :class:`AdmissionController` is the same object the
+    plain HTTP server uses; its pluggable ``load_signal`` is where the
+    adaptive logic plugs in, replacing front-end-local threshold code.
+    """
+
+    def __init__(self, shard: str, config: ClusterConfig, brownout: Optional[BrownoutController]):
+        self.shard = shard
+        # The signal's recency horizon tracks the control cadence: a few
+        # rebalance ticks of history is enough for a stable p99, and the
+        # signal then decays as fast as the controllers can react — a
+        # storm's sojourns must not dominate the statistics (and pin the
+        # brownout ladder high) long after the queue has drained.
+        self.signal = QueueDelaySignal(
+            max_age_seconds=max(4.0 * config.rebalance_seconds, 1.0)
+        )
+        self.controller: Optional[AdmitRateController] = None
+        if config.queue_target_seconds is not None:
+            self.controller = AdmitRateController(
+                target_delay_seconds=config.queue_target_seconds,
+                min_rate=config.min_admit_rate,
+            )
+        self.shedder = DeadlineShedder(self.signal)
+        self._brownout = brownout
+        self.admission = AdmissionController(
+            max_in_flight=config.max_queue_per_shard,
+            retry_after_seconds=1.0,
+            load_signal=self._load_signal,
+        )
+
+    def _load_signal(self, priority: Optional[str]) -> Optional[Tuple[str, float]]:
+        cls = normalize_priority(priority)
+        if (
+            self._brownout is not None
+            and self._brownout.current.shed_best_effort
+            and cls == "best_effort"
+        ):
+            return ("brownout_shed", 2.0)
+        if self.controller is not None and not self.controller.admit(cls):
+            return ("overload", 1.0)
+        return None
 
 
 def _mp_context() -> multiprocessing.context.BaseContext:
@@ -174,6 +249,29 @@ class ClusterManager:
         self._rebalancer: Optional[threading.Thread] = None
         self._supervisor: Optional[ShardSupervisor] = None
         self._retry_rng = random.Random()  # jitter only; never part of chaos determinism
+        self._overload_journal: Optional[JournalWriter] = None
+        self.brownout: Optional[BrownoutController] = None
+        if config.brownout_target_p99_seconds is not None:
+            if config.journal_root is not None:
+                self._overload_journal = JournalWriter(
+                    f"{config.journal_root}/overload-journal", fsync="rotate"
+                )
+            with collector(self.telemetry):
+                self.brownout = BrownoutController(
+                    target_p99_seconds=config.brownout_target_p99_seconds,
+                    min_dwell_seconds=config.brownout_dwell_seconds,
+                    on_transition=self._journal_brownout,
+                )
+        self._overload: Dict[str, _ShardOverload] = {
+            s: _ShardOverload(s, config, self.brownout) for s in ids
+        }
+
+    def _journal_brownout(self, old: int, new: int, p99: float) -> None:
+        """Durably record a brownout transition (rebalancer thread only)."""
+        if self._overload_journal is not None:
+            self._overload_journal.append(
+                {"type": "brownout_transition", "from": old, "to": new, "p99": p99}
+            )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -228,6 +326,8 @@ class ClusterManager:
             max_batch=self.config.max_batch,
             max_wait_seconds=self.config.max_wait_seconds,
             name=f"window_{shard.replace('-', '_')}",
+            max_queue=self.config.max_queue_per_shard,
+            lifo_threshold=(4 * self.config.max_batch) if self.config.adaptive_lifo else None,
         )
         # ``alive`` gates routing, so it must flip last: on a restart the
         # handle still carries the dead generation's *closed* batcher
@@ -295,6 +395,8 @@ class ClusterManager:
             # closed — the flaky-teardown source under pytest reruns.
             self._close_queue(handle.requests)
             self._close_queue(handle.replies)
+        if self._overload_journal is not None:
+            self._overload_journal.close()
 
     def __enter__(self) -> "ClusterManager":
         return self.start()
@@ -314,6 +416,8 @@ class ClusterManager:
         *,
         trace_id: Optional[str] = None,
         timeout: Optional[float] = None,
+        priority: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Route one solve request through the cluster; blocks for the result.
 
@@ -321,8 +425,18 @@ class ClusterManager:
         or a synthesized 503/504 when no shard could serve it.  The
         request's trace id keys the consistent-hash routing, so retries
         of the same trace land on the same shard while topology holds.
+
+        ``priority`` names the request's class (interactive / standard /
+        best-effort; unknown values read as standard) — it weights the
+        batcher dequeue, orders who sheds first under overload, and at
+        brownout level 3 the best-effort class is rejected outright.
+        ``deadline_seconds`` is the client's completion deadline from
+        *now*: a request certain to miss it (measured against the
+        shard's optimistic service floor) is shed 503 up front and again
+        just before dispatch, so doomed work never reserves energy.
         """
         tid = trace_id or new_trace_id()
+        cls = normalize_priority(priority)
         with collector(self.telemetry), trace_scope(tid):
             try:
                 shard = self.router.route(tid, healthy=self.healthy_shards())
@@ -330,37 +444,119 @@ class ClusterManager:
                 self.telemetry.counter("frontend_rejected_total", reason="no_healthy_shards").inc()
                 return _shed_doc("no healthy shards", 5.0, tid)
             handle = self._handles[shard]
-            item = {"scheduler": scheduler, "instance": instance_doc, "trace_id": tid}
-            hedged: List[Tuple[_ShardHandle, Dict[str, Any]]] = [(handle, item)]
-            deadline = time.monotonic() + (timeout or self.config.request_timeout_seconds)
-            with self.telemetry.span("frontend.request", shard=shard, scheduler=scheduler):
-                try:
-                    assert handle.batcher is not None
-                    pending = handle.batcher.submit(item)
-                except ValidationError:
-                    return _shed_doc(f"shard {shard} is shutting down", 5.0, tid)
-                try:
-                    hedge_after = self.config.hedge_after_seconds
-                    if hedge_after is not None and hedge_after < deadline - time.monotonic():
-                        try:
-                            result = pending.wait(hedge_after)
-                        except TimeoutError:
-                            loser = self._launch_hedge(tid, item, shard, pending)
-                            if loser is not None:
-                                hedged.append(loser)
-                            result = pending.wait(max(deadline - time.monotonic(), 0.001))
-                    else:
+            state = self._overload[shard]
+            if self.injector is not None:
+                event = self.injector.fire(SUBMIT_SITE, shard)
+                if event is not None and event.kind == "arrival_burst":
+                    self._inject_burst(handle, int(event.magnitude), scheduler, instance_doc)
+            if deadline_seconds is not None and state.shedder.doomed(float(deadline_seconds)):
+                self.telemetry.counter(
+                    "overload_shed_total", reason="deadline_doomed", **{"class": cls}
+                ).inc()
+                return _shed_doc("deadline_doomed", 1.0, tid)
+            decision = state.admission.try_begin(priority=cls)
+            if not decision.admitted:
+                self.telemetry.counter(
+                    "overload_shed_total", reason=decision.reason, **{"class": cls}
+                ).inc()
+                return _shed_doc(decision.reason, max(decision.retry_after_seconds, 1.0), tid)
+            try:
+                return self._submit_admitted(
+                    handle, scheduler, instance_doc, tid, cls, timeout, deadline_seconds
+                )
+            finally:
+                # The front-end breaker never counts request failures —
+                # worker-side breakers own that; this slot is a queue bound.
+                state.admission.finish(failure=False)
+
+    def _submit_admitted(
+        self,
+        handle: _ShardHandle,
+        scheduler: str,
+        instance_doc: Dict[str, Any],
+        tid: str,
+        cls: str,
+        timeout: Optional[float],
+        deadline_seconds: Optional[float],
+    ) -> Dict[str, Any]:
+        shard = handle.shard
+        now = time.monotonic()
+        item: Dict[str, Any] = {
+            "scheduler": scheduler,
+            "instance": instance_doc,
+            "trace_id": tid,
+            "priority": cls,
+            "_enqueued": now,
+        }
+        if deadline_seconds is not None:
+            item["_deadline_at"] = now + float(deadline_seconds)
+        hedged: List[Tuple[_ShardHandle, Dict[str, Any]]] = [(handle, item)]
+        deadline = now + (timeout or self.config.request_timeout_seconds)
+        with self.telemetry.span("frontend.request", shard=shard, scheduler=scheduler):
+            try:
+                assert handle.batcher is not None
+                pending = handle.batcher.submit(item, priority=cls)
+            except QueueFullError:
+                self.telemetry.counter(
+                    "overload_shed_total", reason="queue_full", **{"class": cls}
+                ).inc()
+                return _shed_doc("queue_full", 1.0, tid)
+            except ValidationError:
+                return _shed_doc(f"shard {shard} is shutting down", 5.0, tid)
+            try:
+                hedge_after = self.config.hedge_after_seconds
+                if hedge_after is not None and hedge_after < deadline - time.monotonic():
+                    try:
+                        result = pending.wait(hedge_after)
+                    except TimeoutError:
+                        loser = self._launch_hedge(tid, item, shard, pending)
+                        if loser is not None:
+                            hedged.append(loser)
                         result = pending.wait(max(deadline - time.monotonic(), 0.001))
-                except TimeoutError:
-                    self._abandon(hedged, tid)
-                    self.telemetry.counter("frontend_rejected_total", reason="timeout").inc()
-                    return {"status": 504, "error": "request timed out in the cluster", "trace_id": tid}
-                except Exception as exc:  # noqa: BLE001 — dispatch failure surfaces as 500
-                    self.telemetry.counter("frontend_rejected_total", reason="dispatch_error").inc()
-                    return {"status": 500, "error": f"dispatch failed: {exc}", "trace_id": tid}
-            if len(hedged) > 1:
-                self._cancel_losers(hedged, result, tid)
+                else:
+                    result = pending.wait(max(deadline - time.monotonic(), 0.001))
+            except TimeoutError:
+                self._abandon(hedged, tid)
+                self.telemetry.counter("frontend_rejected_total", reason="timeout").inc()
+                return {"status": 504, "error": "request timed out in the cluster", "trace_id": tid}
+            except Exception as exc:  # noqa: BLE001 — dispatch failure surfaces as 500
+                self.telemetry.counter("frontend_rejected_total", reason="dispatch_error").inc()
+                return {"status": 500, "error": f"dispatch failed: {exc}", "trace_id": tid}
+        if len(hedged) > 1:
+            self._cancel_losers(hedged, result, tid)
         return result
+
+    def _inject_burst(
+        self, handle: _ShardHandle, count: int, scheduler: str, instance_doc: Dict[str, Any]
+    ) -> None:
+        """An ``arrival_burst`` chaos fault: flood the shard's queue.
+
+        The burst is ``count`` best-effort copies of the arriving request
+        with throwaway pending results — nobody waits on them, but they
+        queue, solve, spend lease, and drive the measured queue delay up,
+        which is exactly what exercises the admission/brownout loop.
+        """
+        now = time.monotonic()
+        submitted = 0
+        for _ in range(max(count, 0)):
+            item = {
+                "scheduler": scheduler,
+                "instance": instance_doc,
+                "trace_id": new_trace_id(),
+                "priority": "best_effort",
+                "_enqueued": now,
+                "_synthetic": True,
+            }
+            try:
+                assert handle.batcher is not None
+                handle.batcher.submit(item, priority="best_effort")
+            except (ValidationError, AssertionError):
+                break
+            submitted += 1
+        if submitted:
+            self.telemetry.counter(
+                "chaos_burst_requests_total", shard=handle.shard
+            ).add(submitted)
 
     def _launch_hedge(
         self,
@@ -387,7 +583,9 @@ class ClusterManager:
         hedge_item["_hedge"] = True
         try:
             assert failover_handle.batcher is not None
-            failover_handle.batcher.submit(hedge_item, pending=pending)
+            failover_handle.batcher.submit(
+                hedge_item, pending=pending, priority=hedge_item.get("priority")
+            )
         except (ValidationError, AssertionError):
             return None
         self.telemetry.counter("frontend_hedges_total", shard=failover).inc()
@@ -440,11 +638,44 @@ class ClusterManager:
             ask += lease if math.isinf(value) else value
         return self.ledger.reserve(shard, min(ask, lease))
 
+    def _shed_doomed(
+        self, handle: _ShardHandle, batch: List[Tuple[Dict[str, Any], PendingResult]]
+    ) -> List[Tuple[Dict[str, Any], PendingResult]]:
+        """Drop window members now certain to miss their deadline.
+
+        This runs *before* the window reserves its lease grant, so a
+        doomed request never spends a joule of B — the refund is by
+        construction, not by release.  Doom is judged against the
+        shard's optimistic service floor (see ``DeadlineShedder``), so a
+        request an idle shard could still have served in time survives.
+        """
+        state = self._overload[handle.shard]
+        now = time.monotonic()
+        kept: List[Tuple[Dict[str, Any], PendingResult]] = []
+        for item, pending in batch:
+            deadline_at = item.get("_deadline_at")
+            if deadline_at is not None and state.shedder.doomed(deadline_at - now):
+                cls = normalize_priority(item.get("priority"))
+                self.telemetry.counter(
+                    "overload_shed_total", reason="deadline_doomed", **{"class": cls}
+                ).inc()
+                pending.resolve(_shed_doc("deadline_doomed", 1.0, item.get("trace_id")))
+                continue
+            if deadline_at is not None and deadline_at - now <= 0.0:
+                # Live invariant check: doomed() must have shed this above;
+                # the benchmark gates on this staying at zero.
+                self.telemetry.counter("overload_doomed_dispatched_total").inc()
+            kept.append((item, pending))
+        return kept
+
     def _send_window(self, handle: _ShardHandle, batch: List[Tuple[Dict[str, Any], PendingResult]]) -> None:
         """Batcher dispatch: reserve the grant and ship the window."""
         if not handle.alive:
             for item, pending in batch:
                 pending.resolve(_shed_doc(f"shard {handle.shard} is down", 2.0, item.get("trace_id")))
+            return
+        batch = self._shed_doomed(handle, batch)
+        if not batch:
             return
         batch_id = next(self._batch_ids)
         grant: Optional[float] = None
@@ -460,6 +691,8 @@ class ClusterManager:
                 {k: v for k, v in item.items() if not k.startswith("_")} for item, _ in batch
             ],
         }
+        if self.brownout is not None:
+            envelope["brownout"] = self.brownout.level
         if grant is not None:
             envelope["grant"] = grant
             envelope["lease"] = self.ledger.lease_of(handle.shard)
@@ -483,6 +716,9 @@ class ClusterManager:
     ) -> None:
         _, batch, grant, epoch, _ = entry
         results = reply.get("results", [])
+        elapsed = reply.get("elapsed", [])
+        state = self._overload[handle.shard]
+        now = time.monotonic()
         for index, (item, pending) in enumerate(batch):
             if index < len(results):
                 delivered = pending.resolve(results[index])
@@ -494,6 +730,22 @@ class ClusterManager:
                     ).inc()
             else:  # pragma: no cover — a worker always answers the full window
                 pending.resolve(_shed_doc("window truncated by worker", 2.0, item.get("trace_id")))
+            # Feed the overload loop: the settled request's sojourn time
+            # (submit -> result) drives AIMD admission and (aggregated)
+            # the brownout controller; its solve time tightens the
+            # deadline shedder's optimistic service floor.
+            enqueued = item.get("_enqueued")
+            if enqueued is not None:
+                sojourn = max(now - float(enqueued), 0.0)
+                state.signal.observe_sojourn(sojourn)
+                if state.controller is not None:
+                    state.controller.observe(sojourn)
+                self.telemetry.histogram(
+                    "frontend_queue_delay_seconds",
+                    buckets=(0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0),
+                ).observe(sojourn)
+            if index < len(elapsed):
+                state.signal.observe_service(float(elapsed[index]))
         if self.ledger.budget is None:
             return
         spent = float(reply.get("spent", 0.0))
@@ -586,7 +838,7 @@ class ClusterManager:
         handle = self._handles[shard]
         try:
             assert handle.batcher is not None
-            handle.batcher.submit(item, pending=pending)
+            handle.batcher.submit(item, pending=pending, priority=item.get("priority"))
         except (ValidationError, AssertionError):
             # The chosen shard shut its batcher between route and submit;
             # burn one more attempt rather than dropping the request.
@@ -681,6 +933,21 @@ class ClusterManager:
                         period = max(period + event.magnitude, 0.05)
                 if self.ledger.budget is not None:
                     self.ledger.rebalance()
+                # The rebalancer doubles as the brownout tick: one
+                # controller, one coordinated cluster-wide level — shards
+                # brown out together instead of oscillating separately.
+                if self.brownout is not None:
+                    p99s = [
+                        p
+                        for p in (s.signal.sojourn_p99() for s in self._overload.values())
+                        if p is not None
+                    ]
+                    self.brownout.update(max(p99s) if p99s else None)
+                for shard, state in self._overload.items():
+                    if state.controller is not None:
+                        self.telemetry.gauge("frontend_admit_rate", shard=shard).set(
+                            state.controller.rate
+                        )
 
     # -- observation -----------------------------------------------------------
 
@@ -711,6 +978,22 @@ class ClusterManager:
             "restarts": {s: h.restarts for s, h in self._handles.items()},
             "supervised": self._supervisor is not None,
             "ledger": self.ledger.to_dict(),
+            "overload": self.overload_snapshot(),
+        }
+
+    def overload_snapshot(self) -> Dict[str, Any]:
+        """The overload control plane's current state, for /health and tests."""
+        return {
+            "brownout": None if self.brownout is None else self.brownout.snapshot(),
+            "shards": {
+                shard: {
+                    "admit_rate": (
+                        1.0 if state.controller is None else state.controller.rate
+                    ),
+                    "queue_delay": state.signal.snapshot(),
+                }
+                for shard, state in self._overload.items()
+            },
         }
 
     def metrics_text(self, *, timeout: float = 5.0) -> str:
@@ -818,7 +1101,18 @@ class _ClusterHandler(BaseHTTPRequestHandler):
         trace_id = valid_trace_id(self.headers.get("X-Repro-Trace-Id")) or new_trace_id()
         self._trace_id = trace_id
         try:
-            name = parse_qs(parsed.query).get("scheduler", ["approx"])[0]
+            params = parse_qs(parsed.query)
+            name = params.get("scheduler", ["approx"])[0]
+            priority = params.get("priority", [None])[0]
+            deadline: Optional[float] = None
+            raw_deadline = params.get("deadline", [None])[0]
+            if raw_deadline is not None:
+                try:
+                    deadline = float(raw_deadline)
+                except ValueError:
+                    manager.telemetry.counter("frontend_errors_total", status="400").inc()
+                    self._send_json({"error": f"invalid deadline {raw_deadline!r}"}, 400)
+                    return
             try:
                 length = int(self.headers.get("Content-Length", "0"))
                 data = json.loads(self.rfile.read(length).decode())
@@ -826,7 +1120,9 @@ class _ClusterHandler(BaseHTTPRequestHandler):
                 manager.telemetry.counter("frontend_errors_total", status="400").inc()
                 self._send_json({"error": f"invalid JSON body: {exc}"}, 400)
                 return
-            result = manager.submit(name, data, trace_id=trace_id)
+            result = manager.submit(
+                name, data, trace_id=trace_id, priority=priority, deadline_seconds=deadline
+            )
             status = int(result.pop("status", 200))
             headers = None
             retry_after = result.pop("retry_after", None)

@@ -43,11 +43,15 @@ from collections import deque
 from typing import Any, Callable, Dict, Optional, Sequence
 
 from ..chaos import ChaosEvent, FaultInjector, WORKER_SITE
+from ..core.instance import ProblemInstance
 from ..core.serialization import instance_from_dict
+from ..core.task import Task, TaskSet
 from ..durability import JournalWriter, SnapshotStore, recover
 from ..durability.journal import encode_record
 from ..observe.slo import BurnRateMonitor
+from ..overload.brownout import BROWNOUT_LADDER
 from ..resilience.admission import AdmissionController
+from ..resilience.degrade import truncate_accuracy
 from ..telemetry import MetricsRegistry, collector, trace_scope
 from ..utils.errors import FallbackExhaustedError, ReproError, SolverTimeoutError
 from .solve_service import SolveService, SolveServiceConfig, solve_payload
@@ -102,6 +106,7 @@ class _ShardState:
         self.started_at = time.monotonic()
         self.burn: Optional[BurnRateMonitor] = None
         self.cancelled: set = set()  # trace ids the front-end withdrew (hedge losers)
+        self.brownout_level = 0  # cluster-wide level stamped into window envelopes
         self.injector: Optional[FaultInjector] = None
         if config.chaos_events:
             self.injector = FaultInjector(config.chaos_events, telemetry=self.telemetry)
@@ -157,6 +162,32 @@ class _ShardState:
             self.solves_since_snapshot = 0
 
 
+def _brownout_instance(instance: ProblemInstance, level: int) -> ProblemInstance:
+    """Apply the cluster-wide brownout level to one instance before solving.
+
+    Level 1 caps each task's work at the rung's fraction of its maximum;
+    levels 2+ force every task to its *lowest-θ variant* — the smallest
+    positive breakpoint of its accuracy curve, i.e. the cheapest
+    compression level the task ships with.  Tasks are never shed here
+    (the front-end sheds whole best-effort *requests* at level 3); a
+    browned-out window always answers every request, just less
+    accurately.
+    """
+    if level <= 0:
+        return instance
+    rung = BROWNOUT_LADDER[min(level, len(BROWNOUT_LADDER) - 1)]
+    tasks = []
+    for task in instance.tasks:
+        if rung.force_lowest:
+            positive = task.accuracy.breakpoints[task.accuracy.breakpoints > 0]
+            cap = float(positive[0]) if len(positive) else rung.work_cap_scale * task.f_max
+        else:
+            cap = rung.work_cap_scale * task.f_max
+        acc = truncate_accuracy(task.accuracy, min(max(cap, 1e-12), task.f_max))
+        tasks.append(Task(deadline=task.deadline, accuracy=acc, name=task.name))
+    return ProblemInstance(TaskSet(tasks, assume_sorted=True), instance.cluster, instance.budget)
+
+
 def _solve_one(state: _ShardState, item: Dict[str, Any], remaining_grant: float, enforce: bool):
     """One request of a window; returns ``(result_doc, energy_spent)``."""
     tele = state.telemetry
@@ -185,6 +216,11 @@ def _solve_one(state: _ShardState, item: Dict[str, Any], remaining_grant: float,
         instance = instance_from_dict(item["instance"])
         if enforce and instance.budget > remaining_grant:
             instance = dataclasses.replace(instance, budget=remaining_grant)
+        if state.brownout_level > 0:
+            instance = _brownout_instance(instance, state.brownout_level)
+            tele.counter(
+                "worker_brownout_solves_total", shard=shard, level=str(state.brownout_level)
+            ).inc()
         scheduler = state.service.build_scheduler(name)
         scope = trace_scope(trace_id) if trace_id else None
         if scope is not None:
@@ -281,6 +317,17 @@ def _handle_window(
     remaining = float(grant) if enforce else float("inf")
     if enforce and state.burn is None:
         state.arm_burn_monitor(float(envelope.get("lease", grant)))
+    level = int(envelope.get("brownout", 0))
+    if level != state.brownout_level:
+        # The front-end moved the cluster-wide brownout level; journal the
+        # transition into the shard WAL (recover tolerates foreign record
+        # types) so a post-mortem read shows *when* accuracy was degraded.
+        if state.journal is not None:
+            state.journal.append(
+                {"type": "brownout", "shard": state.config.shard, "from": state.brownout_level, "to": level}
+            )
+        state.brownout_level = level
+        state.telemetry.gauge("worker_brownout_level").set(level)
     drop_reply = False
     if state.injector is not None:
         event = state.injector.fire(WORKER_SITE, state.config.shard)
@@ -288,11 +335,14 @@ def _handle_window(
             drop_reply = _apply_worker_fault(state, event)
     spent = 0.0
     results = []
+    elapsed = []
     with state.telemetry.span("worker.window", shard=state.config.shard):
         for item in envelope.get("requests", []):
             if drain is not None:
                 drain()  # pick up cancellations racing this window
+            began = time.monotonic()
             doc, energy = _solve_one(state, item, remaining, enforce)
+            elapsed.append(time.monotonic() - began)
             results.append(doc)
             remaining -= energy
             spent += energy
@@ -304,6 +354,7 @@ def _handle_window(
         "shard": state.config.shard,
         "epoch": envelope.get("epoch"),
         "results": results,
+        "elapsed": elapsed,
         "spent": spent,
         "cum_energy": state.energy_spent,
     }
@@ -317,6 +368,7 @@ def _handle_stats(state: _ShardState, envelope: Dict[str, Any]) -> Dict[str, Any
         "energy_spent": state.energy_spent,
         "solves_total": state.solves_total,
         "breaker_state": state.admission.breaker.state,
+        "brownout_level": state.brownout_level,
         "journal_records": state.journal.record_count if state.journal is not None else 0,
         "telemetry": state.telemetry.snapshot(),
         "burn_alerts": [a.severity for a in state.burn.alerts] if state.burn is not None else [],
@@ -337,7 +389,10 @@ def worker_main(config: WorkerConfig, requests: Any, replies: Any) -> None:
     whose result nobody will accept.
     """
     state = _ShardState(config)
-    backlog: deque = deque()
+    # Bounded: a front-end gone haywire cannot balloon the worker's memory.
+    # Overflow drops the *oldest* queued envelope — its window is swept and
+    # answered 503 by the front-end's stale-window sweeper.
+    backlog: deque = deque(maxlen=4096)
 
     def _drain_control() -> None:
         while True:

@@ -17,7 +17,13 @@ those PRs converged on:
 * in the cluster data plane every cross-process wait must be bounded
   (RL013) — a ``queue.get()`` or ``process.join()`` without a timeout
   hangs the caller forever once the peer is SIGKILLed, which is exactly
-  the failure mode :mod:`repro.chaos` injects on purpose.
+  the failure mode :mod:`repro.chaos` injects on purpose;
+* in the cluster/overload data plane every in-memory queue must be
+  bounded by construction (RL014) — an unbounded ``queue.Queue()`` or
+  ``deque()`` is where overload collapse hides: arrivals outpace
+  service, the backlog grows without limit, and by the time anything
+  sheds, every queued request is already doomed (the metastable-failure
+  ingredient :mod:`repro.overload` exists to remove).
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ __all__ = [
     "BlockingUnderLockRule",
     "ThreadContextRule",
     "UnboundedClusterWaitRule",
+    "UnboundedQueueRule",
 ]
 
 #: Receiver names treated as locks (``self._lock``, ``journal_lock`` ...).
@@ -363,3 +370,106 @@ class UnboundedClusterWaitRule(Rule):
                     f"exits — pass timeout= and escalate (terminate/kill) "
                     f"on expiry",
                 )
+
+
+# -- RL014: unbounded in-memory queues in the overload data plane --------------
+
+#: Thread-queue classes that accept (and default away) a maxsize bound.
+_SIZED_QUEUE_CLASSES = {"Queue", "LifoQueue", "PriorityQueue"}
+
+#: Module receivers whose queue classes this rule recognises.  An
+#: ``mp_context.Queue()`` (pipe-backed, flow-controlled by the OS) is
+#: deliberately NOT matched — only the in-process containers where an
+#: unbounded backlog silently accumulates.
+_QUEUE_MODULES = {"queue", "collections"}
+
+
+def _positive_int_constant(node: ast.expr) -> Optional[bool]:
+    """True/False for a constant bound, None for a runtime expression."""
+    if not isinstance(node, ast.Constant):
+        return None  # a computed bound gets the benefit of the doubt
+    value = node.value
+    return isinstance(value, int) and not isinstance(value, bool) and value > 0
+
+
+def _queue_call_bounded(call: ast.Call) -> bool:
+    """Does ``Queue(...)`` carry a positive maxsize (kw or positional)?"""
+    for kw in call.keywords:
+        if kw.arg == "maxsize":
+            verdict = _positive_int_constant(kw.value)
+            return True if verdict is None else verdict
+    if call.args:
+        verdict = _positive_int_constant(call.args[0])
+        return True if verdict is None else verdict
+    return False  # Queue() defaults to maxsize=0: unbounded
+
+
+def _deque_call_bounded(call: ast.Call) -> bool:
+    """Does ``deque(...)`` carry a positive maxlen (kw or 2nd positional)?"""
+    for kw in call.keywords:
+        if kw.arg == "maxlen":
+            verdict = _positive_int_constant(kw.value)
+            return True if verdict is None else verdict
+    if len(call.args) >= 2:
+        verdict = _positive_int_constant(call.args[1])
+        return True if verdict is None else verdict
+    return False
+
+
+@register_rule
+class UnboundedQueueRule(Rule):
+    """RL014 — an unbounded in-memory queue is stored overload collapse."""
+
+    code = "RL014"
+    name = "unbounded-data-plane-queue"
+    rationale = (
+        "In the serving data plane an unbounded queue.Queue() or deque() "
+        "converts overload into memory growth and stale work: arrivals "
+        "outpace service, the backlog grows without limit, and every "
+        "queued request is doomed long before it is dequeued — the "
+        "metastable-failure ingredient the overload controllers exist to "
+        "remove.  Bound it (Queue(maxsize=N) / deque(maxlen=N)) and shed "
+        "at the bound, where the client can still be told 503."
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+    include = (
+        "*/repro/cluster/*",
+        "repro/cluster/*",
+        "*/repro/overload/*",
+        "repro/overload/*",
+    )
+
+    def visit(self, node: ast.Call, ctx: "LintContext") -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _QUEUE_MODULES
+        ):
+            name = func.attr
+        else:
+            return
+        if name == "SimpleQueue":
+            yield self.finding(
+                ctx,
+                node,
+                "SimpleQueue cannot be bounded; use Queue(maxsize=N) so the "
+                "data plane sheds at a cap instead of accumulating backlog",
+            )
+        elif name in _SIZED_QUEUE_CLASSES and not _queue_call_bounded(node):
+            yield self.finding(
+                ctx,
+                node,
+                f"unbounded {name}(); pass a positive maxsize= and shed "
+                f"(503) when full — backlog beyond the cap is doomed work",
+            )
+        elif name == "deque" and not _deque_call_bounded(node):
+            yield self.finding(
+                ctx,
+                node,
+                "unbounded deque(); pass a positive maxlen= so the window "
+                "drops oldest entries instead of growing without limit",
+            )

@@ -66,6 +66,10 @@ class SLOSpec:
     p99_solve_latency: Optional[float] = None  # seconds
     accuracy_floor: Optional[float] = None  # mean accuracy in [0, 1]
     deadline_miss_rate: Optional[float] = None  # max fraction of misses
+    #: Max p99 in-cluster queue sojourn (seconds) — reads the cluster
+    #: front-end's ``frontend_queue_delay_seconds`` histogram, i.e. the
+    #: quantity the overload controllers regulate.
+    queue_delay_p99: Optional[float] = None
     latency_span: str = "server.solve"
 
     def __post_init__(self) -> None:
@@ -75,6 +79,8 @@ class SLOSpec:
             require(0.0 <= self.accuracy_floor <= 1.0, "accuracy_floor must lie in [0, 1]")
         if self.deadline_miss_rate is not None:
             require(0.0 <= self.deadline_miss_rate <= 1.0, "deadline_miss_rate must lie in [0, 1]")
+        if self.queue_delay_p99 is not None:
+            check_positive(self.queue_delay_p99, "queue_delay_p99")
 
     @property
     def empty(self) -> bool:
@@ -82,6 +88,7 @@ class SLOSpec:
             self.p99_solve_latency is None
             and self.accuracy_floor is None
             and self.deadline_miss_rate is None
+            and self.queue_delay_p99 is None
         )
 
 
@@ -93,7 +100,7 @@ class SLOStatus:
     such objectives pass vacuously but are flagged in ``detail``.
     """
 
-    objective: str  # "p99_solve_latency" | "accuracy_floor" | "deadline_miss_rate"
+    objective: str  # "p99_solve_latency" | "accuracy_floor" | "deadline_miss_rate" | "queue_delay_p99"
     target: float
     actual: Optional[float]
     ok: bool
@@ -239,6 +246,19 @@ def evaluate(source: Union[MetricsRegistry, Snapshot], spec: SLOSpec) -> SLORepo
                 break
         ok = actual is None or actual >= spec.accuracy_floor
         statuses.append(SLOStatus("accuracy_floor", spec.accuracy_floor, actual, ok, detail))
+
+    if spec.queue_delay_p99 is not None:
+        merged = _merged_histogram(snap, "frontend_queue_delay_seconds")
+        actual = None
+        if merged is not None:
+            actual = histogram_quantile(0.99, merged[0], merged[1])
+        ok = actual is None or actual <= spec.queue_delay_p99
+        detail = (
+            "no frontend_queue_delay_seconds observations"
+            if actual is None
+            else f"p99 sojourn over {sum(merged[1])} settled request(s), all shards"
+        )
+        statuses.append(SLOStatus("queue_delay_p99", spec.queue_delay_p99, actual, ok, detail))
 
     if spec.deadline_miss_rate is not None:
         actual = None

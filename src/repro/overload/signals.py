@@ -1,0 +1,235 @@
+"""Live load signals: per-shard solve-queue sojourn statistics.
+
+Every overload decision in this package — adaptive admission, deadline
+shedding, the brownout ladder — is a function of *measured queue delay*,
+not of static thresholds.  :class:`QueueDelaySignal` is the one place
+those measurements live: the front-end records each request's **sojourn
+time** (submit → settled result) and each window's **service time**
+(worker solve seconds per request), and the signal maintains
+
+* an EWMA of sojourn time (the smoothed "expected completion delay"
+  deadline shedding reasons about),
+* a sliding-window p99 of sojourn time (the tail the brownout
+  controller regulates),
+* sliding-window *floors* (minimum sojourn and minimum service time) —
+  the optimistic estimates that make shedding conservative: a request
+  is only declared doomed against the **best** case the shard has
+  recently demonstrated, never against a congested average.
+
+The windows are fixed-size ring buffers (bounded by construction — the
+data plane must never grow a queue without a cap, see lint rule RL014)
+and additionally **time-bounded**: samples older than
+``max_age_seconds`` are ignored by every reader.  Without the age bound
+a storm's sojourns would dominate the p99 long after the storm passed
+and pin the brownout controller at its highest rung — the signal must
+decay as fast as the queue it describes.  The clock is injectable so
+every consumer is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..utils.validation import check_positive, require
+
+__all__ = ["RingWindow", "QueueDelaySignal"]
+
+
+class RingWindow:
+    """A fixed-capacity ring of float samples (bounded by construction)."""
+
+    __slots__ = ("_values", "_cursor", "_count", "capacity")
+
+    def __init__(self, capacity: int):
+        require(capacity >= 1, f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._values: List[float] = [0.0] * self.capacity
+        self._cursor = 0
+        self._count = 0
+
+    def add(self, value: float) -> None:
+        self._values[self._cursor] = float(value)
+        self._cursor = (self._cursor + 1) % self.capacity
+        if self._count < self.capacity:
+            self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def values(self) -> List[float]:
+        """The current samples, oldest-first ordering not guaranteed."""
+        return self._values[: self._count]
+
+    def minimum(self) -> Optional[float]:
+        if not self._count:
+            return None
+        return min(self._values[: self._count])
+
+    def mean(self) -> Optional[float]:
+        if not self._count:
+            return None
+        return sum(self._values[: self._count]) / self._count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile of the window (nearest-rank, q in [0, 1])."""
+        if not self._count:
+            return None
+        ordered = sorted(self._values[: self._count])
+        index = min(int(q * self._count), self._count - 1)
+        return ordered[index]
+
+
+class _TimedWindow:
+    """A fixed-capacity ring of (timestamp, value) samples.
+
+    Readers see only samples younger than ``max_age`` — the window is
+    bounded both in count (the ring) and in time (the age filter), so a
+    burst of stale extremes cannot dominate a statistic after load
+    subsides.
+    """
+
+    __slots__ = ("_samples", "_cursor", "_count", "capacity", "max_age")
+
+    def __init__(self, capacity: int, max_age: float):
+        require(capacity >= 1, f"capacity must be >= 1, got {capacity}")
+        check_positive(max_age, "max_age")
+        self.capacity = int(capacity)
+        self.max_age = float(max_age)
+        self._samples: List[Tuple[float, float]] = [(0.0, 0.0)] * self.capacity
+        self._cursor = 0
+        self._count = 0
+
+    def add(self, at: float, value: float) -> None:
+        self._samples[self._cursor] = (float(at), float(value))
+        self._cursor = (self._cursor + 1) % self.capacity
+        if self._count < self.capacity:
+            self._count += 1
+
+    def fresh(self, now: float) -> List[float]:
+        cutoff = now - self.max_age
+        return [value for at, value in self._samples[: self._count] if at >= cutoff]
+
+    def minimum(self, now: float) -> Optional[float]:
+        values = self.fresh(now)
+        return min(values) if values else None
+
+    def mean(self, now: float) -> Optional[float]:
+        values = self.fresh(now)
+        return (sum(values) / len(values)) if values else None
+
+    def quantile(self, now: float, q: float) -> Optional[float]:
+        values = self.fresh(now)
+        if not values:
+            return None
+        values.sort()
+        index = min(int(q * len(values)), len(values) - 1)
+        return values[index]
+
+
+class QueueDelaySignal:
+    """Thread-safe sojourn/service statistics for one shard's solve queue.
+
+    ``observe_sojourn`` takes the full in-cluster latency of one settled
+    request (front-end queueing + worker queueing + solve);
+    ``observe_service`` takes the pure solve time per request.  Queue
+    delay is their difference in expectation, but the controllers mostly
+    consume the sojourn directly — it is what the client experiences and
+    what a deadline is spent against.
+    """
+
+    def __init__(
+        self,
+        *,
+        ewma_alpha: float = 0.2,
+        window: int = 256,
+        max_age_seconds: float = 3.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        require(0.0 < ewma_alpha <= 1.0, f"ewma_alpha must lie in (0, 1], got {ewma_alpha}")
+        check_positive(window, "window")
+        check_positive(max_age_seconds, "max_age_seconds")
+        self.ewma_alpha = float(ewma_alpha)
+        self.max_age_seconds = float(max_age_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._sojourns = _TimedWindow(int(window), self.max_age_seconds)
+        self._services = _TimedWindow(int(window), self.max_age_seconds)
+        self._sojourn_ewma: Optional[float] = None
+        self._samples = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def observe_sojourn(self, seconds: float) -> None:
+        value = max(float(seconds), 0.0)
+        if not math.isfinite(value):
+            return
+        now = self._clock()
+        with self._lock:
+            self._samples += 1
+            self._sojourns.add(now, value)
+            if self._sojourn_ewma is None:
+                self._sojourn_ewma = value
+            else:
+                alpha = self.ewma_alpha
+                self._sojourn_ewma = alpha * value + (1.0 - alpha) * self._sojourn_ewma
+
+    def observe_service(self, seconds: float) -> None:
+        value = max(float(seconds), 0.0)
+        if not math.isfinite(value):
+            return
+        now = self._clock()
+        with self._lock:
+            self._services.add(now, value)
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    @property
+    def sojourn_ewma(self) -> Optional[float]:
+        """Smoothed sojourn time (None until the first sample)."""
+        with self._lock:
+            return self._sojourn_ewma
+
+    def sojourn_p99(self) -> Optional[float]:
+        now = self._clock()
+        with self._lock:
+            return self._sojourns.quantile(now, 0.99)
+
+    def sojourn_floor(self) -> Optional[float]:
+        """The best recently-demonstrated sojourn (optimistic queueing)."""
+        now = self._clock()
+        with self._lock:
+            return self._sojourns.minimum(now)
+
+    def service_floor(self) -> Optional[float]:
+        """The best recently-demonstrated per-request solve time."""
+        now = self._clock()
+        with self._lock:
+            return self._services.minimum(now)
+
+    def service_mean(self) -> Optional[float]:
+        now = self._clock()
+        with self._lock:
+            return self._services.mean(now)
+
+    def snapshot(self) -> Dict[str, Any]:
+        now = self._clock()
+        with self._lock:
+            return {
+                "samples": self._samples,
+                "sojourn_ewma": self._sojourn_ewma,
+                "sojourn_p99": self._sojourns.quantile(now, 0.99),
+                "sojourn_floor": self._sojourns.minimum(now),
+                "service_floor": self._services.minimum(now),
+                "service_mean": self._services.mean(now),
+            }
+
+    def __repr__(self) -> str:
+        return f"QueueDelaySignal(samples={self.samples}, ewma={self.sojourn_ewma})"

@@ -1,0 +1,13 @@
+"""RL014 known-bad: unbounded in-memory queues in the serving data plane."""
+
+import collections
+import queue
+from collections import deque
+from queue import Queue
+
+backlog = deque()
+pending = Queue()
+replies = queue.Queue(0)
+retries = collections.deque(maxlen=None)
+drops = queue.LifoQueue(maxsize=0)
+firehose = queue.SimpleQueue()

@@ -1,0 +1,16 @@
+"""RL014 known-good: every data-plane queue is bounded by construction."""
+
+import collections
+import multiprocessing as mp
+import queue
+from collections import deque
+from queue import Queue
+
+MAX_BACKLOG = 4096
+
+backlog = deque(maxlen=MAX_BACKLOG)
+pending = Queue(maxsize=1024)
+replies = queue.Queue(256)
+retries = collections.deque([], 64)
+# Pipe-backed mp queues are flow-controlled by the OS, not a silent backlog.
+inter_process = mp.get_context("spawn").Queue()

@@ -35,9 +35,23 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURE_PATH = "src/repro/online/fixture.py"
 
 #: Rules scoped to another package lint their fixtures under that path.
-FIXTURE_PATHS = {"RL013": "src/repro/cluster/fixture.py"}
+FIXTURE_PATHS = {
+    "RL013": "src/repro/cluster/fixture.py",
+    "RL014": "src/repro/overload/fixture.py",
+}
 
-RULES = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL010", "RL011", "RL012", "RL013"]
+RULES = [
+    "RL001",
+    "RL002",
+    "RL003",
+    "RL004",
+    "RL005",
+    "RL010",
+    "RL011",
+    "RL012",
+    "RL013",
+    "RL014",
+]
 
 
 def fixture_path(code=None):

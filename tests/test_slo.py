@@ -47,6 +47,9 @@ class TestSpec:
             SLOSpec(accuracy_floor=1.5)
         with pytest.raises(ValidationError):
             SLOSpec(deadline_miss_rate=-0.1)
+        with pytest.raises(ValidationError):
+            SLOSpec(queue_delay_p99=0.0)
+        assert not SLOSpec(queue_delay_p99=0.5).empty
 
 
 class TestEvaluate:
@@ -91,6 +94,32 @@ class TestEvaluate:
         assert not report.ok
         (miss,) = report.statuses
         assert miss.actual == pytest.approx(0.5)
+
+    def queue_delay_registry(self, sojourns):
+        reg = MetricsRegistry()
+        buckets = (0.005, 0.05, 0.5, 5.0)
+        for index, value in enumerate(sojourns):
+            shard = f"shard-{index % 2:02d}"  # merged across shard labels
+            reg.histogram("frontend_queue_delay_seconds", shard=shard, buckets=buckets).observe(
+                value
+            )
+        return reg
+
+    def test_queue_delay_objective_passes_on_healthy_queues(self):
+        reg = self.queue_delay_registry([0.01] * 20)
+        report = evaluate(reg, SLOSpec(queue_delay_p99=0.5))
+        assert report.ok
+        (status,) = report.statuses
+        assert status.objective == "queue_delay_p99"
+        assert status.actual <= 0.5
+
+    def test_queue_delay_breach_fails(self):
+        reg = self.queue_delay_registry([2.0] * 20)
+        report = evaluate(reg, SLOSpec(queue_delay_p99=0.1))
+        assert not report.ok
+        (status,) = report.statuses
+        assert status.actual > 0.1
+        assert "shards" in status.detail
 
     def test_no_data_passes_vacuously(self):
         report = evaluate(
