@@ -13,12 +13,24 @@ recover to at least ``--min-recovery`` of the pre-spike baseline, no
 doomed request may reach a worker, and when the run journaled, the
 ledger audit must certify Σ spent ≤ B.
 
+With ``--profile`` the gate checks a profiling-bench report (``repro
+bench profile`` output) against the committed per-phase budgets in
+``benchmarks/BENCH_profile.json``: each phase's *share* of its path's
+wall time may grow at most ``--threshold``-fold over the baseline share
+(shares — not absolute seconds — survive CI machines of different
+speeds), solve-path span coverage must stay >= 90%, and measured sampler
+overhead must stay < 5%.  Phases below a 5% baseline share never gate
+(noise), and phases new to the run are reported but ungated.
+
 Usage::
 
     python benchmarks/check_regression.py BENCH_current.json \
         --baseline benchmarks/BENCH_baseline.json --threshold 1.25
     python benchmarks/check_regression.py \
         --overload benchmarks/BENCH_overload.json --min-recovery 0.95
+    python benchmarks/check_regression.py \
+        --profile BENCH_profile_current.json \
+        --profile-baseline benchmarks/BENCH_profile.json
 """
 
 from __future__ import annotations
@@ -102,6 +114,55 @@ def check_overload(path: str, min_recovery: float) -> int:
     return 0
 
 
+#: Baseline shares below this never gate: a phase that was 2% of its
+#: path can triple on scheduler jitter alone without meaning anything.
+MIN_GATED_SHARE = 0.05
+
+
+def check_profile(current_path: str, baseline_path: str, threshold: float) -> int:
+    """Gate a profiling-bench report on per-phase share regressions."""
+    current = json.loads(Path(current_path).read_text())
+    baseline = json.loads(Path(baseline_path).read_text())
+    base_budgets = baseline.get("budgets", {})
+    cur_budgets = current.get("budgets", {})
+    failures = []
+
+    print(f"{'path/phase':<44} {'baseline':>9} {'current':>9} {'ratio':>7}  gate")
+    for key in sorted(cur_budgets):
+        share = float(cur_budgets[key])
+        reference = base_budgets.get(key)
+        if reference is None:
+            print(f"{key:<44} {'—':>9} {share:>8.1%} {'n/a':>7}  new (ungated)")
+            continue
+        reference = float(reference)
+        if reference < MIN_GATED_SHARE:
+            print(f"{key:<44} {reference:>8.1%} {share:>8.1%} {'n/a':>7}  below floor (ungated)")
+            continue
+        ratio = share / reference
+        verdict = "ok" if ratio <= threshold else f"FAIL (> {threshold:.2f}x)"
+        print(f"{key:<44} {reference:>8.1%} {share:>8.1%} {ratio:>6.2f}x  {verdict}")
+        if ratio > threshold:
+            failures.append(f"{key} share grew {ratio:.2f}x ({reference:.1%} -> {share:.1%})")
+
+    coverage = float(current.get("solve", {}).get("coverage", 0.0))
+    print(f"{'solve span coverage':<44} {'90%':>9} {coverage:>8.1%} {'':>7}  "
+          f"{'ok' if coverage >= 0.9 else 'FAIL (< 90%)'}")
+    if coverage < 0.9:
+        failures.append(f"solve span coverage fell to {coverage:.1%} (bar 90%)")
+
+    overhead = float(current.get("sampler_overhead", {}).get("overhead_fraction", 1.0))
+    print(f"{'sampler overhead':<44} {'5%':>9} {overhead:>8.1%} {'':>7}  "
+          f"{'ok' if overhead < 0.05 else 'FAIL (>= 5%)'}")
+    if overhead >= 0.05:
+        failures.append(f"sampler overhead {overhead:.1%} (bar 5%)")
+
+    if failures:
+        print(f"\nPROFILE GATE: {'; '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nprofile gate passed ({len(cur_budgets)} phase budget(s) checked)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -125,14 +186,24 @@ def main(argv=None) -> int:
         default=0.95,
         help="min post-spike/baseline goodput fraction for --overload (default 0.95)",
     )
+    parser.add_argument(
+        "--profile", help="`repro bench profile` report JSON to gate on per-phase budgets"
+    )
+    parser.add_argument(
+        "--profile-baseline",
+        default="benchmarks/BENCH_profile.json",
+        help="committed per-phase budget baseline for --profile",
+    )
     args = parser.parse_args(argv)
-    if args.current is None and args.overload is None:
-        parser.error("nothing to gate: pass a benchmark JSON and/or --overload")
+    if args.current is None and args.overload is None and args.profile is None:
+        parser.error("nothing to gate: pass a benchmark JSON, --overload, and/or --profile")
     exit_code = 0
     if args.current is not None:
         exit_code |= compare(args.current, args.baseline, args.threshold)
     if args.overload is not None:
         exit_code |= check_overload(args.overload, args.min_recovery)
+    if args.profile is not None:
+        exit_code |= check_profile(args.profile, args.profile_baseline, args.threshold)
     return exit_code
 
 

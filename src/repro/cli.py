@@ -37,6 +37,19 @@ Commands
     p50/p90/p99 latency for both, and write the comparison (plus
     per-shard energy spend and the budget audit) to
     ``benchmarks/BENCH_serve.json``.
+``bench profile``
+    Profiling benchmark: run the seeded two-case workload down the
+    fractional/LP/rounding/planner paths under telemetry, record the
+    per-phase wall-time splits, span coverage and sampler overhead to
+    ``benchmarks/BENCH_profile.json``, and optionally export a
+    flamegraph/speedscope/collapsed-stack profile of the run
+    (``benchmarks/check_regression.py --profile`` gates CI on the
+    recorded per-phase budgets).
+``top``
+    Live terminal dashboard for a running cluster: per-shard qps, queue
+    delay p99, admit rate, energy-lease utilization, the brownout rung,
+    and the top-5 hottest phases from the continuous profiler —
+    refreshed in place (``q`` quits; ``--once`` prints a single frame).
 ``online``
     Rolling-horizon serving of a Poisson stream; with ``--journal-dir``
     the run is durable (write-ahead journal + snapshots) and *resumes*
@@ -362,6 +375,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         brownout_target_p99_seconds=args.brownout_target,
         max_queue_per_shard=args.max_queue,
         adaptive_lifo=args.adaptive_lifo,
+        profile_hz=args.profile_hz,
     )
     serve_cluster(args.host, args.port, config=config)
     return 0
@@ -416,6 +430,41 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     )
     audit = report.get("audit")
     return 0 if audit is None or audit["certified"] else 1
+
+
+def _cmd_bench_profile(args: argparse.Namespace) -> int:
+    from .profile.bench import run_profile_bench
+
+    report = run_profile_bench(
+        out=str(args.out),
+        flame=str(args.flame) if args.flame is not None else None,
+        speedscope=str(args.speedscope) if args.speedscope is not None else None,
+        collapsed=str(args.collapsed) if args.collapsed is not None else None,
+        repeats=args.repeats,
+        hz=args.hz,
+        stream=sys.stdout,
+    )
+    solve_coverage = report["solve"]["coverage"]
+    overhead = report["sampler_overhead"]["overhead_fraction"]
+    ok = solve_coverage >= 0.9 and overhead < 0.05
+    if not ok:
+        print(
+            f"FAIL: solve span coverage {solve_coverage:.1%} (need >= 90%) "
+            f"or sampler overhead {overhead:.2%} (need < 5%)",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .profile.top import run_top
+
+    return run_top(
+        args.url,
+        interval=args.interval,
+        once=args.once,
+        max_frames=args.frames,
+    )
 
 
 def _cmd_online(args: argparse.Namespace) -> int:
@@ -638,8 +687,16 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         fmt = args.format or "auto-detected"
         print(f"error: {args.path} does not parse as {fmt} telemetry: {exc}", file=sys.stderr)
         return 2
-    scalars = [m for m in snap["metrics"] if m["kind"] in ("counter", "gauge")]
-    histograms = [m for m in snap["metrics"] if m["kind"] == "histogram"]
+    # Deterministic inspector output: series sort by (name, labels), so
+    # two inspections of the same capture diff clean regardless of
+    # registration order.
+    by_series = lambda m: (m["name"], sorted(m["labels"].items()))  # noqa: E731
+    scalars = sorted(
+        (m for m in snap["metrics"] if m["kind"] in ("counter", "gauge")), key=by_series
+    )
+    histograms = sorted(
+        (m for m in snap["metrics"] if m["kind"] == "histogram"), key=by_series
+    )
     spans = snap["spans"]
 
     if scalars:
@@ -653,9 +710,15 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             # Prometheus exposition carries no min/max, so they may be absent.
             has_extremes = m.get("count") and m.get("min") is not None and m.get("max") is not None
             extremes = f"  min={m['min']:.6g} max={m['max']:.6g}" if has_extremes else ""
+            exemplar = m.get("exemplar")
+            linked = (
+                f"  exemplar={exemplar['value']:.6g} trace={exemplar['trace_id']}"
+                if exemplar
+                else ""
+            )
             print(
                 f"  {m['name']}{_format_labels(m['labels'])}: "
-                f"count={m['count']} sum={m['sum']:.6g} mean={mean:.6g}{extremes}"
+                f"count={m['count']} sum={m['sum']:.6g} mean={mean:.6g}{extremes}{linked}"
             )
     if spans:
         shown = spans if args.spans is None else spans[: args.spans]
@@ -1077,7 +1140,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="newest-first dequeue within each priority class under overload",
     )
+    p_clu.add_argument(
+        "--profile-hz",
+        type=float,
+        default=19.0,
+        metavar="HZ",
+        help="per-worker continuous-profiler rate (0 disables /debug/profile sampling)",
+    )
     p_clu.set_defaults(fn=_cmd_cluster)
+
+    p_top = sub.add_parser("top", help="live terminal dashboard for a running cluster")
+    p_top.add_argument("url", help="cluster front-end base URL (http://host:port)")
+    p_top.add_argument("--interval", type=float, default=1.0, help="refresh period (s)")
+    p_top.add_argument("--once", action="store_true", help="print one frame and exit (no ANSI)")
+    p_top.add_argument(
+        "--frames", type=int, default=None, metavar="N", help="exit after N refreshes"
+    )
+    p_top.set_defaults(fn=_cmd_top)
 
     p_ben = sub.add_parser("bench", help="serving benchmarks (see repro.cluster.bench)")
     ben_sub = p_ben.add_subparsers(dest="bench_command", required=True)
@@ -1149,6 +1228,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-recovery", type=float, default=0.95, help="required post-spike goodput fraction of baseline"
     )
     p_bov.set_defaults(fn=_cmd_bench_overload)
+
+    p_bpr = ben_sub.add_parser(
+        "profile",
+        help="per-phase wall-time splits + sampler overhead; write BENCH_profile.json",
+    )
+    p_bpr.add_argument("--out", type=Path, default=Path("benchmarks/BENCH_profile.json"))
+    p_bpr.add_argument(
+        "--flame", type=Path, default=None, metavar="PATH", help="write a flamegraph HTML of the run"
+    )
+    p_bpr.add_argument(
+        "--speedscope", type=Path, default=None, metavar="PATH", help="write a speedscope JSON profile"
+    )
+    p_bpr.add_argument(
+        "--collapsed", type=Path, default=None, metavar="PATH", help="write collapsed-stack text"
+    )
+    p_bpr.add_argument("--repeats", type=int, default=3, help="timed repetitions per path")
+    p_bpr.add_argument("--hz", type=float, default=19.0, help="sampler rate for the overhead measurement")
+    p_bpr.set_defaults(fn=_cmd_bench_profile)
 
     p_onl = sub.add_parser(
         "online", help="rolling-horizon serving of a Poisson stream (durable with --journal-dir)"

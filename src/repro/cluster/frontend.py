@@ -25,6 +25,7 @@ cluster — and :func:`serve_cluster` is the CLI entry point.
 
 from __future__ import annotations
 
+import contextlib
 import contextvars
 import itertools
 import json
@@ -46,6 +47,8 @@ from ..observe.tracing import to_trace_events, trace_spans, valid_trace_id
 from ..overload.brownout import BrownoutController
 from ..overload.controller import AdmitRateController, DeadlineShedder, normalize_priority
 from ..overload.signals import QueueDelaySignal
+from ..profile.exports import merge_profiles
+from ..profile.phases import hottest_phases, merge_phase_breakdowns, phase_breakdown
 from ..resilience.admission import AdmissionController
 from ..telemetry import MetricsRegistry, collector, new_trace_id, prometheus_text, trace_scope
 from ..utils.errors import ValidationError
@@ -94,6 +97,7 @@ class ClusterConfig:
         max_queue_per_shard: int = 1024,
         adaptive_lifo: bool = False,
         min_admit_rate: float = 0.05,
+        profile_hz: float = 19.0,
     ):
         require(shards >= 1, f"cluster needs at least one shard, got {shards}")
         check_positive(request_timeout_seconds, "request_timeout_seconds")
@@ -140,6 +144,9 @@ class ClusterConfig:
         self.max_queue_per_shard = int(max_queue_per_shard)
         self.adaptive_lifo = bool(adaptive_lifo)
         self.min_admit_rate = float(min_admit_rate)
+        require(profile_hz >= 0.0, f"profile_hz must be >= 0, got {profile_hz}")
+        #: per-worker continuous-profiler rate; ``0`` turns profiling off
+        self.profile_hz = float(profile_hz)
 
     def shard_ids(self) -> List[str]:
         return [f"shard-{i:02d}" for i in range(self.shards)]
@@ -301,6 +308,7 @@ class ClusterManager:
             fsync=self.config.fsync,
             lease_horizon_seconds=self.config.lease_horizon_seconds,
             chaos_events=chaos_events,
+            profile_hz=self.config.profile_hz,
         )
         handle.requests = ctx.Queue()
         handle.replies = ctx.Queue()
@@ -740,10 +748,16 @@ class ClusterManager:
                 state.signal.observe_sojourn(sojourn)
                 if state.controller is not None:
                     state.controller.observe(sojourn)
-                self.telemetry.histogram(
-                    "frontend_queue_delay_seconds",
-                    buckets=(0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0),
-                ).observe(sojourn)
+                # The dispatcher thread has no ambient trace context, so
+                # re-open the settling request's scope around the observe:
+                # that is what lets the histogram capture an exemplar
+                # linking its worst bucket to this request's /trace/<id>.
+                tid = item.get("trace_id")
+                with trace_scope(tid) if tid else contextlib.nullcontext():
+                    self.telemetry.histogram(
+                        "frontend_queue_delay_seconds",
+                        buckets=(0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0),
+                    ).observe(sojourn)
             if index < len(elapsed):
                 state.signal.observe_service(float(elapsed[index]))
         if self.ledger.budget is None:
@@ -1010,6 +1024,37 @@ class ClusterManager:
                 metrics.append(labelled)
         return prometheus_text({"metrics": metrics, "spans": []})
 
+    def profile_document(self, *, timeout: float = 5.0) -> Dict[str, Any]:
+        """Cluster-wide continuous profile: per-shard and merged.
+
+        Each live shard answers a ``profile`` probe with its sampler's
+        aggregated stacks plus its exact per-phase span splits; the
+        front-end contributes its own phase splits (it runs no sampler —
+        a sampler thread in the parent would be fork-hostile) and merges
+        everything into one document for ``/debug/profile`` and
+        ``repro top``.
+        """
+        shard_docs: Dict[str, Optional[Dict[str, Any]]] = {
+            s: self._ask_shard(h, "profile", timeout) for s, h in self._handles.items()
+        }
+        profiles = [d.get("profile") for d in shard_docs.values() if d is not None]
+        breakdowns = [d.get("phases", {}) for d in shard_docs.values() if d is not None]
+        breakdowns.append(phase_breakdown(self.telemetry.snapshot()))
+        merged_phases = merge_phase_breakdowns(breakdowns)
+        return {
+            "shards": {
+                shard: (None if doc is None else {"profile": doc.get("profile"), "phases": doc.get("phases", {})})
+                for shard, doc in shard_docs.items()
+            },
+            "merged": {
+                "profile": merge_profiles(profiles),
+                "phases": merged_phases,
+                "hottest": [
+                    {"phase": name, **entry} for name, entry in hottest_phases(merged_phases)
+                ],
+            },
+        }
+
     def trace_document(self, trace_id: str, *, timeout: float = 5.0) -> Optional[Dict[str, Any]]:
         """One trace's spans across the whole cluster (front-end + workers)."""
         spans = trace_spans(self.telemetry, trace_id)
@@ -1061,6 +1106,8 @@ class _ClusterHandler(BaseHTTPRequestHandler):
             self._send_json({"schedulers": available_schedulers()})
         elif path == "/shards":
             self._send_json({"shards": manager.shard_stats()})
+        elif path == "/debug/profile":
+            self._send_json(manager.profile_document())
         elif path == "/metrics":
             body = manager.metrics_text().encode()
             self.send_response(200)

@@ -50,6 +50,8 @@ from ..durability import JournalWriter, SnapshotStore, recover
 from ..durability.journal import encode_record
 from ..observe.slo import BurnRateMonitor
 from ..overload.brownout import BROWNOUT_LADDER
+from ..profile.phases import phase_breakdown
+from ..profile.sampler import StackSampler
 from ..resilience.admission import AdmissionController
 from ..resilience.degrade import truncate_accuracy
 from ..telemetry import MetricsRegistry, collector, trace_scope
@@ -74,6 +76,7 @@ class WorkerConfig:
         fsync: str = "always",
         lease_horizon_seconds: Optional[float] = None,
         chaos_events: Optional[Sequence[ChaosEvent]] = None,
+        profile_hz: float = 19.0,
     ):
         self.shard = str(shard)
         self.journal_dir = journal_dir
@@ -83,6 +86,8 @@ class WorkerConfig:
         self.snapshot_every = int(snapshot_every)
         self.fsync = fsync
         self.lease_horizon_seconds = lease_horizon_seconds
+        #: continuous-profiler sampling rate; ``0`` disables the sampler
+        self.profile_hz = float(profile_hz)
         #: planned worker-site chaos faults (frozen dataclasses pickle across fork)
         self.chaos_events = tuple(chaos_events) if chaos_events else ()
 
@@ -110,6 +115,12 @@ class _ShardState:
         self.injector: Optional[FaultInjector] = None
         if config.chaos_events:
             self.injector = FaultInjector(config.chaos_events, telemetry=self.telemetry)
+        # The always-on continuous profiler.  Started *here*, inside the
+        # child process — a sampler thread must never be running in the
+        # parent when a worker forks (its lock could be held mid-fork).
+        self.sampler: Optional[StackSampler] = None
+        if config.profile_hz > 0.0:
+            self.sampler = StackSampler(self.telemetry, hz=config.profile_hz).start()
         if config.journal_dir is not None:
             state = recover(config.journal_dir)
             self.journal = JournalWriter(config.journal_dir, fsync=config.fsync)
@@ -375,6 +386,17 @@ def _handle_stats(state: _ShardState, envelope: Dict[str, Any]) -> Dict[str, Any
     }
 
 
+def _handle_profile(state: _ShardState, envelope: Dict[str, Any]) -> Dict[str, Any]:
+    """The shard's continuous profile plus exact per-phase span splits."""
+    return {
+        "op": "profile",
+        "batch_id": envelope["batch_id"],
+        "shard": state.config.shard,
+        "profile": state.sampler.profile() if state.sampler is not None else None,
+        "phases": phase_breakdown(state.telemetry.snapshot()),
+    }
+
+
 def worker_main(config: WorkerConfig, requests: Any, replies: Any) -> None:
     """Entry point of a shard worker process (also runnable in-process).
 
@@ -424,6 +446,8 @@ def worker_main(config: WorkerConfig, requests: Any, replies: Any) -> None:
                 state.cancelled.update(envelope.get("trace_ids", []))
             elif op == "stats":
                 replies.put(_handle_stats(state, envelope))
+            elif op == "profile":
+                replies.put(_handle_profile(state, envelope))
             elif op == "window":
                 reply = _handle_window(state, envelope, _drain_control)
                 if reply is not None:

@@ -70,5 +70,5 @@ class Rule:
 
 
 # Imported for their registration side effects (must follow Rule's
-# definition — both modules subclass it).
-from . import concurrency, domain  # noqa: E402,F401
+# definition — all modules subclass it).
+from . import concurrency, domain, observability  # noqa: E402,F401

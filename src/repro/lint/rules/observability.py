@@ -1,0 +1,145 @@
+"""Observability rules: timing discipline in the solver/cluster paths.
+
+The continuous-profiling stack (:mod:`repro.profile`) attributes wall
+time to *phase spans*: ``phase_breakdown`` turns closed spans into the
+per-phase CI budgets, the sampler attributes stacks to the innermost
+open span, and exemplars link histogram buckets to traces.  A duration
+measured with a bare ``time.perf_counter()`` pair and pushed straight
+into a metric bypasses all of that — the seconds show up in a histogram
+but in no phase split, no flamegraph attribution, no trace timeline.
+RL015 keeps solver/cluster timing on the span path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional, Set
+
+from . import Rule
+from ..finding import Severity
+from ..registry import register_rule
+
+if TYPE_CHECKING:
+    from ..engine import LintContext
+    from ..finding import Finding
+
+__all__ = ["UnattributedTimingRule"]
+
+#: Metric-recording method names a duration could be pushed through.
+_RECORD_METHODS = {"observe", "set", "add", "inc"}
+
+#: Tokens in a ``with`` item that prove the recording is span-attributed.
+_SPAN_TOKENS = ("span", "trace_scope")
+
+
+def _is_perf_counter_call(node: ast.AST) -> bool:
+    """``time.perf_counter()`` or a bare ``perf_counter()``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "perf_counter"
+    return isinstance(func, ast.Attribute) and func.attr == "perf_counter"
+
+
+def _is_perf_delta(node: ast.expr) -> bool:
+    """A subtraction with a perf_counter() call on either side."""
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Sub)
+        and (_is_perf_counter_call(node.left) or _is_perf_counter_call(node.right))
+    )
+
+
+def _delta_names(scope: Optional[ast.AST]) -> Set[str]:
+    """Names the enclosing function binds to perf_counter() deltas.
+
+    Matches ``x = time.perf_counter() - t0`` directly and one hop of
+    arithmetic wrapping (``x = max(time.perf_counter() - t0, 0.0)``).
+    """
+    if scope is None:
+        return set()
+    names: Set[str] = set()
+    for sub in ast.walk(scope):
+        if not (isinstance(sub, ast.Assign) and len(sub.targets) == 1):
+            continue
+        target = sub.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = sub.value
+        candidates = [value]
+        if isinstance(value, ast.Call):
+            candidates.extend(value.args)
+        if any(_is_perf_delta(c) for c in candidates):
+            names.add(target.id)
+    return names
+
+
+@register_rule
+class UnattributedTimingRule(Rule):
+    """RL015 — a perf_counter delta in a metric bypasses phase attribution."""
+
+    code = "RL015"
+    name = "unattributed-timing-delta"
+    rationale = (
+        "Solver/cluster durations recorded as raw time.perf_counter() "
+        "deltas are invisible to the phase-attribution stack: they appear "
+        "in a histogram but in no per-phase budget, no flamegraph, no "
+        "trace timeline — exactly the wall time a perf regression hides "
+        "in.  Time the section with `with registry.span(...)` (spans "
+        "observe their own duration and attribute profiler samples), or "
+        "record the delta inside the span so the seconds land in a phase."
+    )
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+    include = (
+        "*/repro/algorithms/*",
+        "repro/algorithms/*",
+        "*/repro/exact/*",
+        "repro/exact/*",
+        "*/repro/online/*",
+        "repro/online/*",
+        "*/repro/cluster/*",
+        "repro/cluster/*",
+    )
+
+    def visit(self, node: ast.Call, ctx: "LintContext") -> Iterator[Finding]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _RECORD_METHODS):
+            return
+        if not node.args:
+            return
+        argument = node.args[0]
+        is_delta = _is_perf_delta(argument)
+        if not is_delta:
+            names = {n.id for n in ast.walk(argument) if isinstance(n, ast.Name)}
+            is_delta = bool(names & _delta_names(ctx.enclosing_function(node)))
+        if not is_delta:
+            return
+        if self._span_attributed(node, ctx):
+            return
+        yield self.finding(
+            ctx,
+            node,
+            f"perf_counter delta recorded via .{func.attr}() outside any "
+            f"phase span; wrap the timed section in `with registry.span(...)` "
+            f"so the duration lands in the per-phase attribution",
+        )
+
+    @staticmethod
+    def _span_attributed(node: ast.Call, ctx: "LintContext") -> bool:
+        """Is the recording lexically inside a span/trace-scope ``with``?"""
+        for anc in ctx.ancestors(node):
+            if not isinstance(anc, ast.With):
+                continue
+            for item in anc.items:
+                expr = item.context_expr
+                call = expr if isinstance(expr, ast.Call) else None
+                target = call.func if call is not None else expr
+                try:
+                    text = ast.unparse(target)
+                except Exception:  # pragma: no cover — unparse is total
+                    continue
+                if any(token in text for token in _SPAN_TOKENS):
+                    return True
+        return False

@@ -20,6 +20,7 @@ replaying a journal through the monitor is deterministic.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -185,19 +186,23 @@ def _merged_histogram(
 
 def histogram_quantile(
     q: float, bounds: Sequence[float], bucket_counts: Sequence[int]
-) -> Optional[float]:
+) -> float:
     """Estimate the ``q``-quantile from Prometheus-style buckets.
 
     ``bucket_counts`` are per-bucket (not cumulative) with the trailing
     +Inf slot, as in the registry snapshot.  Linear interpolation within
     the containing bucket, matching PromQL's ``histogram_quantile``;
     observations in the +Inf bucket clamp to the highest finite bound.
-    Returns ``None`` on an empty histogram.
+    Returns ``NaN`` on an empty histogram (no bounds, or every bucket
+    count zero) — matching PromQL, where a quantile over no observations
+    is not a number rather than a silent fall-through value.
     """
     require(0.0 <= q <= 1.0, f"quantile must lie in [0, 1], got {q}")
+    if not bounds:
+        return float("nan")
     total = sum(bucket_counts)
     if total == 0:
-        return None
+        return float("nan")
     rank = q * total
     cumulative = 0.0
     for k, count in enumerate(bucket_counts):
@@ -224,6 +229,8 @@ def evaluate(source: Union[MetricsRegistry, Snapshot], spec: SLOSpec) -> SLORepo
         actual = None
         if merged is not None:
             actual = histogram_quantile(0.99, merged[0], merged[1])
+            if math.isnan(actual):
+                actual = None  # empty histogram: no data, pass vacuously
         ok = actual is None or actual <= spec.p99_solve_latency
         detail = (
             f"no span_duration_seconds{{span={spec.latency_span!r}}} observations"
@@ -252,6 +259,8 @@ def evaluate(source: Union[MetricsRegistry, Snapshot], spec: SLOSpec) -> SLORepo
         actual = None
         if merged is not None:
             actual = histogram_quantile(0.99, merged[0], merged[1])
+            if math.isnan(actual):
+                actual = None  # empty histogram: no data, pass vacuously
         ok = actual is None or actual <= spec.queue_delay_p99
         detail = (
             "no frontend_queue_delay_seconds observations"

@@ -1,0 +1,279 @@
+"""Profile exports: collapsed stacks, speedscope, Perfetto, flamegraph.
+
+All exporters consume the plain-data profile document produced by
+:meth:`~repro.profile.sampler.StackSampler.profile` (and by the cluster's
+``/debug/profile`` merge), so one captured profile feeds every viewer:
+
+* :func:`collapsed_stacks` — Brendan-Gregg collapsed text
+  (``root;child;leaf count`` lines), the lingua franca of flamegraph
+  tooling; the active phase rides as a synthetic ``phase:`` root frame;
+* :func:`speedscope_document` — a ``"sampled"``-type profile for
+  https://www.speedscope.app (pure JSON, no dependency);
+* :func:`perfetto_profile` — Chrome/Perfetto ``traceEvents`` laying the
+  aggregated stacks out as a synthetic flame chart (each distinct stack
+  occupies ``count / hz`` seconds; ordering is by weight, not arrival,
+  because an aggregated profile has no timeline);
+* :func:`flamegraph_html` — a self-contained flamegraph as nested HTML
+  ``<div>``s with CSS-proportional widths and ``title`` tooltips —
+  openable anywhere, zero JavaScript dependencies;
+* :func:`merge_profiles` — cross-shard aggregation by
+  ``(stack, phase, trace_id)`` key, used by the front-end.
+"""
+
+from __future__ import annotations
+
+import html
+import io
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "collapsed_stacks",
+    "speedscope_document",
+    "perfetto_profile",
+    "flamegraph_html",
+    "merge_profiles",
+]
+
+Profile = Dict[str, Any]
+
+
+def _frames_of(sample: Dict[str, Any]) -> Tuple[str, ...]:
+    """A sample's frame list with the phase as synthetic root frame."""
+    frames: List[str] = []
+    if sample.get("phase"):
+        frames.append(f"phase:{sample['phase']}")
+    frames.extend(sample.get("stack", []))
+    return tuple(frames)
+
+
+def merge_profiles(profiles: Iterable[Optional[Profile]]) -> Profile:
+    """Sum sample counts across profiles keyed by (stack, phase, trace)."""
+    counts: Dict[Tuple[Tuple[str, ...], Optional[str], Optional[str]], int] = {}
+    hz: Optional[float] = None
+    duration = 0.0
+    total = 0
+    dropped = 0
+    for profile in profiles:
+        if not profile:
+            continue
+        hz = hz or float(profile.get("hz", 0.0)) or None
+        duration = max(duration, float(profile.get("duration_seconds", 0.0)))
+        total += int(profile.get("total_samples", 0))
+        dropped += int(profile.get("dropped_samples", 0))
+        for sample in profile.get("samples", []):
+            key = (tuple(sample.get("stack", [])), sample.get("phase"), sample.get("trace_id"))
+            counts[key] = counts.get(key, 0) + int(sample.get("count", 0))
+    samples = [
+        {"stack": list(stack), "phase": phase, "trace_id": trace_id, "count": count}
+        for (stack, phase, trace_id), count in counts.items()
+    ]
+    samples.sort(key=lambda s: (-s["count"], s["stack"], s["phase"] or ""))
+    phases: Dict[str, Dict[str, float]] = {}
+    for sample in samples:
+        if sample["phase"] is None:
+            continue
+        bucket = phases.setdefault(sample["phase"], {"samples": 0, "seconds": 0.0})
+        bucket["samples"] += sample["count"]
+    if hz:
+        for bucket in phases.values():
+            bucket["seconds"] = bucket["samples"] / hz
+    return {
+        "hz": hz or 0.0,
+        "duration_seconds": duration,
+        "total_samples": total,
+        "dropped_samples": dropped,
+        "samples": samples,
+        "phases": phases,
+    }
+
+
+def collapsed_stacks(profile: Profile) -> str:
+    """Collapsed-stack text, one ``frame;frame;... count`` line per stack.
+
+    Lines are sorted (and equal stacks from different traces merged), so
+    output is deterministic and diffable.
+    """
+    weights: Dict[Tuple[str, ...], int] = {}
+    for sample in profile.get("samples", []):
+        frames = _frames_of(sample)
+        if not frames:
+            continue
+        weights[frames] = weights.get(frames, 0) + int(sample.get("count", 0))
+    out = io.StringIO()
+    for frames in sorted(weights):
+        out.write(";".join(frames) + f" {weights[frames]}\n")
+    return out.getvalue()
+
+
+def speedscope_document(profile: Profile, *, name: str = "repro profile") -> Dict[str, Any]:
+    """A speedscope ``sampled`` profile (weights in sample counts)."""
+    frame_index: Dict[str, int] = {}
+    frames: List[Dict[str, str]] = []
+    samples: List[List[int]] = []
+    weights: List[int] = []
+    for sample in profile.get("samples", []):
+        stack = []
+        for frame in _frames_of(sample):
+            at = frame_index.get(frame)
+            if at is None:
+                at = len(frames)
+                frame_index[frame] = at
+                frames.append({"name": frame})
+            stack.append(at)
+        if not stack:
+            continue
+        samples.append(stack)
+        weights.append(int(sample.get("count", 0)))
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "none",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "exporter": "repro.profile",
+    }
+
+
+def perfetto_profile(profile: Profile, *, pid: int = 1) -> Dict[str, Any]:
+    """Chrome/Perfetto ``traceEvents`` of the aggregated profile.
+
+    An aggregated profile has no timeline, so stacks are laid out
+    sequentially, heaviest first, each occupying its estimated wall time
+    (``count / hz``); every frame becomes one complete (``"X"``) event
+    so the result renders as a flame chart.
+    """
+    hz = float(profile.get("hz", 0.0)) or 1.0
+    events: List[Dict[str, Any]] = []
+    cursor_us = 0.0
+    for sample in profile.get("samples", []):
+        frames = _frames_of(sample)
+        count = int(sample.get("count", 0))
+        if not frames or count <= 0:
+            continue
+        width_us = count / hz * 1e6
+        for frame in frames:
+            event: Dict[str, Any] = {
+                "name": frame,
+                "ph": "X",
+                "ts": round(cursor_us, 3),
+                "dur": round(width_us, 3),
+                "pid": pid,
+                "tid": 1,
+                "cat": "profile",
+            }
+            if sample.get("trace_id"):
+                event["args"] = {"trace_id": sample["trace_id"]}
+            events.append(event)
+        cursor_us += width_us
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "exporter": "repro.profile",
+            "hz": profile.get("hz"),
+            "total_samples": profile.get("total_samples"),
+            "synthetic_timeline": True,
+        },
+    }
+
+
+# -- flamegraph HTML -------------------------------------------------------------
+
+
+class _Node:
+    __slots__ = ("name", "weight", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.weight = 0
+        self.children: Dict[str, "_Node"] = {}
+
+
+def _build_tree(profile: Profile) -> _Node:
+    root = _Node("all")
+    for sample in profile.get("samples", []):
+        count = int(sample.get("count", 0))
+        if count <= 0:
+            continue
+        root.weight += count
+        node = root
+        for frame in _frames_of(sample):
+            child = node.children.get(frame)
+            if child is None:
+                child = _Node(frame)
+                node.children[frame] = child
+            child.weight += count
+            node = child
+    return root
+
+
+def _frame_color(name: str) -> str:
+    """A stable warm color per frame name (hash-keyed, no randomness)."""
+    seed = sum(ord(c) for c in name) % 991
+    red = 205 + seed % 50
+    green = 60 + (seed * 7) % 130
+    blue = 40 + (seed * 13) % 40
+    return f"rgb({red},{green},{blue})"
+
+
+def _render_node(out: io.StringIO, node: _Node, parent_weight: int) -> None:
+    share = node.weight / parent_weight if parent_weight else 0.0
+    label = html.escape(node.name)
+    tooltip = html.escape(f"{node.name} — {node.weight} samples ({share:.1%} of parent)")
+    style = f"width:{share * 100:.4f}%;background:{_frame_color(node.name)}"
+    out.write(f'<div class="frame" style="{style}" title="{tooltip}">')
+    out.write(f'<span class="label">{label}</span>')
+    if node.children:
+        out.write('<div class="row">')
+        ordered = sorted(node.children.values(), key=lambda c: (-c.weight, c.name))
+        for child in ordered:
+            _render_node(out, child, node.weight)
+        out.write("</div>")
+    out.write("</div>")
+
+
+_FLAME_CSS = """
+body { font: 12px/1.4 system-ui, sans-serif; margin: 16px; }
+h1 { font-size: 16px; }
+.meta { color: #555; margin-bottom: 12px; }
+.flame { border: 1px solid #ccc; }
+.frame { box-sizing: border-box; overflow: hidden; border: 1px solid rgba(255,255,255,.55); }
+.frame .label { display: block; padding: 1px 4px; white-space: nowrap;
+                overflow: hidden; text-overflow: ellipsis; font-size: 11px; }
+.row { display: flex; width: 100%; }
+"""
+
+
+def flamegraph_html(profile: Profile, *, title: str = "repro profile") -> str:
+    """A dependency-free flamegraph: nested flex ``<div>``s, no JS.
+
+    Width encodes sample share; hover shows exact counts via the
+    ``title`` tooltip.  Root is at the top (icicle orientation).
+    """
+    root = _build_tree(profile)
+    body = io.StringIO()
+    _render_node(body, root, max(root.weight, 1))
+    meta = (
+        f"{profile.get('total_samples', 0)} samples at {profile.get('hz', 0):g} Hz "
+        f"over {profile.get('duration_seconds', 0.0):.2f}s; "
+        f"{profile.get('dropped_samples', 0)} dropped"
+    )
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_FLAME_CSS}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1><div class='meta'>{html.escape(meta)}</div>"
+        f"<div class='flame'>{body.getvalue()}</div>"
+        f"<script type='application/json' id='profile-data'>"
+        f"{json.dumps({'phases': profile.get('phases', {})}, sort_keys=True)}"
+        "</script></body></html>"
+    )

@@ -29,6 +29,7 @@ import csv
 import io
 import json
 import re
+from bisect import bisect_left
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -60,6 +61,7 @@ _CSV_COLUMNS = [
     "max",
     "buckets",
     "bucket_counts",
+    "exemplar",
     "span_id",
     "parent_id",
     "depth",
@@ -71,6 +73,15 @@ _CSV_COLUMNS = [
 
 _PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 _PROM_LINE_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$")
+# OpenMetrics exemplar suffix (` # {trace_id="..."} 0.42`).  Stripped
+# *before* the line regex runs.  The labelset must be well-formed
+# `key="escaped"` pairs — label *values* in the main labelset may contain
+# `#`/`{`/`}` unescaped but never a bare `"`, so this cannot fire inside
+# one.
+_PROM_EXEMPLAR_RE = re.compile(
+    r"\s+#\s+\{(?P<labels>[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*)\}\s+(?P<value>\S+)$"
+)
 _PROM_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
 
 
@@ -124,9 +135,9 @@ def write_csv(source: Union[MetricsRegistry, Snapshot], path: Union[str, Path]) 
             for key in ("value", "count", "sum", "min", "max"):
                 if key in entry:
                     row[key] = repr(entry[key])
-            for key in ("buckets", "bucket_counts"):
+            for key in ("buckets", "bucket_counts", "exemplar"):
                 if key in entry:
-                    row[key] = json.dumps(entry[key])
+                    row[key] = json.dumps(entry[key], sort_keys=True)
             writer.writerow(row)
         for span in snap["spans"]:
             writer.writerow(
@@ -183,6 +194,8 @@ def read_csv(path: Union[str, Path]) -> Snapshot:
                     entry["min"] = _num(row["min"])
                 if row.get("max"):
                     entry["max"] = _num(row["max"])
+                if row.get("exemplar"):
+                    entry["exemplar"] = json.loads(row["exemplar"])
             else:
                 entry["value"] = _num(row["value"])
             metrics.append(entry)
@@ -221,26 +234,53 @@ def write_prometheus(source: Union[MetricsRegistry, Snapshot], path: Union[str, 
     return atomic_write(path, prometheus_text(source))
 
 
+def _exemplar_suffix(entry: dict, bucket_index: int, n_bounds: int) -> str:
+    """OpenMetrics exemplar suffix for the bucket line it falls in."""
+    exemplar = entry.get("exemplar")
+    if not exemplar:
+        return ""
+    value = float(exemplar["value"])
+    target = min(bisect_left(entry["buckets"], value), n_bounds)
+    if target != bucket_index:
+        return ""
+    labels = _prom_labels({"trace_id": exemplar["trace_id"]})
+    return f" # {labels} {_prom_float(value)}"
+
+
 def prometheus_text(source: Union[MetricsRegistry, Snapshot]) -> str:
-    """Render the snapshot in Prometheus text exposition format."""
+    """Render the snapshot in Prometheus text exposition format.
+
+    Series are emitted sorted by metric name then label items, so output
+    is deterministic regardless of registration order (stable diffs,
+    golden tests).  Histogram exemplars ride the bucket line containing
+    the exemplar observation, OpenMetrics-style.
+    """
     snap = _snap(source)
     out = io.StringIO()
     typed: set = set()
-    for entry in snap["metrics"]:
+    ordered = sorted(
+        snap["metrics"], key=lambda e: (e["name"], sorted(e["labels"].items()))
+    )
+    for entry in ordered:
         name = _prom_name(entry["name"])
         labels = entry["labels"]
         if name not in typed:
             out.write(f"# TYPE {name} {entry['kind']}\n")
             typed.add(name)
         if entry["kind"] == "histogram":
+            n_bounds = len(entry["buckets"])
             cumulative = 0
-            for bound, count in zip(entry["buckets"], entry["bucket_counts"]):
+            for k, (bound, count) in enumerate(zip(entry["buckets"], entry["bucket_counts"])):
                 cumulative += count
                 out.write(
-                    f"{name}_bucket{_prom_labels(labels, {'le': _prom_float(bound)})} {cumulative}\n"
+                    f"{name}_bucket{_prom_labels(labels, {'le': _prom_float(bound)})} "
+                    f"{cumulative}{_exemplar_suffix(entry, k, n_bounds)}\n"
                 )
             cumulative += entry["bucket_counts"][-1]
-            out.write(f'{name}_bucket{_prom_labels(labels, {"le": "+Inf"})} {cumulative}\n')
+            out.write(
+                f'{name}_bucket{_prom_labels(labels, {"le": "+Inf"})} '
+                f"{cumulative}{_exemplar_suffix(entry, n_bounds, n_bounds)}\n"
+            )
             out.write(f"{name}_sum{_prom_labels(labels)} {_prom_float(entry['sum'])}\n")
             out.write(f"{name}_count{_prom_labels(labels)} {entry['count']}\n")
         else:
@@ -284,6 +324,14 @@ def parse_prometheus(path_or_text: Union[str, Path]) -> Snapshot:
             if len(parts) >= 4 and parts[1] == "TYPE":
                 kinds[parts[2]] = parts[3]
             continue
+        exemplar = None
+        exemplar_match = _PROM_EXEMPLAR_RE.search(line)
+        if exemplar_match is not None:
+            exemplar = {
+                "value": float(exemplar_match.group("value")),
+                "trace_id": _parse_prom_labels(exemplar_match.group("labels")).get("trace_id"),
+            }
+            line = line[: exemplar_match.start()]
         match = _PROM_LINE_RE.match(line)
         if not match:
             raise TelemetryError(f"unparseable Prometheus line: {line!r}")
@@ -310,6 +358,8 @@ def parse_prometheus(path_or_text: Union[str, Path]) -> Snapshot:
             if le != "+Inf":
                 entry["buckets"].append(float(le))
             entry["cumulative"].append(int(value))
+            if exemplar is not None:
+                entry["exemplar"] = exemplar
         elif suffix == "_sum":
             entry["sum"] = value
         else:

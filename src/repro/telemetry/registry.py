@@ -186,11 +186,29 @@ class Gauge:
 
 
 class Histogram:
-    """Bucketed distribution of observations."""
+    """Bucketed distribution of observations.
+
+    Each series also keeps one OpenMetrics-style *exemplar*: the
+    largest observation recorded while a trace was active, with its
+    trace id.  A slow bucket in an exposition scrape therefore links
+    straight back to the ``/trace/<id>`` timeline of the request that
+    produced it.
+    """
 
     kind = "histogram"
 
-    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum", "min", "max")
+    __slots__ = (
+        "name",
+        "labels",
+        "buckets",
+        "bucket_counts",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "exemplar_value",
+        "exemplar_trace_id",
+    )
 
     def __init__(self, name: str, labels: LabelItems, buckets: Sequence[float] = DEFAULT_BUCKETS):
         bounds = tuple(float(b) for b in buckets)
@@ -207,6 +225,8 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.exemplar_value: Optional[float] = None
+        self.exemplar_trace_id: Optional[str] = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -218,6 +238,11 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self.exemplar_value is None or value >= self.exemplar_value:
+            trace_id = _TRACE_ID.get()
+            if trace_id is not None:
+                self.exemplar_value = value
+                self.exemplar_trace_id = trace_id
 
     @property
     def mean(self) -> float:
@@ -295,6 +320,12 @@ class MetricsRegistry:
         self._stack: ContextVar[Tuple[SpanRecord, ...]] = ContextVar(
             "repro_span_stack", default=()
         )
+        # Per-OS-thread open-span stacks, for *cross-thread* attribution:
+        # a sampling profiler reading ``sys._current_frames()`` cannot see
+        # another thread's ContextVars, so the registry mirrors span
+        # open/close events into this map (span churn is rare next to
+        # sample rate, so the extra lock work is off the sampling path).
+        self._thread_spans: Dict[int, List[SpanRecord]] = {}
         self._next_span_id = 0
         self._epoch = time.perf_counter()
 
@@ -386,6 +417,7 @@ class MetricsRegistry:
                 trace_id=current_trace_id(),
             )
             self.spans.append(record)
+            self._thread_spans.setdefault(threading.get_ident(), []).append(record)
         self._stack.set(stack + (record,))
         return _SpanContext(self, record)
 
@@ -396,7 +428,28 @@ class MetricsRegistry:
         # out-of-order exits from generator-based context managers.
         if record in stack:
             self._stack.set(tuple(s for s in stack if s is not record))
+        ident = threading.get_ident()
+        with self._lock:
+            open_spans = self._thread_spans.get(ident)
+            if open_spans is not None and record in open_spans:
+                open_spans.remove(record)
+                if not open_spans:
+                    del self._thread_spans[ident]
+            else:
+                # Context-aware thread hops can close a span on a different
+                # thread than the one that opened it.
+                for key, other in list(self._thread_spans.items()):
+                    if record in other:
+                        other.remove(record)
+                        if not other:
+                            del self._thread_spans[key]
+                        break
         self.histogram("span_duration_seconds", span=record.name).observe(elapsed)
+
+    def active_spans_by_thread(self) -> Dict[int, SpanRecord]:
+        """Innermost open span per OS thread (profiler attribution)."""
+        with self._lock:
+            return {ident: spans[-1] for ident, spans in self._thread_spans.items() if spans}
 
     def timer(self, name: str, *, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels) -> "_TimerContext":
         """Context manager observing its elapsed seconds into histogram ``name``."""
@@ -433,6 +486,11 @@ class MetricsRegistry:
                 if metric.count:
                     entry["min"] = metric.min
                     entry["max"] = metric.max
+                if metric.exemplar_trace_id is not None:
+                    entry["exemplar"] = {
+                        "value": metric.exemplar_value,
+                        "trace_id": metric.exemplar_trace_id,
+                    }
             else:
                 entry["value"] = metric.value
             metrics.append(entry)

@@ -1,0 +1,28 @@
+"""RL015 known-bad: perf_counter deltas pushed into metrics outside a span."""
+
+import time
+
+from repro.telemetry import MetricsRegistry
+
+registry = MetricsRegistry()
+
+
+def solve_window(solver, instance):
+    start = time.perf_counter()
+    result = solver.solve(instance)
+    elapsed = time.perf_counter() - start
+    registry.histogram("window_solve_seconds").observe(elapsed)
+    return result
+
+
+def direct_delta(solver, instance):
+    t0 = time.perf_counter()
+    solver.solve(instance)
+    registry.gauge("last_solve_seconds").set(time.perf_counter() - t0)
+
+
+def clamped_delta(solver, instance):
+    began = time.perf_counter()
+    solver.solve(instance)
+    wait = max(time.perf_counter() - began, 0.0)
+    registry.counter("busy_seconds_total").add(wait)

@@ -1,0 +1,29 @@
+"""RL015 known-good: solver timing attributed to phase spans."""
+
+import time
+
+from repro.telemetry import MetricsRegistry
+
+registry = MetricsRegistry()
+
+
+def solve_window(solver, instance):
+    # The span measures the section itself — its duration lands in
+    # span_duration_seconds and in the per-phase attribution.
+    with registry.span("window.solve"):
+        return solver.solve(instance)
+
+
+def recorded_inside_span(solver, instance):
+    with registry.span("window.solve"):
+        start = time.perf_counter()
+        result = solver.solve(instance)
+        elapsed = time.perf_counter() - start
+        registry.histogram("window_solve_seconds").observe(elapsed)
+    return result
+
+
+def non_timing_metric(results):
+    # Plain counters/gauges of non-duration values are not timing deltas.
+    registry.counter("windows_total").inc()
+    registry.gauge("last_batch_size").set(len(results))

@@ -3,10 +3,16 @@
 from __future__ import annotations
 
 import json
+import os
+import pty
+import re
+import subprocess
+import sys
 import threading
 import time
 import urllib.error
 import urllib.request
+from pathlib import Path
 
 import pytest
 
@@ -31,6 +37,8 @@ from repro.resilience.fallback import FallbackChain
 from repro.utils.errors import ValidationError
 
 from conftest import make_instance
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
 
 # -- router ---------------------------------------------------------------------
 
@@ -340,6 +348,88 @@ def test_cluster_audit_certifies_global_budget(cluster_env):
     assert audit.certified, audit.violations
     assert audit.total_spent <= manager.config.budget + 1e-6
     assert manager.ledger.audit() == []
+
+
+def test_queue_delay_exemplar_links_to_trace(cluster_env):
+    """Satellite: the p99 queue-delay bucket carries an exemplar whose
+    trace id resolves to a full timeline via ``/trace/<id>``."""
+    _, base, doc, _ = cluster_env
+    for k in range(6):
+        _post_solve(base, doc, trace_id=f"exemplar{k:04d}")
+    status, body = _get(base, "/metrics")
+    assert status == 200
+    pattern = re.compile(
+        r'frontend_queue_delay_seconds_bucket\{[^}]*\}\s+\d+'
+        r'\s+#\s+\{trace_id="([^"]+)"\}\s+[0-9.eE+-]+'
+    )
+    match = pattern.search(body.decode())
+    assert match is not None, "no exemplar on any queue-delay bucket line"
+    trace_id = match.group(1)
+    status, body = _get(base, f"/trace/{trace_id}")
+    assert status == 200
+    names = {e["name"] for e in json.loads(body)["traceEvents"]}
+    assert "frontend.request" in names
+
+
+def test_debug_profile_merges_worker_profiles(cluster_env):
+    """Tentpole: ``/debug/profile`` serves per-shard and merged profiles."""
+    _, base, doc, _ = cluster_env
+    for _ in range(2):
+        _post_solve(base, doc)
+    time.sleep(0.3)  # a few sampler ticks at the default 19 Hz
+    status, body = _get(base, "/debug/profile")
+    assert status == 200
+    document = json.loads(body)
+    assert set(document["shards"]) == {"shard-00", "shard-01"}
+    for shard_doc in document["shards"].values():
+        assert shard_doc is not None
+        assert shard_doc["profile"] is not None  # the sampler is on by default
+        assert shard_doc["profile"]["hz"] == pytest.approx(19.0)
+        assert "phases" in shard_doc
+    merged = document["merged"]
+    assert merged["profile"]["total_samples"] >= 1
+    assert merged["hottest"], "no phases in the hottest-phase ranking"
+    # Worker solve spans and the front-end's own spans both fold into
+    # the merged phase breakdown.
+    assert "worker.solve" in merged["phases"]
+    assert "frontend.request" in merged["phases"]
+
+
+def test_repro_top_renders_one_frame_on_a_pty(cluster_env):
+    """Tentpole: ``repro top --once`` paints a full frame on a real pty."""
+    _, base, doc, _ = cluster_env
+    _post_solve(base, doc)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    master, follower = pty.openpty()
+    try:
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "top", "--once", base],
+            stdin=follower, stdout=follower, stderr=follower,
+            env=env, close_fds=True,
+        )
+        os.close(follower)
+        follower = -1
+        chunks = []
+        while True:
+            try:
+                chunk = os.read(master, 4096)
+            except OSError:  # EIO: child closed its side (Linux pty EOF)
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+        assert process.wait(timeout=30) == 0
+    finally:
+        if follower >= 0:
+            os.close(follower)
+        os.close(master)
+    frame = b"".join(chunks).decode(errors="replace")
+    assert "repro top" in frame and base in frame
+    assert "SHARD" in frame and "shard-00" in frame and "shard-01" in frame
+    assert "budget: 50000.0 J" in frame
+    assert "HOTTEST PHASES" in frame
+    assert "\x1b[2J" not in frame  # --once renders without escape codes
 
 
 def test_cluster_survives_worker_death():

@@ -38,6 +38,7 @@ FIXTURE_PATH = "src/repro/online/fixture.py"
 FIXTURE_PATHS = {
     "RL013": "src/repro/cluster/fixture.py",
     "RL014": "src/repro/overload/fixture.py",
+    "RL015": "src/repro/cluster/fixture.py",
 }
 
 RULES = [
@@ -51,6 +52,7 @@ RULES = [
     "RL012",
     "RL013",
     "RL014",
+    "RL015",
 ]
 
 

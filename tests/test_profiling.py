@@ -1,0 +1,359 @@
+"""Tests for repro.profile: sampler, exports, phase attribution, gates."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.profile import (
+    StackSampler,
+    collapsed_stacks,
+    flamegraph_html,
+    hottest_phases,
+    merge_phase_breakdowns,
+    merge_profiles,
+    perfetto_profile,
+    phase_breakdown,
+    speedscope_document,
+)
+from repro.profile.bench import run_profile_bench
+from repro.telemetry import MetricsRegistry, trace_scope
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+# -- helpers --------------------------------------------------------------------
+
+
+class _ParkedThread:
+    """A thread parked at a known frame, optionally inside a span."""
+
+    def __init__(self, registry=None, span=None, trace_id=None):
+        self._registry = registry
+        self._span = span
+        self._trace_id = trace_id
+        self._event = threading.Event()
+        self._parked = threading.Event()
+        self.thread = threading.Thread(target=self._main, daemon=True)
+
+    def _park_here(self):
+        self._parked.set()
+        self._event.wait(10.0)
+
+    def _main(self):
+        if self._span is not None:
+            with trace_scope(self._trace_id or "t-0"):
+                with self._registry.span(self._span):
+                    self._park_here()
+        else:
+            self._park_here()
+
+    def __enter__(self):
+        self.thread.start()
+        assert self._parked.wait(5.0)
+        return self
+
+    def __exit__(self, *exc):
+        self._event.set()
+        self.thread.join(timeout=5.0)
+
+
+def sample_profile():
+    """A small synthetic two-stack profile document."""
+    return {
+        "hz": 10.0,
+        "duration_seconds": 1.0,
+        "total_samples": 7,
+        "dropped_samples": 0,
+        "samples": [
+            {
+                "stack": ["repro/a.py:main", "repro/a.py:solve"],
+                "phase": "window.solve",
+                "trace_id": "abc",
+                "count": 5,
+            },
+            {
+                "stack": ["repro/a.py:main", "repro/b.py:io"],
+                "phase": None,
+                "trace_id": None,
+                "count": 2,
+            },
+        ],
+        "phases": {"window.solve": {"samples": 5, "seconds": 0.5}},
+    }
+
+
+# -- the sampler ----------------------------------------------------------------
+
+
+class TestStackSampler:
+    def test_samples_a_parked_thread(self):
+        sampler = StackSampler(hz=200.0)
+        with _ParkedThread():
+            with sampler:
+                time.sleep(0.15)
+        profile = sampler.profile()
+        assert profile["total_samples"] > 0
+        frames = [f for s in profile["samples"] for f in s["stack"]]
+        assert any("_park_here" in f for f in frames)
+
+    def test_attributes_samples_to_phase_and_trace(self):
+        registry = MetricsRegistry()
+        sampler = StackSampler(registry, hz=200.0)
+        with _ParkedThread(registry, span="park.phase", trace_id="tr-42"):
+            with sampler:
+                time.sleep(0.15)
+        profile = sampler.profile()
+        attributed = [s for s in profile["samples"] if s["phase"] == "park.phase"]
+        assert attributed, profile["samples"]
+        assert attributed[0]["trace_id"] == "tr-42"
+        assert profile["phases"]["park.phase"]["samples"] >= 1
+        # Estimated seconds are samples / hz.
+        bucket = profile["phases"]["park.phase"]
+        assert bucket["seconds"] == pytest.approx(bucket["samples"] / 200.0)
+
+    def test_start_stop_idempotent(self):
+        sampler = StackSampler(hz=50.0)
+        assert sampler.start() is sampler
+        thread = sampler._thread
+        assert sampler.start()._thread is thread  # second start is a no-op
+        sampler.stop()
+        sampler.stop()  # and so is a second stop
+        assert not sampler.running
+
+    def test_bounded_storage_counts_drops(self):
+        registry = MetricsRegistry()
+        sampler = StackSampler(registry, hz=50.0, max_stacks=1)
+        # Two unspanned parked threads share one aggregation key; the
+        # spanned third differs in phase, so one key must be dropped.
+        with _ParkedThread(), _ParkedThread(registry, span="distinct.phase"):
+            sampler._sample_once(threading.get_ident())
+        profile = sampler.profile()
+        assert len(profile["samples"]) == 1
+        assert profile["dropped_samples"] >= 1
+        assert profile["total_samples"] == (
+            sum(s["count"] for s in profile["samples"]) + profile["dropped_samples"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            StackSampler(hz=0.0)
+        with pytest.raises(Exception):
+            StackSampler(max_stacks=0)
+
+
+# -- exports --------------------------------------------------------------------
+
+
+class TestExports:
+    def test_collapsed_stacks_deterministic_with_phase_root(self):
+        text = collapsed_stacks(sample_profile())
+        assert text == collapsed_stacks(sample_profile())  # deterministic
+        lines = text.splitlines()
+        assert sorted(lines) == lines
+        assert "phase:window.solve;repro/a.py:main;repro/a.py:solve 5" in lines
+        assert "repro/a.py:main;repro/b.py:io 2" in lines
+
+    def test_speedscope_document_shape(self):
+        doc = speedscope_document(sample_profile())
+        assert doc["profiles"][0]["type"] == "sampled"
+        weights = doc["profiles"][0]["weights"]
+        assert sum(weights) == doc["profiles"][0]["endValue"] == 7
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        assert "phase:window.solve" in frames
+        # Every sample index resolves to a real frame.
+        for stack in doc["profiles"][0]["samples"]:
+            for index in stack:
+                assert 0 <= index < len(frames)
+        json.dumps(doc)  # serializable
+
+    def test_perfetto_profile_lays_out_synthetic_timeline(self):
+        doc = perfetto_profile(sample_profile())
+        assert doc["metadata"]["synthetic_timeline"] is True
+        events = doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        # The heaviest stack (count 5 at 10 Hz) occupies 0.5 s = 5e5 us.
+        assert events[0]["dur"] == pytest.approx(5e5)
+        traced = [e for e in events if "args" in e]
+        assert all(e["args"]["trace_id"] == "abc" for e in traced)
+
+    def test_flamegraph_html_is_self_contained(self):
+        page = flamegraph_html(sample_profile(), title="t<est>")
+        assert page.startswith("<!doctype html>")
+        assert "t&lt;est&gt;" in page  # title escaped
+        assert "repro/a.py:solve" in page
+        assert "phase:window.solve" in page
+        assert "profile-data" in page  # embedded phase JSON
+        assert "<script src" not in page  # no external dependencies
+
+    def test_merge_profiles_sums_counts_and_skips_none(self):
+        merged = merge_profiles([sample_profile(), None, sample_profile()])
+        assert merged["total_samples"] == 14
+        heaviest = merged["samples"][0]
+        assert heaviest["count"] == 10
+        assert heaviest["phase"] == "window.solve"
+        assert merged["phases"]["window.solve"]["samples"] == 10
+        assert merged["hz"] == 10.0
+
+    def test_merge_profiles_of_nothing_is_empty(self):
+        merged = merge_profiles([None, {}])
+        assert merged["total_samples"] == 0
+        assert merged["samples"] == []
+
+
+# -- phase attribution ----------------------------------------------------------
+
+
+class TestPhaseBreakdown:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        with registry.span("root"):
+            time.sleep(0.02)
+            with registry.span("child.a"):
+                time.sleep(0.02)
+            with registry.span("child.b"):
+                time.sleep(0.02)
+        return registry
+
+    def test_self_seconds_partition_root_total(self):
+        registry = self.build_registry()
+        snapshot = registry.snapshot()
+        breakdown = phase_breakdown(snapshot)
+        assert set(breakdown) == {"root", "child.a", "child.b"}
+        root_total = breakdown["root"]["total_seconds"]
+        self_sum = sum(entry["self_seconds"] for entry in breakdown.values())
+        assert self_sum == pytest.approx(root_total, rel=1e-6)
+        # A leaf's self time is its whole duration.
+        assert breakdown["child.a"]["self_seconds"] == pytest.approx(
+            breakdown["child.a"]["total_seconds"]
+        )
+
+    def test_open_spans_are_excluded(self):
+        registry = MetricsRegistry()
+        span = registry.span("never.closed")
+        span.__enter__()
+        assert phase_breakdown(registry.snapshot()) == {}
+
+    def test_merge_and_hottest(self):
+        one = {"a": {"count": 1, "total_seconds": 1.0, "self_seconds": 1.0}}
+        two = {
+            "a": {"count": 2, "total_seconds": 3.0, "self_seconds": 2.0},
+            "b": {"count": 1, "total_seconds": 9.0, "self_seconds": 9.0},
+        }
+        merged = merge_phase_breakdowns([one, two])
+        assert merged["a"] == {"count": 3, "total_seconds": 4.0, "self_seconds": 3.0}
+        ranked = hottest_phases(merged, n=1)
+        assert [name for name, _ in ranked] == ["b"]
+        # Ties break alphabetically so output is deterministic.
+        tied = {"z": {"self_seconds": 1.0}, "a": {"self_seconds": 1.0}}
+        assert [name for name, _ in hottest_phases(tied)] == ["a", "z"]
+
+
+# -- the profiling benchmark ----------------------------------------------------
+
+
+class TestProfileBench:
+    def test_report_structure_and_artifacts(self, tmp_path):
+        out = tmp_path / "report.json"
+        flame = tmp_path / "flame.html"
+        scope = tmp_path / "profile.speedscope.json"
+        report = run_profile_bench(
+            out=str(out), flame=str(flame), speedscope=str(scope), repeats=1
+        )
+        assert set(report["budgets"])  # at least one gated phase share
+        for key, share in report["budgets"].items():
+            assert "/" in key and 0.0 <= share <= 1.0 + 1e-9
+        assert report["solve"]["paths"] == ["fractional", "lp", "rounding"]
+        assert json.loads(out.read_text())["meta"]["repeats"] == 1
+        assert flame.read_text().startswith("<!doctype html>")
+        speedscope = json.loads(scope.read_text())
+        assert speedscope["profiles"][0]["type"] == "sampled"
+
+    def test_committed_baseline_meets_acceptance_bars(self):
+        """The committed BENCH_profile.json is itself a valid, passing report."""
+        report = json.loads(
+            (REPO_ROOT / "benchmarks" / "BENCH_profile.json").read_text()
+        )
+        assert report["solve"]["coverage"] >= 0.9
+        assert report["sampler_overhead"]["overhead_fraction"] < 0.05
+        paths = {key.split("/", 1)[0] for key in report["budgets"]}
+        assert {"fractional", "lp", "rounding", "planner"} <= paths
+        # Shares per path stay a partition of the root-span time.
+        for path, doc in report["paths"].items():
+            total = sum(entry["share"] for entry in doc["phases"].values())
+            assert total <= 1.0 + 1e-6, (path, total)
+
+
+# -- the --profile regression gate ----------------------------------------------
+
+
+class TestProfileGate:
+    def write_reports(self, tmp_path, *, base_share, cur_share, coverage=0.95,
+                      overhead=0.01, extra_current=None):
+        baseline = {"budgets": {"fractional/solve.approx": base_share}}
+        current = {
+            "budgets": {"fractional/solve.approx": cur_share, **(extra_current or {})},
+            "solve": {"coverage": coverage},
+            "sampler_overhead": {"overhead_fraction": overhead},
+        }
+        base_path = tmp_path / "baseline.json"
+        cur_path = tmp_path / "current.json"
+        base_path.write_text(json.dumps(baseline))
+        cur_path.write_text(json.dumps(current))
+        return str(cur_path), str(base_path)
+
+    def test_within_budget_passes(self, tmp_path, capsys):
+        cur, base = self.write_reports(tmp_path, base_share=0.5, cur_share=0.55)
+        assert check_regression.check_profile(cur, base, 1.25) == 0
+        assert "profile gate passed" in capsys.readouterr().out
+
+    def test_share_regression_fails(self, tmp_path, capsys):
+        cur, base = self.write_reports(tmp_path, base_share=0.4, cur_share=0.6)
+        assert check_regression.check_profile(cur, base, 1.25) == 1
+        assert "PROFILE GATE" in capsys.readouterr().err
+
+    def test_small_shares_never_gate(self, tmp_path, capsys):
+        # 2% -> 4% is a 2x ratio but below the 5% gating floor.
+        cur, base = self.write_reports(tmp_path, base_share=0.02, cur_share=0.04)
+        assert check_regression.check_profile(cur, base, 1.25) == 0
+        assert "below floor (ungated)" in capsys.readouterr().out
+
+    def test_new_phases_report_but_never_gate(self, tmp_path, capsys):
+        cur, base = self.write_reports(
+            tmp_path, base_share=0.5, cur_share=0.5,
+            extra_current={"fractional/brand.new": 0.9},
+        )
+        assert check_regression.check_profile(cur, base, 1.25) == 0
+        assert "new (ungated)" in capsys.readouterr().out
+
+    def test_coverage_collapse_fails(self, tmp_path, capsys):
+        cur, base = self.write_reports(
+            tmp_path, base_share=0.5, cur_share=0.5, coverage=0.5
+        )
+        assert check_regression.check_profile(cur, base, 1.25) == 1
+        assert "coverage" in capsys.readouterr().err
+
+    def test_sampler_overhead_blowup_fails(self, tmp_path, capsys):
+        cur, base = self.write_reports(
+            tmp_path, base_share=0.5, cur_share=0.5, overhead=0.08
+        )
+        assert check_regression.check_profile(cur, base, 1.25) == 1
+        assert "overhead" in capsys.readouterr().err
+
+    def test_cli_wires_profile_flag(self, tmp_path, capsys):
+        cur, base = self.write_reports(tmp_path, base_share=0.5, cur_share=0.5)
+        assert check_regression.main(
+            ["--profile", cur, "--profile-baseline", base]
+        ) == 0
+        capsys.readouterr()

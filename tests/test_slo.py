@@ -1,5 +1,7 @@
 """SLO evaluation and the energy burn-rate monitor."""
 
+import math
+
 import pytest
 
 from repro.algorithms.registry import make_scheduler
@@ -18,8 +20,19 @@ from conftest import make_cluster
 
 
 class TestHistogramQuantile:
-    def test_empty_returns_none(self):
-        assert histogram_quantile(0.99, [1.0, 10.0], [0, 0, 0]) is None
+    def test_empty_histogram_returns_nan(self):
+        # All-zero counts and no-bounds are both "no data": NaN, explicitly.
+        assert math.isnan(histogram_quantile(0.99, [1.0, 10.0], [0, 0, 0]))
+        assert math.isnan(histogram_quantile(0.5, [], []))
+
+    def test_empty_histogram_passes_slo_vacuously(self):
+        reg = MetricsRegistry()
+        # A registered-but-never-observed latency histogram must read as
+        # "no data" (vacuous pass), not as a NaN comparison failure.
+        reg.histogram("span_duration_seconds", span="server.solve")
+        report = evaluate(reg, SLOSpec(p99_solve_latency=0.1))
+        (status,) = report.statuses
+        assert status.ok and status.actual is None
 
     def test_interpolates_within_bucket(self):
         # 10 obs in (0, 1]: p50 lands mid-bucket.

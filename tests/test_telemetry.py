@@ -22,6 +22,7 @@ from repro.telemetry import (
     prometheus_text,
     read_csv,
     read_jsonl,
+    trace_scope,
     write_csv,
     write_jsonl,
     write_prometheus,
@@ -113,6 +114,27 @@ class TestRegistry:
         assert h.mean == pytest.approx(56.5 / 4)
         assert (h.min, h.max) == (0.5, 50.0)
         assert h.cumulative_counts() == [2, 3, 4]
+
+    def test_histogram_exemplar_tracks_worst_traced_observation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("delay", buckets=(1.0, 10.0))
+        h.observe(99.0)  # no trace active: never an exemplar
+        with trace_scope("trace-aa"):
+            h.observe(2.0)
+        with trace_scope("trace-bb"):
+            h.observe(5.0)
+        with trace_scope("trace-cc"):
+            h.observe(1.0)  # smaller: keeps the worst
+        assert (h.exemplar_value, h.exemplar_trace_id) == (5.0, "trace-bb")
+        snap = reg.snapshot()
+        (entry,) = [m for m in snap["metrics"] if m["name"] == "delay"]
+        assert entry["exemplar"] == {"value": 5.0, "trace_id": "trace-bb"}
+
+    def test_untraced_histogram_has_no_exemplar(self):
+        reg = MetricsRegistry()
+        reg.histogram("plain", buckets=(1.0,)).observe(0.5)
+        (entry,) = reg.snapshot()["metrics"]
+        assert "exemplar" not in entry
 
     def test_histogram_default_buckets_and_validation(self):
         reg = MetricsRegistry()
@@ -234,6 +256,23 @@ class TestExporters:
         assert 'requests_total{path="/solve"} 3.0' in text
         assert 'latency_seconds_bucket{le="+Inf"} 4' in text
         assert "latency_seconds_count 4" in text
+
+    def test_prometheus_exemplar_rides_its_bucket_line(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("delay_seconds", buckets=(1.0, 10.0))
+        with trace_scope("deadbeef01"):
+            h.observe(5.0)  # falls in the le="10.0" bucket
+        h.observe(0.5)
+        text = prometheus_text(reg)
+        lines = [line for line in text.splitlines() if "_bucket" in line]
+        with_exemplar = [line for line in lines if "# {" in line]
+        assert len(with_exemplar) == 1
+        assert 'le="10.0"' in with_exemplar[0]
+        assert '# {trace_id="deadbeef01"} 5' in with_exemplar[0]
+        # And the parser reconstructs it.
+        loaded = parse_prometheus(text)
+        (entry,) = [m for m in loaded["metrics"] if m["name"] == "delay_seconds"]
+        assert entry["exemplar"] == {"value": 5.0, "trace_id": "deadbeef01"}
 
     def test_format_detection_and_dispatch(self, tmp_path):
         assert detect_format("a.jsonl") == "jsonl"

@@ -6,9 +6,12 @@ modulo what the format cannot carry (spans, histogram min/max).  Label
 backslashes are exactly what breaks naive text escaping.
 """
 
+import math
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.observe.slo import _merged_histogram, histogram_quantile
 from repro.telemetry import (
     MetricsRegistry,
     collector,
@@ -72,6 +75,9 @@ def canonical_metrics(snap, *, drop_extremes=False):
             entry.pop("min", None)
             entry.pop("max", None)
         entry["labels"] = tuple(sorted(entry["labels"].items()))
+        if entry.get("exemplar"):
+            exemplar = entry["exemplar"]
+            entry["exemplar"] = (float(exemplar["value"]), exemplar["trace_id"])
         if "buckets" in entry:
             entry["buckets"] = tuple(float(b) for b in entry["buckets"])
             entry["bucket_counts"] = tuple(int(c) for c in entry["bucket_counts"])
@@ -126,6 +132,49 @@ def test_prometheus_round_trip_is_lossless_modulo_spans(reg, tmp_path_factory):
     assert canonical_metrics(loaded, drop_extremes=True) == canonical_metrics(
         snap, drop_extremes=True
     )
+
+
+BOUNDS = (0.1, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    shard_obs=st.lists(
+        st.lists(
+            st.floats(min_value=0.0, max_value=12.0, allow_nan=False),
+            min_size=0,
+            max_size=20,
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    q=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_merged_shard_quantile_matches_concatenated_observations(shard_obs, q):
+    """Merging N shard histograms then taking the quantile agrees with the
+    quantile over the *concatenated* observations to within one bucket
+    width (the histogram's irreducible resolution).  Observations above
+    the top finite bound clamp to it, as ``histogram_quantile`` does."""
+    reg = MetricsRegistry()
+    for shard, observations in enumerate(shard_obs):
+        hist = reg.histogram(
+            "queue_delay_seconds", buckets=BOUNDS, shard=f"shard-{shard:02d}"
+        )
+        for value in observations:
+            hist.observe(value)
+    bounds, counts = _merged_histogram(reg.snapshot(), "queue_delay_seconds")
+    estimate = histogram_quantile(q, bounds, counts)
+
+    combined = sorted(min(v, BOUNDS[-1]) for obs in shard_obs for v in obs)
+    if not combined:
+        assert math.isnan(estimate)
+        return
+    rank = q * len(combined)
+    index = min(max(math.ceil(rank) - 1, 0), len(combined) - 1)
+    truth = combined[index]
+    at = next(k for k, bound in enumerate(BOUNDS) if truth <= bound)
+    width = BOUNDS[at] - (BOUNDS[at - 1] if at > 0 else 0.0)
+    assert abs(estimate - truth) <= width + 1e-9
 
 
 @settings(max_examples=20, deadline=None)
