@@ -22,6 +22,12 @@ speeds), solve-path span coverage must stay >= 90%, and measured sampler
 overhead must stay < 5%.  Phases below a 5% baseline share never gate
 (noise), and phases new to the run are reported but ungated.
 
+With ``--lint-runtime`` the gate re-runs the analyzer commands recorded
+in ``benchmarks/BENCH_lint.json`` (``repro lint src`` per-file and
+whole-program) and fails when any run exits non-zero or exceeds
+``--lint-factor`` times (default 2x) its committed ``wall_s`` budget —
+the backstop against an accidentally quadratic rule landing unnoticed.
+
 Usage::
 
     python benchmarks/check_regression.py BENCH_current.json \
@@ -31,13 +37,18 @@ Usage::
     python benchmarks/check_regression.py \
         --profile BENCH_profile_current.json \
         --profile-baseline benchmarks/BENCH_profile.json
+    python benchmarks/check_regression.py \
+        --lint-runtime benchmarks/BENCH_lint.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
+import time
 from pathlib import Path
 
 
@@ -163,6 +174,41 @@ def check_profile(current_path: str, baseline_path: str, threshold: float) -> in
     return 0
 
 
+def check_lint_runtime(baseline_path: str, factor: float) -> int:
+    """Gate the analyzer's own wall time against its committed budget."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    failures = []
+    print(f"{'lint run':<28} {'budget':>8} {'limit':>8} {'wall':>8}  gate")
+    for name, spec in sorted(baseline.get("runs", {}).items()):
+        budget = float(spec["wall_s"])
+        limit = budget * factor
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, *spec["args"]], env=env, capture_output=True, text=True
+        )
+        wall = time.perf_counter() - start
+        if proc.returncode != 0:
+            print(f"{name:<28} {budget:>7.1f}s {limit:>7.1f}s {wall:>7.1f}s  FAIL (exit {proc.returncode})")
+            tail = (proc.stdout + proc.stderr).strip().splitlines()[-5:]
+            for line in tail:
+                print(f"    {line}")
+            failures.append(f"{name} exited {proc.returncode}")
+            continue
+        verdict = "ok" if wall <= limit else f"FAIL (> {factor:.1f}x budget)"
+        print(f"{name:<28} {budget:>7.1f}s {limit:>7.1f}s {wall:>7.1f}s  {verdict}")
+        if wall > limit:
+            failures.append(f"{name} took {wall:.1f}s (limit {limit:.1f}s)")
+    if failures:
+        print(f"\nLINT RUNTIME GATE: {'; '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nlint runtime gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -194,9 +240,26 @@ def main(argv=None) -> int:
         default="benchmarks/BENCH_profile.json",
         help="committed per-phase budget baseline for --profile",
     )
+    parser.add_argument(
+        "--lint-runtime",
+        help="committed lint wall-time budgets (benchmarks/BENCH_lint.json) to gate against",
+    )
+    parser.add_argument(
+        "--lint-factor",
+        type=float,
+        default=2.0,
+        help="max tolerated wall/budget ratio for --lint-runtime (default 2.0)",
+    )
     args = parser.parse_args(argv)
-    if args.current is None and args.overload is None and args.profile is None:
-        parser.error("nothing to gate: pass a benchmark JSON, --overload, and/or --profile")
+    if (
+        args.current is None
+        and args.overload is None
+        and args.profile is None
+        and args.lint_runtime is None
+    ):
+        parser.error(
+            "nothing to gate: pass a benchmark JSON, --overload, --profile, and/or --lint-runtime"
+        )
     exit_code = 0
     if args.current is not None:
         exit_code |= compare(args.current, args.baseline, args.threshold)
@@ -204,6 +267,8 @@ def main(argv=None) -> int:
         exit_code |= check_overload(args.overload, args.min_recovery)
     if args.profile is not None:
         exit_code |= check_profile(args.profile, args.profile_baseline, args.threshold)
+    if args.lint_runtime is not None:
+        exit_code |= check_lint_runtime(args.lint_runtime, args.lint_factor)
     return exit_code
 
 

@@ -689,23 +689,31 @@ class ClusterManager:
         grant: Optional[float] = None
         if self.ledger.budget is not None:
             grant = self._reserve_for(handle.shard, batch)
-        envelope: Dict[str, Any] = {
-            "op": "window",
-            "batch_id": batch_id,
-            "epoch": handle.epoch,
-            # Underscore keys are front-end bookkeeping (_attempts, _hedge);
-            # the worker never sees them.
-            "requests": [
-                {k: v for k, v in item.items() if not k.startswith("_")} for item, _ in batch
-            ],
-        }
-        if self.brownout is not None:
-            envelope["brownout"] = self.brownout.level
-        if grant is not None:
-            envelope["grant"] = grant
-            envelope["lease"] = self.ledger.lease_of(handle.shard)
-        with handle.lock:
-            handle.inflight[batch_id] = ("window", batch, grant or 0.0, handle.epoch, time.monotonic())
+        try:
+            envelope: Dict[str, Any] = {
+                "op": "window",
+                "batch_id": batch_id,
+                "epoch": handle.epoch,
+                # Underscore keys are front-end bookkeeping (_attempts, _hedge);
+                # the worker never sees them.
+                "requests": [
+                    {k: v for k, v in item.items() if not k.startswith("_")} for item, _ in batch
+                ],
+            }
+            if self.brownout is not None:
+                envelope["brownout"] = self.brownout.level
+            if grant is not None:
+                envelope["grant"] = grant
+                envelope["lease"] = self.ledger.lease_of(handle.shard)
+            with handle.lock:
+                handle.inflight[batch_id] = ("window", batch, grant or 0.0, handle.epoch, time.monotonic())
+        except BaseException:
+            # The grant never reached the inflight map, so no settle path
+            # (reply, death sweep, stale sweep) will ever see it: release
+            # it here or it leaks as a phantom reservation forever.
+            if grant is not None:
+                self.ledger.release(handle.shard, grant, epoch=handle.epoch)
+            raise
         try:
             handle.requests.put(envelope)
         except (OSError, ValueError):

@@ -28,6 +28,26 @@ Concurrency rules
               trace/collector context (silent trace-id loss)
     ========  =====================================================
 
+Whole-program rules (``repro lint --whole-program``)
+    ========  =====================================================
+    RL016     cross-module lock-order cycle (deadlock by reversed
+              acquisition order, joined over the call graph)
+    RL017     energy-grant leak: a ``reserve()``/``_reserve_for()``
+              grant that can miss ``commit()``/``release()`` on some
+              CFG path — exception edges included
+    RL018     unit-dimension mismatch across a call boundary
+              (seconds passed into a ``budget`` parameter)
+    RL019     blocking call reached transitively from a lock-held
+              region (RL011 through the call graph)
+    ========  =====================================================
+
+The whole-program pass (:mod:`repro.lint.flow`) builds per-file
+dataflow summaries — symbol tables, per-function CFGs with explicit
+exception edges, lock regions, call records — and joins them into a
+project-wide call graph; :mod:`repro.lint.cache` keeps unchanged
+files' summaries across runs (content-hash keyed, import-closure
+invalidation).
+
 Any finding can be suppressed per line with ``# repro: noqa[RL001]``
 (or blanket ``# repro: noqa``); see :mod:`repro.lint.suppress`.
 
@@ -37,15 +57,17 @@ use, ``repro lint`` (see :mod:`repro.lint.cli`) for the command line.
 
 from __future__ import annotations
 
+from .cache import LintCache
 from .engine import LintEngine, lint_file, lint_paths, lint_source
 from .finding import Finding, Severity
 from .registry import RuleRegistry, all_rules, get_rule, register_rule
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .rules import Rule
 from .suppress import SuppressionIndex
 
 __all__ = [
     "Finding",
+    "LintCache",
     "LintEngine",
     "Rule",
     "RuleRegistry",
@@ -58,5 +80,6 @@ __all__ = [
     "lint_source",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

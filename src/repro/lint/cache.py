@@ -1,0 +1,132 @@
+"""The on-disk incremental lint cache (``.repro-lint-cache``).
+
+One JSON document, keyed by normalised relative path.  Each entry holds
+the file's content hash, the per-file findings produced last time, the
+serialised :class:`~repro.lint.flow.summaries.ModuleSummary` the
+whole-program rules consume, and the file's suppression map.  A file is
+reused only when
+
+* its own sha256 is unchanged, **and**
+* no module in its import closure was re-analysed this run (dependency
+  closure invalidation — today's summaries are file-local, but the
+  closure check means a future summary that peeks at callee facts can
+  never serve stale data), **and**
+* the active rule set matches the one the cache was written with.
+
+Writes go through :func:`repro.utils.atomic_write` (without the fsync
+barrier — a torn cache merely costs one warm-up run, and pre-commit
+latency is the whole point of this file).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional
+
+from ..utils.fileio import atomic_write
+from .finding import Finding, Severity
+
+__all__ = ["LintCache", "file_digest"]
+
+_VERSION = 1
+
+
+def file_digest(source: str) -> str:
+    """Content hash used as the cache key component."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _finding_to_raw(finding: Finding) -> Dict[str, Any]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "code": finding.code,
+        "message": finding.message,
+        "severity": finding.severity.value,
+    }
+
+
+def _finding_from_raw(raw: Mapping[str, Any]) -> Finding:
+    return Finding(
+        path=str(raw["path"]),
+        line=int(raw["line"]),
+        col=int(raw["col"]),
+        code=str(raw["code"]),
+        message=str(raw["message"]),
+        severity=Severity(raw["severity"]),
+    )
+
+
+class LintCache:
+    """Load/store per-file analysis results keyed by content hash."""
+
+    def __init__(self, path: Optional[Path], ruleset: str) -> None:
+        self.path = path
+        self.ruleset = ruleset
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        if path is not None and path.exists():
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                doc = {}
+            if doc.get("version") == _VERSION and doc.get("ruleset") == ruleset:
+                entries = doc.get("entries")
+                if isinstance(entries, dict):
+                    self._entries = entries
+
+    # -- lookups -------------------------------------------------------------
+
+    def lookup(self, rel_path: str, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for an unchanged file, or ``None``."""
+        entry = self._entries.get(rel_path)
+        if entry is None or entry.get("hash") != digest:
+            return None
+        return entry
+
+    def findings_of(self, entry: Mapping[str, Any]) -> List[Finding]:
+        return [_finding_from_raw(raw) for raw in entry.get("findings", [])]
+
+    @staticmethod
+    def suppressed_of(entry: Mapping[str, Any]) -> Dict[int, FrozenSet[str]]:
+        return {
+            int(line): frozenset(codes)
+            for line, codes in entry.get("suppressed", {}).items()
+        }
+
+    # -- stores --------------------------------------------------------------
+
+    def store(
+        self,
+        rel_path: str,
+        digest: str,
+        *,
+        findings: List[Finding],
+        summary: Optional[Dict[str, Any]],
+        suppressed: Dict[int, FrozenSet[str]],
+    ) -> None:
+        self._entries[rel_path] = {
+            "hash": digest,
+            "findings": [_finding_to_raw(f) for f in findings],
+            "summary": summary,
+            "suppressed": {str(line): sorted(codes) for line, codes in suppressed.items()},
+        }
+        self._dirty = True
+
+    def invalidate(self, rel_path: str) -> None:
+        if self._entries.pop(rel_path, None) is not None:
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        doc = {"version": _VERSION, "ruleset": self.ruleset, "entries": self._entries}
+        try:
+            atomic_write(self.path, json.dumps(doc, sort_keys=True), fsync=False)
+        except OSError:  # pragma: no cover — a read-only tree just skips caching
+            pass

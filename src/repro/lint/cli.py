@@ -6,6 +6,9 @@ Usage::
     repro lint src --select RL01         # concurrency rules only
     repro lint src --ignore RL002,RL005  # drop the warnings
     repro lint src --format json         # machine-readable output
+    repro lint src --whole-program       # + call-graph/CFG rules RL016-RL019
+    repro lint src --whole-program --cache .repro-lint-cache   # incremental
+    repro lint src --format sarif        # SARIF 2.1.0 (PR annotations)
     repro lint --list-rules              # the rule catalog, one line each
 
 Exit codes: 0 clean, 1 findings, 2 usage/configuration error — the same
@@ -21,7 +24,7 @@ from typing import List, Optional, Sequence
 from ..utils.errors import ValidationError
 from .engine import LintEngine
 from .registry import all_rules
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = ["add_lint_arguments", "run_lint", "main"]
 
@@ -43,9 +46,22 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="run the cross-file rules (RL016-RL019) over a project-wide "
+        "call graph and per-function CFGs",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="whole-program mode: reuse per-file analysis from this cache "
+        "file (e.g. .repro-lint-cache); unchanged files are not re-analysed",
     )
     parser.add_argument(
         "--no-statistics",
@@ -73,13 +89,20 @@ def run_lint(args: argparse.Namespace) -> int:
             for rule in sorted(all_rules(select, ignore), key=lambda r: r.code):
                 print(f"{rule.code}  {rule.name} [{rule.severity}]")
             return 0
-        engine = LintEngine(select, ignore)
+        engine = LintEngine(
+            select,
+            ignore,
+            whole_program=bool(getattr(args, "whole_program", False)),
+            cache_path=getattr(args, "cache", None),
+        )
     except ValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     findings = engine.lint_paths(args.paths)
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings, engine.rules))
     else:
         print(render_text(findings, statistics=not args.no_statistics))
     return 1 if findings else 0

@@ -77,14 +77,30 @@ class LintContext:
 
 
 class LintEngine:
-    """Run a (filtered) rule set over sources, files and directory trees."""
+    """Run a (filtered) rule set over sources, files and directory trees.
+
+    ``whole_program=True`` adds a second phase after the per-file walks:
+    every parsed file contributes a dataflow summary, the summaries are
+    joined into a :class:`~repro.lint.flow.program.Program`, and the
+    ``whole_program`` rules (RL016–RL019) run once over the join.  With
+    ``cache_path`` set, per-file work (findings *and* summaries) is
+    reused across runs for files whose content hash — and whose import
+    closure — is unchanged.
+    """
 
     def __init__(
         self,
         select: Optional[Iterable[str]] = None,
         ignore: Optional[Iterable[str]] = None,
+        *,
+        whole_program: bool = False,
+        cache_path: Optional[Union[str, Path]] = None,
     ) -> None:
         self.rules = all_rules(select, ignore)
+        self.whole_program = whole_program
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        #: ``(reused, analysed)`` file counts of the last whole-program run.
+        self.last_cache_stats: Optional[tuple[int, int]] = None
 
     # -- single sources --------------------------------------------------------
 
@@ -143,9 +159,103 @@ class LintEngine:
 
     def lint_paths(self, paths: Sequence[Union[str, Path]]) -> List[Finding]:
         """Findings for files and/or directory trees, sorted by location."""
+        if self.whole_program:
+            return self._lint_whole_program(paths)
         findings: List[Finding] = []
         for path in _expand(paths):
             findings.extend(self.lint_file(path))
+        return sorted(findings)
+
+    # -- whole-program mode ----------------------------------------------------
+
+    def _lint_whole_program(self, paths: Sequence[Union[str, Path]]) -> List[Finding]:
+        from .cache import LintCache, file_digest
+        from .flow.program import Program
+        from .flow.summaries import ModuleSummary, summarize_module
+
+        ruleset = ",".join(sorted(rule.code for rule in self.rules))
+        cache = LintCache(self.cache_path, ruleset)
+        findings: List[Finding] = []
+        summaries: Dict[str, ModuleSummary] = {}
+        suppressions: Dict[str, SuppressionIndex] = {}
+        reanalysed: set = set()  # module names summarised fresh this run
+        pending_hits: List[tuple] = []  # (rel, display, source, entry, summary)
+
+        def analyse(source: str, display: str, rel: str, digest: str) -> None:
+            file_findings = self.lint_source(source, path=display)
+            suppression = SuppressionIndex.from_source(source)
+            summary: Optional[ModuleSummary] = None
+            if not any(f.code == "RL000" for f in file_findings):
+                tree = ast.parse(source, filename=display)
+                summary = summarize_module(tree, rel, display)
+                summaries[summary.decl.name] = summary
+                reanalysed.add(summary.decl.name)
+                cache.store(
+                    rel,
+                    digest,
+                    findings=file_findings,
+                    summary=summary.to_dict(),
+                    suppressed=suppression.suppressed_lines,
+                )
+            findings.extend(file_findings)
+            suppressions[display] = suppression
+
+        for path in _expand(paths):
+            display = str(path)
+            try:
+                source = Path(path).read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                findings.append(
+                    Finding(
+                        path=display,
+                        line=1,
+                        col=0,
+                        code="RL000",
+                        message=f"cannot read file: {exc}",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            rel = _normalise(display)
+            digest = file_digest(source)
+            entry = cache.lookup(rel, digest) if self.cache_path is not None else None
+            if entry is not None and entry.get("summary") is not None:
+                summary = ModuleSummary.from_dict(entry["summary"])
+                pending_hits.append((rel, display, source, entry, summary))
+            else:
+                cache.misses += 1
+                analyse(source, display, rel, digest)
+
+        # Dependency-closure invalidation: a cached file whose imports
+        # reach a re-analysed module is re-analysed too.
+        if pending_hits:
+            from .flow.symbols import SymbolTable
+
+            decls = [s.decl for s in summaries.values()]
+            decls.extend(hit[4].decl for hit in pending_hits)
+            symtab = SymbolTable(decls)
+            for rel, display, source, entry, summary in pending_hits:
+                closure = symtab.import_closure(summary.decl.name)
+                if reanalysed.intersection(closure):
+                    cache.misses += 1
+                    analyse(source, display, rel, file_digest(source))
+                    continue
+                cache.hits += 1
+                summaries[summary.decl.name] = summary
+                findings.extend(cache.findings_of(entry))
+                suppressions[display] = SuppressionIndex(cache.suppressed_of(entry))
+
+        program = Program(summaries)
+        for rule in self.rules:
+            if not rule.whole_program:
+                continue
+            for finding in rule.visit_program(program):
+                index = suppressions.get(finding.path)
+                if index is not None and index.is_suppressed(finding.line, finding.code):
+                    continue
+                findings.append(finding)
+        cache.save()
+        self.last_cache_stats = (cache.hits, cache.misses)
         return sorted(findings)
 
 

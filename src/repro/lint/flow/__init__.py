@@ -1,0 +1,43 @@
+"""Whole-program dataflow for :mod:`repro.lint`.
+
+The per-file rules (RL001–RL015) see one AST at a time; this package
+gives rules the *program*: a project-wide symbol table and call graph
+(:mod:`.symbols`, :mod:`.callgraph`), a per-function control-flow graph
+with explicit exception edges (:mod:`.cfg`), and per-function dataflow
+summaries (:mod:`.summaries`) that interprocedural rules consume.
+
+The division of labour is deliberate:
+
+* everything *per-file* — parsing, CFG construction, the grant-leak
+  proof, lock regions, call-site dimension inference — happens once per
+  file and is serialised into a :class:`~.summaries.FunctionSummary`,
+  which the on-disk lint cache can keep across runs;
+* everything *cross-file* — import resolution, call-graph edges,
+  lock-order cycles, transitive blocking closures, argument/parameter
+  dimension joins — happens in :class:`~.program.Program` from those
+  summaries alone, cheaply, on every run.
+
+That split is what makes ``repro lint --whole-program`` incremental:
+touching one file re-analyses that file (and its dependency closure),
+while the program-level joins are recomputed from cached summaries.
+"""
+
+from .callgraph import CallGraph
+from .cfg import CFG, build_cfg
+from .program import Program
+from .summaries import FunctionSummary, ModuleSummary, summarize_module
+from .symbols import FunctionDecl, ModuleDecl, SymbolTable, module_name_for
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "CallGraph",
+    "Program",
+    "FunctionSummary",
+    "ModuleSummary",
+    "summarize_module",
+    "FunctionDecl",
+    "ModuleDecl",
+    "SymbolTable",
+    "module_name_for",
+]

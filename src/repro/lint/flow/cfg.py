@@ -1,0 +1,333 @@
+"""Per-function control-flow graphs with explicit exception edges.
+
+The graph is statement-granular: every simple statement is a node, and
+compound statements contribute a *branch* node for their test plus the
+nodes of their bodies.  Three synthetic nodes frame the function:
+``ENTRY``, ``EXIT`` (normal return / fall-through) and ``RAISE`` (the
+exceptional exit — an exception escaping the function).
+
+Exception edges are the point.  A statement **may raise** when it
+contains a call, a ``raise``, or an ``assert`` (nested ``def``/
+``lambda`` bodies are skipped — they merely get *defined* there).  Each
+may-raise node gets an ``exception`` edge to its innermost handler
+context: the ``except`` dispatch of an enclosing ``try``, the
+exceptional copy of an enclosing ``finally``, or ``RAISE``.
+
+``finally`` bodies are built **twice** — once on the normal
+continuation and once on the exceptional one — so a grant released in
+a ``finally`` proves settlement on *both* kinds of path without
+merging them (a merged single copy would leak normal paths into
+``RAISE`` and flood downstream analyses with false positives).
+
+``except`` dispatch is conservative: an exception may be caught by any
+handler, and unless some handler is a catch-all (``except:``,
+``except Exception``, ``except BaseException``) it may also match none
+and propagate outward.  A bare ``raise`` inside a handler re-raises to
+the *outer* context.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+_CATCH_ALL_NAMES = {"Exception", "BaseException"}
+
+
+@dataclass
+class CFGNode:
+    """One node: a statement (or branch test, or synthetic marker)."""
+
+    index: int
+    kind: str  #: ``entry`` / ``exit`` / ``raise`` / ``stmt`` / ``branch`` / ``dispatch``
+    stmt: Optional[ast.stmt] = None
+    line: int = 0
+
+    def __repr__(self) -> str:
+        label = type(self.stmt).__name__ if self.stmt is not None else self.kind
+        return f"CFGNode({self.index}, {self.kind}, {label}@{self.line})"
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph (see module docstring)."""
+
+    nodes: List[CFGNode] = field(default_factory=list)
+    #: edges as (source index, target index, kind) with kind ``normal``
+    #: or ``exception``.
+    edges: List[Tuple[int, int, str]] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 1
+    raise_exit: int = 2
+    _succ: Dict[int, List[Tuple[int, str]]] = field(default_factory=dict)
+
+    def add_node(self, kind: str, stmt: Optional[ast.stmt] = None) -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index=index, kind=kind, stmt=stmt, line=getattr(stmt, "lineno", 0)))
+        return index
+
+    def add_edge(self, src: int, dst: int, kind: str = "normal") -> None:
+        edge = (src, dst, kind)
+        if edge not in self._succ.get(src, []):
+            self.edges.append(edge)
+            self._succ.setdefault(src, []).append((dst, kind))
+
+    def successors(self, index: int) -> List[Tuple[int, str]]:
+        """``(target, edge_kind)`` pairs out of ``index``."""
+        return list(self._succ.get(index, []))
+
+    def node(self, index: int) -> CFGNode:
+        return self.nodes[index]
+
+    def statement_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Whether executing this statement can raise (conservatively).
+
+    Calls, explicit raises and asserts count; expressions inside nested
+    function/lambda bodies do not (they run later, elsewhere).
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            return True
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+    return False
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: List[ast.expr] = (
+        list(handler.type.elts) if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for expr in names:
+        name = expr.attr if isinstance(expr, ast.Attribute) else getattr(expr, "id", None)
+        if name in _CATCH_ALL_NAMES:
+            return True
+    return False
+
+
+class _Builder:
+    """Recursive-descent CFG construction with continuation threading."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.add_node("entry")
+        self.cfg.add_node("exit")
+        self.cfg.add_node("raise")
+
+    def build(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        outs = self._sequence(
+            func.body, [self.cfg.entry], exc=self.cfg.raise_exit, brk=None, cont=None
+        )
+        for out in outs:
+            self.cfg.add_edge(out, self.cfg.exit)
+        return self.cfg
+
+    # Each _stmt/_sequence call receives the node indices whose *normal*
+    # successor is the thing being built, and returns the indices whose
+    # normal successor is whatever comes next.
+
+    def _sequence(
+        self,
+        stmts: List[ast.stmt],
+        preds: List[int],
+        *,
+        exc: int,
+        brk: Optional[List[int]],
+        cont: Optional[int],
+    ) -> List[int]:
+        current = preds
+        for stmt in stmts:
+            current = self._stmt(stmt, current, exc=exc, brk=brk, cont=cont)
+            if not current:  # unreachable from here on (return/raise/...)
+                break
+        return current
+
+    def _link(self, preds: List[int], node: int) -> None:
+        for pred in preds:
+            self.cfg.add_edge(pred, node)
+
+    def _stmt(
+        self,
+        stmt: ast.stmt,
+        preds: List[int],
+        *,
+        exc: int,
+        brk: Optional[List[int]],
+        cont: Optional[int],
+    ) -> List[int]:
+        if isinstance(stmt, ast.Return):
+            node = self.cfg.add_node("stmt", stmt)
+            self._link(preds, node)
+            if _may_raise(stmt):
+                self.cfg.add_edge(node, exc, "exception")
+            self.cfg.add_edge(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self.cfg.add_node("stmt", stmt)
+            self._link(preds, node)
+            self.cfg.add_edge(node, exc, "exception")
+            return []
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = self.cfg.add_node("stmt", stmt)
+            self._link(preds, node)
+            if isinstance(stmt, ast.Break) and brk is not None:
+                brk.append(node)
+            elif isinstance(stmt, ast.Continue) and cont is not None:
+                self.cfg.add_edge(node, cont)
+            return []
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds, exc=exc, brk=brk, cont=cont)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds, exc=exc)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds, exc=exc, brk=brk, cont=cont)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, preds, exc=exc, brk=brk, cont=cont)
+        # Simple statement (including nested def/class, which are opaque).
+        node = self.cfg.add_node("stmt", stmt)
+        self._link(preds, node)
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)) and _may_raise(stmt):
+            self.cfg.add_edge(node, exc, "exception")
+        return [node]
+
+    def _if(
+        self,
+        stmt: ast.If,
+        preds: List[int],
+        *,
+        exc: int,
+        brk: Optional[List[int]],
+        cont: Optional[int],
+    ) -> List[int]:
+        branch = self.cfg.add_node("branch", stmt)
+        self._link(preds, branch)
+        if _may_raise_expr(stmt.test):
+            self.cfg.add_edge(branch, exc, "exception")
+        outs = self._sequence(stmt.body, [branch], exc=exc, brk=brk, cont=cont)
+        if stmt.orelse:
+            outs += self._sequence(stmt.orelse, [branch], exc=exc, brk=brk, cont=cont)
+        else:
+            outs.append(branch)
+        return outs
+
+    def _loop(
+        self,
+        stmt: ast.While | ast.For | ast.AsyncFor,
+        preds: List[int],
+        *,
+        exc: int,
+    ) -> List[int]:
+        branch = self.cfg.add_node("branch", stmt)
+        self._link(preds, branch)
+        test = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        if _may_raise_expr(test):
+            self.cfg.add_edge(branch, exc, "exception")
+        breaks: List[int] = []
+        outs = self._sequence(stmt.body, [branch], exc=exc, brk=breaks, cont=branch)
+        for out in outs:
+            self.cfg.add_edge(out, branch)
+        after = self._sequence(stmt.orelse, [branch], exc=exc, brk=None, cont=None) if stmt.orelse else [branch]
+        return after + breaks
+
+    def _with(
+        self,
+        stmt: ast.With | ast.AsyncWith,
+        preds: List[int],
+        *,
+        exc: int,
+        brk: Optional[List[int]],
+        cont: Optional[int],
+    ) -> List[int]:
+        enter = self.cfg.add_node("stmt", stmt)
+        self._link(preds, enter)
+        if any(_may_raise_expr(item.context_expr) for item in stmt.items):
+            self.cfg.add_edge(enter, exc, "exception")
+        return self._sequence(stmt.body, [enter], exc=exc, brk=brk, cont=cont)
+
+    def _try(
+        self,
+        stmt: ast.Try,
+        preds: List[int],
+        *,
+        exc: int,
+        brk: Optional[List[int]],
+        cont: Optional[int],
+    ) -> List[int]:
+        # Exceptional continuation seen from inside the try body: the
+        # handler dispatch if there are handlers, else the exceptional
+        # finally copy, else the outer context.
+        fin_x_entry: Optional[int] = None
+        if stmt.finalbody:
+            # Exceptional copy: runs the finally body, then re-raises.
+            fin_x_entry = self.cfg.add_node("dispatch", None)
+            fin_x_outs = self._sequence(stmt.finalbody, [fin_x_entry], exc=exc, brk=brk, cont=cont)
+            for out in fin_x_outs:
+                self.cfg.add_edge(out, exc, "exception")
+        after_handlers_exc = fin_x_entry if fin_x_entry is not None else exc
+
+        inner_exc = after_handlers_exc
+        dispatch: Optional[int] = None
+        if stmt.handlers:
+            dispatch = self.cfg.add_node("dispatch", None)
+            inner_exc = dispatch
+
+        body_outs = self._sequence(stmt.body, preds, exc=inner_exc, brk=brk, cont=cont)
+        if stmt.orelse:
+            body_outs = self._sequence(stmt.orelse, body_outs, exc=inner_exc, brk=brk, cont=cont)
+
+        handler_outs: List[int] = []
+        if dispatch is not None:
+            caught_all = False
+            for handler in stmt.handlers:
+                entry = self.cfg.add_node("stmt", handler)  # type: ignore[arg-type]
+                self.cfg.add_edge(dispatch, entry, "exception")
+                handler_outs += self._sequence(
+                    handler.body, [entry], exc=after_handlers_exc, brk=brk, cont=cont
+                )
+                caught_all = caught_all or _is_catch_all(handler)
+            if not caught_all:
+                self.cfg.add_edge(dispatch, after_handlers_exc, "exception")
+
+        survivors = body_outs + handler_outs
+        if stmt.finalbody:
+            # Normal copy of the finally body.
+            fin_n_entry = self.cfg.add_node("dispatch", None)
+            self._link(survivors, fin_n_entry)
+            return self._sequence(stmt.finalbody, [fin_n_entry], exc=exc, brk=brk, cont=cont)
+        return survivors
+
+
+def _may_raise_expr(expr: Optional[ast.expr]) -> bool:
+    if expr is None:
+        return False
+    stack: List[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            return True
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Lambda):
+                continue
+            stack.append(child)
+    return False
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The control-flow graph of one function definition."""
+    return _Builder().build(func)

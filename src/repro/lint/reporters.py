@@ -1,14 +1,20 @@
-"""Finding reporters: compiler-style text and machine-readable JSON."""
+"""Finding reporters: compiler-style text, JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from .finding import Finding
+from .finding import Finding, Severity
 
-__all__ = ["render_text", "render_json"]
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from .rules import Rule
+
+__all__ = ["render_text", "render_json", "render_sarif", "SARIF_SCHEMA_URI"]
+
+#: The schema the SARIF output conforms to (and is validated against in tests).
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(findings: Sequence[Finding], *, statistics: bool = True) -> str:
@@ -34,5 +40,75 @@ def render_json(findings: Sequence[Finding]) -> str:
             "total": len(findings),
             "by_rule": dict(sorted(tally.items())),
         },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Optional[Sequence["Rule"]] = None
+) -> str:
+    """A SARIF 2.1.0 log (the format ``codeql-action/upload-sarif`` ingests).
+
+    The tool component carries the full rule catalog (id, name,
+    rationale, default level) so code-scanning UIs can render the
+    why-this-matters text next to each annotation; results reference
+    rules by index.  Paths are emitted as the repo-relative URIs the
+    engine linted, which is what GitHub needs to place PR annotations.
+    """
+    catalog = sorted(rules or [], key=lambda r: r.code)
+    rule_index = {rule.code: i for i, rule in enumerate(catalog)}
+    descriptors = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name.replace("-", " ")},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": _sarif_level(rule.severity)},
+        }
+        for rule in catalog
+    ]
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.code,
+            "level": _sarif_level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=True)

@@ -24,6 +24,7 @@ from ..finding import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover — annotation-only import
     from ..engine import LintContext
+    from ..flow.program import Program
 
 __all__ = ["Rule"]
 
@@ -44,6 +45,9 @@ class Rule:
     include: ClassVar[Optional[Sequence[str]]] = None
     #: Glob patterns the rule never applies to (wins over ``include``).
     exclude: ClassVar[Sequence[str]] = ()
+    #: Whole-program rules run once per *run* (``visit_program``) instead
+    #: of per node, and only under ``repro lint --whole-program``.
+    whole_program: ClassVar[bool] = False
 
     def applies_to(self, rel_path: str) -> bool:
         """Whether this rule runs on ``rel_path`` (posix, repo-relative)."""
@@ -56,6 +60,21 @@ class Rule:
     def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
         """Yield findings for one dispatched node."""
         return iter(())
+
+    def visit_program(self, program: "Program") -> Iterator[Finding]:
+        """Yield findings for the whole program (``whole_program`` rules)."""
+        return iter(())
+
+    def program_finding(self, path: str, line: int, col: int, message: str) -> Finding:
+        """Build a finding at an explicit location (whole-program rules)."""
+        return Finding(
+            path=path,
+            line=max(line, 1),
+            col=max(col, 0),
+            code=self.code,
+            message=message,
+            severity=self.severity,
+        )
 
     def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
         """Build a finding anchored at ``node`` with this rule's identity."""
@@ -71,4 +90,4 @@ class Rule:
 
 # Imported for their registration side effects (must follow Rule's
 # definition — all modules subclass it).
-from . import concurrency, domain, observability  # noqa: E402,F401
+from . import concurrency, domain, observability, whole_program  # noqa: E402,F401

@@ -1,0 +1,19 @@
+"""Known-bad: acquires registry lock, then the store lock through a call."""
+
+import threading
+
+import mod_b
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.store = mod_b.Store()
+
+    def update(self, key):
+        with self._lock:  # A held ...
+            self.store.put_entry(key)  # ... while B is acquired (A -> B)
+
+    def locked_get(self, key):
+        with self._lock:
+            return key

@@ -1,0 +1,16 @@
+"""Known-bad: acquires the store lock, then the registry lock — reversed."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def put_entry(self, key):
+        with self._lock:
+            return key
+
+    def refresh(self, registry, key):
+        with self._lock:  # B held ...
+            return registry.locked_get(key)  # ... while A is acquired (B -> A)

@@ -1,0 +1,19 @@
+"""Known-good: every path acquires registry before store (one global order)."""
+
+import threading
+
+import mod_b
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.store = mod_b.Store()
+
+    def update(self, key):
+        with self._lock:  # A -> B, the global order
+            self.store.put_entry(key)
+
+    def locked_get(self, key):
+        with self._lock:
+            return key

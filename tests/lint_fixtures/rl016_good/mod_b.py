@@ -1,0 +1,17 @@
+"""Known-good: the store consults the registry *before* taking its own lock."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def put_entry(self, key):
+        with self._lock:
+            return key
+
+    def refresh(self, registry, key):
+        current = registry.locked_get(key)  # A taken and released first
+        with self._lock:  # then B alone — no reversed nesting
+            return current

@@ -1,0 +1,26 @@
+"""Known-bad: the grant can leak on an exception edge (and one is discarded).
+
+``send`` reserves, then calls ``encode`` — if encode raises, the grant
+is neither committed nor released and the headroom is gone forever.
+``fire_and_forget`` never even binds the grant.
+"""
+
+
+class WindowSender:
+    def __init__(self, ledger):
+        self.ledger = ledger
+
+    def send(self, shard, batch):
+        grant = self.ledger.reserve(shard, 5.0)
+        envelope = self.encode(batch)  # may raise: grant leaks on that edge
+        self.ship(envelope)
+        self.ledger.commit(shard, grant, grant)
+
+    def fire_and_forget(self, shard):
+        self.ledger.reserve(shard, 1.0)  # discarded: nothing can ever settle it
+
+    def encode(self, batch):
+        return {"n": len(batch)}
+
+    def ship(self, envelope):
+        return envelope

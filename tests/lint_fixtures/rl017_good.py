@@ -1,0 +1,35 @@
+"""Known-good: every grant settles on every path, exception edges included."""
+
+
+class WindowSender:
+    def __init__(self, ledger):
+        self.ledger = ledger
+
+    def send(self, shard, batch):
+        grant = self.ledger.reserve(shard, 5.0)
+        try:
+            envelope = self.encode(batch)
+            self.ship(envelope)
+        except BaseException:
+            if grant:
+                self.ledger.release(shard, grant)  # exception edge settles
+            raise
+        self.ledger.commit(shard, grant, grant)  # normal edge settles
+
+    def send_finally(self, shard, batch):
+        grant = self.ledger.reserve(shard, 2.0)
+        try:
+            self.ship(self.encode(batch))
+        finally:
+            self.ledger.release(shard, grant)  # both edges settle
+
+    def hand_off(self, shard, pending):
+        grant = self.ledger.reserve(shard, 1.0)
+        pending["grant"] = grant  # explicit hand-off: the map's owner settles
+        return pending
+
+    def encode(self, batch):
+        return {"n": len(batch)}
+
+    def ship(self, envelope):
+        return envelope

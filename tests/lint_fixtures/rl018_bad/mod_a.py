@@ -1,0 +1,11 @@
+"""Known-bad: passes a deadline (seconds) into an energy-joule parameter."""
+
+import mod_b
+
+
+def plan_window(deadline, batch):
+    return mod_b.admit(deadline, batch)  # seconds flowing into `budget`
+
+
+def plan_keyword(timeout, batch):
+    return mod_b.admit(budget=timeout, batch=batch)  # same, by keyword

@@ -1,0 +1,5 @@
+"""Known-bad counterpart: `admit` expects joules in `budget`."""
+
+
+def admit(budget, batch):
+    return budget - 0.1 * len(batch)

@@ -1,0 +1,11 @@
+"""Known-good: energy flows into the energy parameter, time into time."""
+
+import mod_b
+
+
+def plan_window(energy_budget, deadline, batch):
+    return mod_b.admit(energy_budget, batch)
+
+
+def plan_keyword(joules, batch):
+    return mod_b.admit(budget=joules, batch=batch)

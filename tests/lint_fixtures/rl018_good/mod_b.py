@@ -1,0 +1,5 @@
+"""Known-good counterpart: `admit` expects joules in `budget`."""
+
+
+def admit(budget, batch):
+    return budget - 0.1 * len(batch)

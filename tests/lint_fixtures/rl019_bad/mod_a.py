@@ -1,0 +1,15 @@
+"""Known-bad: calls a helper that fsyncs while holding the planner lock."""
+
+import threading
+
+import mod_b
+
+
+class Planner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.journal = mod_b.Journal()
+
+    def record(self, doc):
+        with self._lock:
+            self.journal.persist(doc)  # persist() fsyncs two calls down

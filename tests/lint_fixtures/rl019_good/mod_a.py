@@ -1,0 +1,17 @@
+"""Known-good: the blocking persist happens outside the critical section."""
+
+import threading
+
+import mod_b
+
+
+class Planner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.journal = mod_b.Journal()
+        self.last = None
+
+    def record(self, doc):
+        self.journal.persist(doc)  # fsync outside the lock
+        with self._lock:
+            self.last = doc  # only the cheap publish is guarded

@@ -1,0 +1,12 @@
+"""Known-good counterpart: same helper, now never called under a lock."""
+
+import os
+
+
+class Journal:
+    def __init__(self, handle=None):
+        self.handle = handle
+
+    def persist(self, doc):
+        os.fsync(self.handle)
+        return doc
